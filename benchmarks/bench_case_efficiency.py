@@ -1,0 +1,17 @@
+"""Section 5.4 efficiency notes: runtime comparison per case study."""
+
+from conftest import run_once
+
+from repro.experiments import case_efficiency
+
+
+def test_case_efficiency(benchmark, record):
+    output = run_once(benchmark, case_efficiency.run, scale=0.6, num_queries=4)
+    record(output)
+    data = output.data
+    # Pattern matching: every matcher reports a positive per-query cost.
+    assert data[("pattern", "FSims")] > 0
+    assert data[("pattern", "StrongSim")] > 0
+    # Alignment: k-bisimulation is the cheapest method (paper: 0.4s vs
+    # FSim's 3120s at full scale).
+    assert data[("alignment", "4-bisim")] < data[("alignment", "FSimb")]

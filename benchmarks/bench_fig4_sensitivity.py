@@ -1,0 +1,36 @@
+"""Figure 4: sensitivity to theta and to the weighting factor w*.
+
+Assertions target the paper's *shapes*: coefficients decrease in theta
+(Fig 4a) and increase in w* (Fig 4b).  The paper's absolute floors
+(> 0.8 at theta=1) soften at emulator scale: with ~70 nodes a neighbor
+rarely has a same-label counterpart, so the theta=1 constraint bites
+harder than on the 75k-node NELL graph.
+"""
+
+from conftest import run_once
+
+from repro.experiments import fig4
+
+
+def test_fig4a_theta_sensitivity(benchmark, record):
+    output = run_once(benchmark, fig4.run_theta, scale=0.6)
+    record(output)
+    for variant in ("s", "dp", "b", "bj"):
+        # theta = 0 is the baseline itself.
+        assert output.data[(0.0, variant)] > 0.999
+        # Decreasing trend: the endpoint never exceeds the start.
+        assert output.data[(1.0, variant)] <= output.data[(0.0, variant)]
+        # Scores remain meaningfully correlated even at theta = 1.
+        assert output.data[(1.0, variant)] > 0.4
+    # bj (injective mapping) is the most stable variant under theta.
+    assert output.data[(1.0, "bj")] > output.data[(1.0, "s")]
+
+
+def test_fig4b_wstar_sensitivity(benchmark, record):
+    output = run_once(benchmark, fig4.run_wstar, scale=0.6)
+    record(output)
+    for variant in ("s", "dp", "b", "bj"):
+        # Increasing trend: larger w* mitigates the label constraint.
+        assert output.data[(0.99, variant)] >= output.data[(0.1, variant)] - 0.05
+    # Near-perfect agreement for the most stable variant at large w*.
+    assert output.data[(0.99, "bj")] > 0.9

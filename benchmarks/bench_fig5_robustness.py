@@ -1,0 +1,15 @@
+"""Figure 5: robustness of FSimbj against structural and label errors."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_robustness(benchmark, record):
+    output = run_once(benchmark, fig5.run, scale=0.6)
+    record(output)
+    for kind in ("structural", "label"):
+        # zero error correlates perfectly with itself
+        assert output.data[(kind, 0.0, 0.0)] > 0.999
+        # Paper: robust -- still well correlated at the 20% error level.
+        assert output.data[(kind, 0.20, 0.0)] > 0.5

@@ -1,0 +1,21 @@
+"""Figure 6: sensitivity of upper-bound updating (alpha and beta)."""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6a_beta_sweep(benchmark, record):
+    output = run_once(benchmark, fig6.run_beta, scale=0.6)
+    record(output)
+    # beta = 0 prunes nothing
+    assert output.data[("beta", 0.0, 0.0)] > 0.999
+    # Paper: still > 0.9 at the most aggressive beta = 0.5.
+    assert output.data[("beta", 0.5, 0.0)] > 0.85
+
+
+def test_fig6b_alpha_sweep(benchmark, record):
+    output = run_once(benchmark, fig6.run_alpha, scale=0.6)
+    record(output)
+    # Paper: alpha = 0 (ignore pruned pairs) is already > 0.9.
+    assert output.data[("alpha", 0.0, 0.0)] > 0.85

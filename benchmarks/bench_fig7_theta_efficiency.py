@@ -1,0 +1,17 @@
+"""Figure 7: running time and candidate-pair count while varying theta."""
+
+from conftest import run_once
+
+from repro.experiments import fig7
+
+
+def test_fig7_theta_efficiency(benchmark, record):
+    output = run_once(benchmark, fig7.run, scale=0.6)
+    record(output)
+    # Larger theta -> fewer candidate pairs (monotone, Remark 2).
+    pair_counts = [output.data[(theta, "s")][1] for theta in fig7.THETAS]
+    assert all(b <= a for a, b in zip(pair_counts, pair_counts[1:]))
+    # theta = 1 must be cheaper than theta = 0 for the costly variant.
+    assert output.data[(1.0, "bj")][0] < output.data[(0.0, "bj")][0]
+    # dp/bj (matching) slower than s at theta = 0.
+    assert output.data[(0.0, "bj")][0] > output.data[(0.0, "s")][0]

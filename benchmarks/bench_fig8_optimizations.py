@@ -1,0 +1,20 @@
+"""Figure 8: FSimbj runtime per dataset under the two optimizations."""
+
+from conftest import run_once
+
+from repro.experiments import fig8
+
+
+def test_fig8_optimizations(benchmark, record):
+    output = run_once(benchmark, fig8.run, scale=0.35)
+    record(output)
+    # Label-constrained mapping is the strongest optimization (paper:
+    # up to 3 orders of magnitude) -- check it on a mid-sized dataset.
+    for name in ("nell", "cora"):
+        plain = output.data[(name, "FSimbj")]
+        constrained = output.data[(name, "FSimbj{theta=1}")]
+        assert constrained < plain
+    # The unconstrained configurations are skipped on the largest
+    # emulators, mirroring the paper's out-of-memory omissions.
+    assert output.data[("acmcit", "FSimbj")] is None
+    assert output.data[("acmcit", "FSimbj{ub,theta=1}")] is not None

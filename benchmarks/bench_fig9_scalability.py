@@ -1,0 +1,22 @@
+"""Figure 9: parallel scalability and density scalability."""
+
+from conftest import run_once
+
+from repro.experiments import fig9
+
+
+def test_fig9a_workers(benchmark, record):
+    output = run_once(benchmark, fig9.run_workers, scale=0.6)
+    record(output)
+    counts = fig9.default_worker_counts()
+    assert all((name, workers) in output.data
+               for name in fig9.DATASETS for workers in counts)
+
+
+def test_fig9b_density(benchmark, record):
+    output = run_once(benchmark, fig9.run_density, scale=0.5,
+                      densities=(1, 2, 5))
+    record(output)
+    for name in fig9.DATASETS:
+        # Denser graphs cost more (paper: growing but tractable).
+        assert output.data[(name, 5)] > output.data[(name, 1)]

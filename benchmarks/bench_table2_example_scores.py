@@ -1,0 +1,15 @@
+"""Table 2: exact + fractional scores on the Figure 1 running example."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2_example_scores(benchmark, record):
+    output = run_once(benchmark, table2.run)
+    record(output)
+    # The check-mark pattern is the paper's ground truth.
+    assert output.data[("s", "v2")][0] is True
+    assert output.data[("dp", "v2")][0] is False
+    assert output.data[("b", "v3")][0] is False
+    assert output.data[("bj", "v4")][0] is True

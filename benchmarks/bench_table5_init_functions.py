@@ -1,0 +1,13 @@
+"""Table 5: Pearson's coefficients across initialization functions."""
+
+from conftest import run_once
+
+from repro.experiments import table5
+
+
+def test_table5_init_functions(benchmark, record):
+    output = run_once(benchmark, table5.run, scale=0.6)
+    record(output)
+    # Paper: the framework is not sensitive to L -- high coefficients.
+    for coefficient in output.data.values():
+        assert coefficient > 0.8

@@ -1,0 +1,19 @@
+"""Table 7: top-5 venues similar to WWW per algorithm."""
+
+from conftest import run_once
+
+from repro.experiments import table7_8
+
+
+def test_table7_top5_venues(benchmark, record):
+    table7, _ = run_once(benchmark, table7_8.run, seed=0)
+    record(table7)
+    found = table7.data["duplicates_found"]
+    # Paper's headline: only FSimbj returns all duplicate records.
+    assert found["FSimbj"] == 3
+    for name, count in found.items():
+        if name != "FSimbj":
+            assert count < 3, name
+    # Every algorithm ranks WWW itself first.
+    for ranked in table7.data["top_lists"].values():
+        assert ranked[0] == "WWW"

@@ -1,0 +1,16 @@
+"""Table 8: average nDCG of the similarity measures."""
+
+from conftest import run_once
+
+from repro.experiments import table7_8
+
+
+def test_table8_ndcg(benchmark, record):
+    _, table8 = run_once(benchmark, table7_8.run, seed=0)
+    record(table8)
+    ndcg = table8.data["ndcg"]
+    # Paper: FSimbj outperforms every baseline and FSimb.
+    assert ndcg["FSimbj"] == max(ndcg.values())
+    assert ndcg["FSimbj"] > ndcg["FSimb"]
+    for value in ndcg.values():
+        assert 0.0 < value <= 1.0

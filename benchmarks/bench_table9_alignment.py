@@ -1,0 +1,20 @@
+"""Table 9: graph-alignment F1 on evolving graph versions."""
+
+from conftest import run_once
+
+from repro.experiments import table9
+
+
+def test_table9_alignment(benchmark, record):
+    output = run_once(benchmark, table9.run, seed=0)
+    record(output)
+    data = output.data
+    for pair in ("G1-G2", "G1-G3"):
+        # Paper: FSimb / FSimbj dominate every baseline.
+        fsim_best = max(data[(pair, "FSimb")], data[(pair, "FSimbj")])
+        for baseline in ("2-bisim", "4-bisim", "Olap", "GSANA", "FINAL", "EWS"):
+            assert fsim_best > data[(pair, baseline)], (pair, baseline)
+        # Exact bisimulation collapses to ~0 between different versions.
+        assert data[(pair, "bisim")] < 0.05
+        # Deeper k-bisimulation shatters (paper: 4-bisim < 2-bisim).
+        assert data[(pair, "4-bisim")] <= data[(pair, "2-bisim")]

@@ -1,0 +1,45 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+section (see DESIGN.md's per-experiment index).  Rendered outputs are
+printed and archived under ``benchmarks/results/`` so the paper-vs-
+measured comparison in EXPERIMENTS.md can be refreshed from a single
+run:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record(request):
+    """Print an ExperimentOutput and archive it under benchmarks/results."""
+
+    def _record(output):
+        text = output.render()
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = request.node.name.replace("[", "_").replace("]", "")
+        path = RESULTS_DIR / f"{slug}.txt"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n\n")
+        return output
+
+    # fresh file per test invocation
+    slug = request.node.name.replace("[", "_").replace("]", "")
+    stale = RESULTS_DIR / f"{slug}.txt"
+    if stale.exists():
+        stale.unlink()
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

@@ -1,0 +1,48 @@
+"""Approximate pattern matching on the Amazon-like co-purchase graph.
+
+Extracts a query from the data graph, injects label noise (a mislabelled
+product category), and compares exact strong simulation against the
+FSim seed-and-expand matcher -- the Table 6 story on one query.
+
+Run with:  python examples/pattern_matching_amazon.py
+"""
+
+from repro.apps.pattern_matching import (
+    FSimMatcher,
+    Scenario,
+    StrongSimulationMatcher,
+    TSpanMatcher,
+    f1_score,
+    generate_query,
+)
+from repro.datasets import load_dataset
+from repro.graph.stats import compute_stats
+from repro.simulation import Variant
+
+
+def main():
+    data = load_dataset("amazon")
+    print("Data graph:", compute_stats(data).as_row("amazon-like"))
+
+    for scenario in (Scenario.EXACT, Scenario.NOISY_L):
+        query = generate_query(data, size=7, scenario=scenario, seed=11)
+        print(f"\n--- scenario: {scenario.value} "
+              f"({query.graph.num_nodes} nodes, {query.graph.num_edges} edges)")
+        for matcher in (
+            StrongSimulationMatcher(),
+            TSpanMatcher(1),
+            FSimMatcher(Variant.S),
+            FSimMatcher(Variant.DP),
+        ):
+            match = matcher.match(query.graph, data)
+            score = f1_score(match, query.truth)
+            status = f"F1 = {score:.2f}" if match else "no result"
+            print(f"  {matcher.name:>12}: {status}")
+    print(
+        "\nUnder label noise the exact matchers lose the query entirely "
+        "while FSim still locates the region (strength S1 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

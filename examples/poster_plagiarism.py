@@ -1,0 +1,43 @@
+"""The paper's motivating example (Figure 2): poster plagiarism detection.
+
+A candidate poster P differs from an existing poster P1 only in the font
+and the font style.  Exact simulation says a flat "no" for every poster
+in the database; fractional simulation surfaces P1 as a near-miss.
+
+Run with:  python examples/poster_plagiarism.py
+"""
+
+from repro import Variant, fsim_matrix, maximal_simulation
+from repro.graph import figure2_data_posters, figure2_query_poster
+
+
+def main():
+    query = figure2_query_poster()
+    database = figure2_data_posters()
+
+    print("Candidate poster design elements:")
+    for element in query.out_neighbors("P"):
+        print(f"  - {element}")
+
+    relation = maximal_simulation(query, database, Variant.S)
+    print("\nExact simulation verdicts (the coarse yes-or-no semantics):")
+    for poster in ("P1", "P2", "P3"):
+        verdict = "simulated" if ("P", poster) in relation else "NOT simulated"
+        print(f"  P vs {poster}: {verdict}")
+
+    result = fsim_matrix(query, database, Variant.S, label_function="indicator")
+    print("\nFractional s-simulation scores (how *close* each poster is):")
+    ranked = sorted(
+        ("P1", "P2", "P3"), key=lambda p: -result.score("P", p)
+    )
+    for poster in ranked:
+        print(f"  FSims(P, {poster}) = {result.score('P', poster):.3f}")
+    print(
+        f"\n=> {ranked[0]} is flagged as the likely source "
+        "(highest partial simulation), exactly the case exact "
+        "simulation cannot catch."
+    )
+
+
+if __name__ == "__main__":
+    main()

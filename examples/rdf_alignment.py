@@ -1,0 +1,47 @@
+"""Aligning evolving graph versions (the Table 9 case study).
+
+Three versions of a bio-like graph drift apart through edge churn and
+node arrivals; node ids are the ground truth.  Exact bisimulation
+aligns nothing, k-bisimulation aligns coarsely, FSimb nails most of it.
+
+Run with:  python examples/rdf_alignment.py
+"""
+
+from repro.apps.alignment import (
+    EWSAligner,
+    ExactBisimulationAligner,
+    FSimAligner,
+    KBisimulationAligner,
+    alignment_f1,
+    generate_bio_versions,
+)
+from repro.graph.stats import compute_stats
+from repro.simulation import Variant
+
+
+def main():
+    graph1, graph2, graph3 = generate_bio_versions(seed=0)
+    for graph in (graph1, graph2, graph3):
+        print(compute_stats(graph).as_row(graph.name))
+
+    aligners = [
+        ExactBisimulationAligner(),
+        KBisimulationAligner(2),
+        EWSAligner(),
+        FSimAligner(Variant.B),
+        FSimAligner(Variant.BJ),
+    ]
+    print(f"\n{'aligner':>10} {'G1-G2':>8} {'G1-G3':>8}")
+    for aligner in aligners:
+        f1_12 = alignment_f1(aligner.align(graph1, graph2), graph1, graph2)
+        f1_13 = alignment_f1(aligner.align(graph1, graph3), graph1, graph3)
+        print(f"{aligner.name:>10} {100 * f1_12:>7.1f}% {100 * f1_13:>7.1f}%")
+
+    print(
+        "\nExact bisimulation scores 0% the moment the versions drift -- "
+        "fractional simulation keeps aligning (the paper's Table 9)."
+    )
+
+
+if __name__ == "__main__":
+    main()

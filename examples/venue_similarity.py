@@ -1,0 +1,54 @@
+"""Venue similarity on a DBIS-like bibliographic network (Tables 7-8).
+
+Finds the venues most similar to WWW with fractional bijective
+simulation, surfacing the duplicate records WWW1-3 that count-based
+meta-path measures miss.
+
+Run with:  python examples/venue_similarity.py
+"""
+
+from repro.apps.similarity import (
+    FSimVenueSimilarity,
+    PathSim,
+    generate_dbis,
+    rank_venues,
+    relevance,
+)
+from repro.apps.similarity.baselines import score_all_venues
+from repro.simulation import Variant
+
+
+def main():
+    graph, meta = generate_dbis(seed=0)
+    venues = meta.venues()
+    print(
+        f"DBIS-like network: {graph.num_nodes} nodes, {graph.num_edges} "
+        f"edges, {len(venues)} venue records "
+        f"(incl. duplicates {sorted(meta.duplicates)})"
+    )
+
+    pathsim = PathSim(graph)
+    fsim = FSimVenueSimilarity(graph, Variant.BJ)
+
+    print("\nTop-5 venues similar to WWW:")
+    print(f"{'rank':>4} {'PathSim':>12} {'FSimbj':>12}")
+    path_top = rank_venues(score_all_venues(pathsim, "WWW", venues), "WWW", 5)
+    fsim_top = rank_venues(fsim.scores_for("WWW", venues), "WWW", 5)
+    for rank, (a, b) in enumerate(zip(path_top, fsim_top), start=1):
+        print(f"{rank:>4} {a:>12} {b:>12}")
+
+    duplicates = [v for v in fsim_top if meta.is_duplicate_of(v, "WWW")]
+    print(
+        f"\nFSimbj surfaces {len(duplicates)} duplicate records of WWW "
+        f"({', '.join(duplicates)}); PathSim finds "
+        f"{sum(1 for v in path_top if meta.is_duplicate_of(v, 'WWW'))}."
+    )
+
+    print("\nRelevance-annotated FSimbj ranking (2=very, 1=some, 0=non):")
+    for venue in fsim_top:
+        print(f"  {venue:>10}: score={fsim.similarity('WWW', venue):.3f} "
+              f"relevance={relevance(meta, 'WWW', venue)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""FSimX: quantifying approximate simulation on graph data.
+
+This package reproduces "A Framework to Quantify Approximate Simulation on
+Graph Data" (ICDE 2021).  It provides:
+
+- :mod:`repro.graph` -- a node-labeled directed graph substrate with
+  generators, noise injection and IO;
+- :mod:`repro.simulation` -- exact simulation variants (simple,
+  degree-preserving, bisimulation, bijective), k-bisimulation and strong
+  simulation;
+- :mod:`repro.core` -- the FSimX fractional simulation framework
+  (Algorithm 1 of the paper) with the label-constrained mapping and
+  upper-bound-updating optimizations, plus SimRank / RoleSim / WL-test
+  configurations;
+- :mod:`repro.apps` -- the paper's three case-study applications
+  (pattern matching, node similarity, graph alignment);
+- :mod:`repro.datasets` -- scaled-down synthetic emulators of the paper's
+  evaluation datasets;
+- :mod:`repro.experiments` -- drivers regenerating every table and figure
+  of the evaluation section.
+"""
+
+from repro.graph import LabeledDigraph
+from repro.core import FSimConfig, FSimEngine, FSimResult, fsim, fsim_matrix
+from repro.simulation import Variant, maximal_simulation, simulates
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LabeledDigraph",
+    "FSimConfig",
+    "FSimEngine",
+    "FSimResult",
+    "fsim",
+    "fsim_matrix",
+    "Variant",
+    "maximal_simulation",
+    "simulates",
+    "__version__",
+]

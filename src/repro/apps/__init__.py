@@ -1,0 +1,9 @@
+"""The paper's three case-study applications (Section 5.4).
+
+- :mod:`repro.apps.pattern_matching` -- approximate subgraph pattern
+  matching (Table 6, Figure 10);
+- :mod:`repro.apps.similarity` -- node similarity measurement on a
+  DBIS-like bibliographic network (Tables 7 and 8);
+- :mod:`repro.apps.alignment` -- graph alignment across evolving graph
+  versions (Table 9).
+"""

@@ -1,0 +1,27 @@
+"""RDF-style graph alignment across evolving graph versions (Table 9)."""
+
+from repro.apps.alignment.evolving import evolve_graph, generate_bio_versions
+from repro.apps.alignment.aligners import (
+    FSimAligner,
+    KBisimulationAligner,
+    ExactBisimulationAligner,
+    OlapAligner,
+    FinalAligner,
+    EWSAligner,
+    GsanaAligner,
+)
+from repro.apps.alignment.evaluation import alignment_f1, evaluate_aligners
+
+__all__ = [
+    "evolve_graph",
+    "generate_bio_versions",
+    "FSimAligner",
+    "KBisimulationAligner",
+    "ExactBisimulationAligner",
+    "OlapAligner",
+    "FinalAligner",
+    "EWSAligner",
+    "GsanaAligner",
+    "alignment_f1",
+    "evaluate_aligners",
+]

@@ -1,0 +1,73 @@
+"""Alignment F1 (the Table 9 metric).
+
+The paper: ``F1 = sum_u 2 P_u R_u / (|V1| (P_u + R_u))`` where ``P_u`` is
+``1/|A_u|`` and ``R_u`` is 1 if ``A_u`` contains the ground-truth partner
+of ``u``, both 0 otherwise.  Ground truth here is node-identity across
+evolving versions; nodes of G1 absent from G2 are excluded (they have no
+true partner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.apps.alignment.aligners import Alignment
+from repro.graph.digraph import LabeledDigraph, Node
+
+
+def alignment_f1(
+    alignment: Alignment, graph1: LabeledDigraph, graph2: LabeledDigraph
+) -> float:
+    """Table 9's F1 against the node-identity ground truth."""
+    shared = [u for u in graph1.nodes() if graph2.has_node(u)]
+    if not shared:
+        return 0.0
+    total = 0.0
+    for u in shared:
+        candidates = alignment.get(u, [])
+        if candidates and u in candidates:
+            precision = 1.0 / len(candidates)
+            recall = 1.0
+            total += 2.0 * precision * recall / (precision + recall)
+    return total / len(shared)
+
+
+@dataclass(frozen=True)
+class AlignmentReport:
+    aligner: str
+    pair: str
+    f1: float
+
+    def cell(self) -> str:
+        return f"{100.0 * self.f1:.1f}"
+
+
+def evaluate_aligners(
+    aligners: List,
+    graph_pairs: Dict[str, tuple],
+) -> Dict[str, List[AlignmentReport]]:
+    """Run every aligner on every (G1, G2) pair; Table 9's grid."""
+    results: Dict[str, List[AlignmentReport]] = {}
+    for pair_name, (graph1, graph2) in graph_pairs.items():
+        results[pair_name] = [
+            AlignmentReport(
+                aligner=aligner.name,
+                pair=pair_name,
+                f1=alignment_f1(aligner.align(graph1, graph2), graph1, graph2),
+            )
+            for aligner in aligners
+        ]
+    return results
+
+
+def render_table9(results: Dict[str, List[AlignmentReport]]) -> str:
+    """Render the Table 9 layout (rows = graph pairs, columns = aligners)."""
+    pairs = list(results)
+    names = [report.aligner for report in results[pairs[0]]]
+    width = max(9, max(len(n) for n in names) + 2)
+    lines = ["Graphs".ljust(10) + "".join(name.rjust(width) for name in names)]
+    for pair_name in pairs:
+        cells = [report.cell().rjust(width) for report in results[pair_name]]
+        lines.append(pair_name.ljust(10) + "".join(cells))
+    return "\n".join(lines)

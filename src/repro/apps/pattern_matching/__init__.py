@@ -1,0 +1,35 @@
+"""Approximate subgraph pattern matching (Table 6 case study)."""
+
+from repro.apps.pattern_matching.queries import (
+    Query,
+    Scenario,
+    generate_query,
+    generate_workload,
+)
+from repro.apps.pattern_matching.matcher import FSimMatcher
+from repro.apps.pattern_matching.baselines import (
+    StrongSimulationMatcher,
+    TSpanMatcher,
+    NagaMatcher,
+    GFinderMatcher,
+)
+from repro.apps.pattern_matching.evaluation import (
+    f1_score,
+    evaluate_matcher,
+    evaluate_all,
+)
+
+__all__ = [
+    "Query",
+    "Scenario",
+    "generate_query",
+    "generate_workload",
+    "FSimMatcher",
+    "StrongSimulationMatcher",
+    "TSpanMatcher",
+    "NagaMatcher",
+    "GFinderMatcher",
+    "f1_score",
+    "evaluate_matcher",
+    "evaluate_all",
+]

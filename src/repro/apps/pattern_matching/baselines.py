@@ -1,0 +1,369 @@
+"""Reimplemented pattern-matching baselines.
+
+The paper compares against author-provided implementations of strong
+simulation [1], TSpan [31], NAGA [35] and G-Finder [36].  Those codes are
+not public, so each class below reimplements the *core idea* the paper's
+comparison hinges on:
+
+- :class:`StrongSimulationMatcher` -- exact simulation over balls; fails
+  entirely once the query is noised (the paper's point).
+- :class:`TSpanMatcher` -- edit-distance matching tolerating up to ``x``
+  mismatched (missing) edges but requiring exact labels, so it shines on
+  Noisy-E and returns nothing under label noise.
+- :class:`NagaMatcher` -- chi-square neighborhood-significance seeds with
+  greedy expansion.
+- :class:`GFinderMatcher` -- label+structure candidate filtering with
+  greedy lookup-and-extend; brittle to label noise, moderate otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.digraph import LabeledDigraph, Node
+from repro.simulation.strong import strong_simulation
+
+
+def _consistent_edges(
+    query: LabeledDigraph, data: LabeledDigraph, mapping: Dict[Node, Node]
+) -> int:
+    """Number of query edges preserved by ``mapping`` (match quality)."""
+    return sum(
+        1
+        for source, target in query.edges()
+        if source in mapping
+        and target in mapping
+        and data.has_edge(mapping[source], mapping[target])
+    )
+
+
+class StrongSimulationMatcher:
+    """Exact strong simulation [Ma et al.]; returns None when no ball matches.
+
+    The relation of a match ball may pair a query node with several data
+    nodes; the mapping is extracted greedily, preferring candidates that
+    are edge-consistent with the nodes already placed, and the best
+    mapping over the first ``max_balls`` match balls is reported.
+    """
+
+    name = "StrongSim"
+
+    def __init__(self, max_balls: int = 10):
+        self.max_balls = max_balls
+
+    def match(
+        self, query: LabeledDigraph, data: LabeledDigraph
+    ) -> Optional[Dict[Node, Node]]:
+        matches = strong_simulation(query, data, max_matches=self.max_balls)
+        if not matches:
+            return None
+        best_mapping: Optional[Dict[Node, Node]] = None
+        best_consistency = -1
+        for match in matches:
+            mapping = self._extract_mapping(query, data, match.relation)
+            consistency = _consistent_edges(query, data, mapping)
+            if consistency > best_consistency:
+                best_mapping, best_consistency = mapping, consistency
+        return best_mapping or None
+
+    @staticmethod
+    def _extract_mapping(
+        query: LabeledDigraph, data: LabeledDigraph, relation
+    ) -> Dict[Node, Node]:
+        mapping: Dict[Node, Node] = {}
+        used: Set[Node] = set()
+        # Place the most-constrained query nodes (smallest image) first.
+        order = sorted(
+            query.nodes(), key=lambda q: (len(relation.image(q)), repr(q))
+        )
+        for query_node in order:
+            image = sorted(relation.image(query_node), key=repr)
+            best, best_score = None, (-1, False)
+            for candidate in image:
+                consistency = sum(
+                    1
+                    for other, placed in mapping.items()
+                    if (
+                        query.has_edge(query_node, other)
+                        and data.has_edge(candidate, placed)
+                    )
+                    or (
+                        query.has_edge(other, query_node)
+                        and data.has_edge(placed, candidate)
+                    )
+                )
+                score = (consistency, candidate not in used)
+                if score > best_score:
+                    best, best_score = candidate, score
+            if best is not None:
+                mapping[query_node] = best
+                used.add(best)
+        return mapping
+
+
+class TSpanMatcher:
+    """Edit-distance subgraph matching with up to ``max_missing`` edges.
+
+    Backtracking search assigning each query node to a distinct data node
+    of the *same label*; query edges may be unmatched up to the budget
+    (TSpan "favors the case with missing edges rather than nodes").  A
+    step budget bounds worst-case behaviour.
+    """
+
+    def __init__(self, max_missing: int = 1, step_budget: int = 50_000):
+        self.max_missing = max_missing
+        self.step_budget = step_budget
+        self.name = f"TSpan-{max_missing}"
+
+    def match(
+        self, query: LabeledDigraph, data: LabeledDigraph
+    ) -> Optional[Dict[Node, Node]]:
+        order = self._connected_order(query)
+        candidates = {
+            q: list(data.nodes_with_label(query.label(q))) for q in order
+        }
+        if any(not candidates[q] for q in order):
+            return None
+        # Iterative deepening over the edit budget: a match with fewer
+        # mismatched edges is always preferred (TSpan enumerates all
+        # matches up to the threshold; the best one wins).
+        for budget in range(self.max_missing + 1):
+            self._steps = 0
+            assignment: Dict[Node, Node] = {}
+            used: Set[Node] = set()
+            if self._search(
+                query, data, order, 0, assignment, used, 0, candidates, budget
+            ):
+                return dict(assignment)
+        return None
+
+    def _connected_order(self, query: LabeledDigraph) -> List[Node]:
+        """Order query nodes so each (after the first) touches a prior one."""
+        nodes = list(query.nodes())
+        if not nodes:
+            return []
+        order = [max(nodes, key=lambda n: query.out_degree(n) + query.in_degree(n))]
+        seen = {order[0]}
+        while len(order) < len(nodes):
+            extension = next(
+                (
+                    n
+                    for n in nodes
+                    if n not in seen
+                    and any(p in seen for p in query.neighbors(n))
+                ),
+                None,
+            )
+            if extension is None:  # disconnected remainder
+                extension = next(n for n in nodes if n not in seen)
+            order.append(extension)
+            seen.add(extension)
+        return order
+
+    def _search(
+        self,
+        query: LabeledDigraph,
+        data: LabeledDigraph,
+        order: List[Node],
+        index: int,
+        assignment: Dict[Node, Node],
+        used: Set[Node],
+        missing: int,
+        candidates: Dict[Node, List[Node]],
+        budget: int,
+    ) -> bool:
+        if index == len(order):
+            return True
+        self._steps += 1
+        if self._steps > self.step_budget:
+            return False
+        query_node = order[index]
+        for data_node in candidates[query_node]:
+            if data_node in used:
+                continue
+            extra = self._missing_edges(query, data, query_node, data_node, assignment)
+            if missing + extra > budget:
+                continue
+            assignment[query_node] = data_node
+            used.add(data_node)
+            if self._search(
+                query, data, order, index + 1, assignment, used,
+                missing + extra, candidates, budget,
+            ):
+                return True
+            del assignment[query_node]
+            used.discard(data_node)
+        return False
+
+    @staticmethod
+    def _missing_edges(
+        query: LabeledDigraph,
+        data: LabeledDigraph,
+        query_node: Node,
+        data_node: Node,
+        assignment: Dict[Node, Node],
+    ) -> int:
+        count = 0
+        for other, image in assignment.items():
+            if query.has_edge(query_node, other) and not data.has_edge(
+                data_node, image
+            ):
+                count += 1
+            if query.has_edge(other, query_node) and not data.has_edge(
+                image, data_node
+            ):
+                count += 1
+        return count
+
+
+class NagaMatcher:
+    """Chi-square neighborhood-significance matcher (NAGA-like).
+
+    For each same-label pair the statistic compares the observed number of
+    query-neighbor labels present around the data node against the
+    expectation under the data graph's label distribution; seeds expand
+    greedily over the query structure.
+    """
+
+    name = "NAGA"
+
+    def match(
+        self, query: LabeledDigraph, data: LabeledDigraph
+    ) -> Optional[Dict[Node, Node]]:
+        histogram = data.label_histogram()
+        total = max(1, data.num_nodes)
+        scores: Dict[Tuple[Node, Node], float] = {}
+        for query_node in query.nodes():
+            for data_node in data.nodes_with_label(query.label(query_node)):
+                scores[(query_node, data_node)] = self._chi_square(
+                    query, data, query_node, data_node, histogram, total
+                )
+        if not scores:
+            return None
+        ordered = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))
+        (seed_query, seed_data), _ = ordered[0]
+        mapping = {seed_query: seed_data}
+        used = {seed_data}
+        frontier = [seed_query]
+        visited = {seed_query}
+        while frontier:
+            current = frontier.pop(0)
+            anchor = mapping.get(current)
+            for neighbor in query.neighbors(current):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                frontier.append(neighbor)
+                options: List[Node] = []
+                if anchor is not None:
+                    if query.has_edge(current, neighbor):
+                        options.extend(data.out_neighbors(anchor))
+                    if query.has_edge(neighbor, current):
+                        options.extend(data.in_neighbors(anchor))
+                best, best_score = None, -1.0
+                for option in options:
+                    if option in used:
+                        continue
+                    score = scores.get((neighbor, option))
+                    if score is not None and score > best_score:
+                        best, best_score = option, score
+                if best is not None:
+                    mapping[neighbor] = best
+                    used.add(best)
+        return mapping
+
+    @staticmethod
+    def _chi_square(
+        query: LabeledDigraph,
+        data: LabeledDigraph,
+        query_node: Node,
+        data_node: Node,
+        histogram: Dict,
+        total: int,
+    ) -> float:
+        statistic = 0.0
+        data_neighbor_labels = {
+            data.label(n) for n in data.neighbors(data_node)
+        }
+        degree = max(1, len(data.neighbors(data_node)))
+        for neighbor in query.neighbors(query_node):
+            label = query.label(neighbor)
+            expected = degree * histogram.get(label, 0) / total
+            observed = 1.0 if label in data_neighbor_labels else 0.0
+            if expected > 0:
+                statistic += (observed - expected) ** 2 / expected
+            elif observed:
+                statistic += 1.0
+        return statistic
+
+
+class GFinderMatcher:
+    """Candidate-filter + lookup-and-extend matcher (G-Finder-like).
+
+    Candidates must share the label and satisfy a degree lower bound.
+    An exact edge-consistent assignment is searched first (G-Finder is
+    exact on clean queries); when none exists within the step budget, a
+    greedy connectivity-maximising extension produces a partial match.
+    The label filter makes it brittle to label noise, as in the paper.
+    """
+
+    name = "G-Finder"
+
+    def __init__(self, step_budget: int = 50_000):
+        self.step_budget = step_budget
+        self._exact_engine = TSpanMatcher(max_missing=0, step_budget=step_budget)
+
+    def match(
+        self, query: LabeledDigraph, data: LabeledDigraph
+    ) -> Optional[Dict[Node, Node]]:
+        exact = self._exact_engine.match(query, data)
+        if exact is not None:
+            return exact
+        candidates: Dict[Node, List[Node]] = {}
+        for query_node in query.nodes():
+            options = [
+                data_node
+                for data_node in data.nodes_with_label(query.label(query_node))
+                if len(data.neighbors(data_node)) + 1
+                >= len(query.neighbors(query_node))
+            ]
+            candidates[query_node] = options
+        start = min(
+            query.nodes(),
+            key=lambda q: (len(candidates[q]) if candidates[q] else 10**9, repr(q)),
+        )
+        if not candidates[start]:
+            return None
+        mapping: Dict[Node, Node] = {start: candidates[start][0]}
+        used = {candidates[start][0]}
+        frontier = [start]
+        visited = {start}
+        while frontier:
+            current = frontier.pop(0)
+            for neighbor in query.neighbors(current):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                frontier.append(neighbor)
+                best, best_score = None, -1.0
+                for option in candidates.get(neighbor, ()):
+                    if option in used:
+                        continue
+                    connectivity = sum(
+                        1
+                        for other, image in mapping.items()
+                        if (
+                            query.has_edge(neighbor, other)
+                            and data.has_edge(option, image)
+                        )
+                        or (
+                            query.has_edge(other, neighbor)
+                            and data.has_edge(image, option)
+                        )
+                    )
+                    if connectivity > best_score:
+                        best, best_score = option, connectivity
+                if best is not None and best_score > 0:
+                    mapping[neighbor] = best
+                    used.add(best)
+        return mapping

@@ -1,0 +1,107 @@
+"""F1 evaluation of pattern matchers (Table 6).
+
+The paper's metric for a query Q with ground truth and returned top-1
+match phi: ``P = |phi_t| / |phi|``, ``R = |phi_t| / |Q|`` and
+``F1 = 2 P R / (P + R)``, where phi_t is the set of correctly discovered
+node matches and |.| counts nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.apps.pattern_matching.queries import Query, Scenario, generate_workload
+from repro.graph.digraph import LabeledDigraph, Node
+
+
+def f1_score(match: Optional[Dict[Node, Node]], truth: Dict[Node, Node]) -> float:
+    """The paper's F1 for one query; an empty/missing match scores 0."""
+    if not match:
+        return 0.0
+    correct = sum(1 for q, v in match.items() if truth.get(q) == v)
+    if correct == 0:
+        return 0.0
+    precision = correct / len(match)
+    recall = correct / len(truth)
+    return 2.0 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class MatcherReport:
+    """Average F1 of one matcher over a workload."""
+
+    matcher: str
+    scenario: Scenario
+    avg_f1: float
+    num_queries: int
+    num_failed: int  #: queries where the matcher returned nothing
+
+    @property
+    def no_results(self) -> bool:
+        """True when the matcher failed on every query (the paper's "-")."""
+        return self.num_failed == self.num_queries
+
+    def cell(self) -> str:
+        """Table-6-style cell: percentage, or "-" for total failure."""
+        if self.no_results:
+            return "-"
+        return f"{100.0 * self.avg_f1:.1f}"
+
+
+def evaluate_matcher(
+    matcher, queries: Iterable[Query], data: LabeledDigraph
+) -> MatcherReport:
+    """Average the paper's F1 for ``matcher`` over ``queries``."""
+    queries = list(queries)
+    total = 0.0
+    failed = 0
+    scenario = queries[0].scenario if queries else Scenario.EXACT
+    for query in queries:
+        match = matcher.match(query.graph, data)
+        if not match:
+            failed += 1
+        total += f1_score(match, query.truth)
+    count = max(1, len(queries))
+    return MatcherReport(
+        matcher=matcher.name,
+        scenario=scenario,
+        avg_f1=total / count,
+        num_queries=len(queries),
+        num_failed=failed,
+    )
+
+
+def evaluate_all(
+    data: LabeledDigraph,
+    matchers: List,
+    scenarios: Iterable[Scenario] = tuple(Scenario),
+    num_queries: int = 100,
+    min_size: int = 3,
+    max_size: int = 13,
+    seed: int = 0,
+) -> Dict[Scenario, List[MatcherReport]]:
+    """Run every matcher on every scenario's workload (Table 6)."""
+    results: Dict[Scenario, List[MatcherReport]] = {}
+    for scenario in scenarios:
+        workload = generate_workload(
+            data, scenario, num_queries=num_queries,
+            min_size=min_size, max_size=max_size, seed=seed,
+        )
+        results[scenario] = [
+            evaluate_matcher(matcher, workload, data) for matcher in matchers
+        ]
+    return results
+
+
+def render_table6(results: Dict[Scenario, List[MatcherReport]]) -> str:
+    """Render the Table 6 layout (rows = scenarios, columns = matchers)."""
+    scenarios = list(results)
+    matchers = [report.matcher for report in results[scenarios[0]]]
+    width = max(10, max(len(m) for m in matchers) + 2)
+    header = "Scenario".ljust(12) + "".join(m.rjust(width) for m in matchers)
+    lines = [header]
+    for scenario in scenarios:
+        cells = [report.cell().rjust(width) for report in results[scenario]]
+        lines.append(scenario.value.ljust(12) + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Query workload generation for the pattern-matching case study.
+
+Section 5.4: "queries are generated randomly by extracting subgraphs from
+the data graph and introducing structural noises (randomly insert edges,
+up to 33%) or label noises (randomly modify node labels, up to 33%)",
+across four scenarios: Exact, Noisy-E, Noisy-L and Combined.  Because
+queries are extracted from the data graph, the extraction mapping is the
+ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import LabeledDigraph, Node
+from repro.graph.subgraph import extract_connected_subgraph
+
+#: The paper's noise budget ("up to 33%").
+NOISE_BUDGET = 0.33
+
+
+class Scenario(str, enum.Enum):
+    """The four query scenarios of Table 6."""
+
+    EXACT = "exact"
+    NOISY_E = "noisy-e"  #: structural noise only (random edge insertions)
+    NOISY_L = "noisy-l"  #: label noise only (random label modifications)
+    COMBINED = "combined"  #: both kinds of noise
+
+    @property
+    def has_edge_noise(self) -> bool:
+        return self in (Scenario.NOISY_E, Scenario.COMBINED)
+
+    @property
+    def has_label_noise(self) -> bool:
+        return self in (Scenario.NOISY_L, Scenario.COMBINED)
+
+
+@dataclass(frozen=True)
+class Query:
+    """One evaluation query: the (noised) pattern plus its ground truth.
+
+    ``truth`` maps each query node to the data-graph node it was extracted
+    from (query nodes are renamed ``q0, q1, ...``).
+    """
+
+    graph: LabeledDigraph
+    truth: Dict[Node, Node]
+    scenario: Scenario
+    seed: int
+
+
+def generate_query(
+    data: LabeledDigraph,
+    size: int,
+    scenario: Scenario,
+    seed: int,
+) -> Query:
+    """Extract one connected query of ``size`` nodes and apply the noise
+    required by ``scenario``."""
+    scenario = Scenario(scenario)
+    rng = random.Random(seed)
+    extracted = extract_connected_subgraph(data, size, seed=seed)
+    originals = list(extracted.nodes())
+    renames = {original: f"q{i}" for i, original in enumerate(originals)}
+    query = LabeledDigraph(f"query-{scenario.value}-{seed}")
+    for original in originals:
+        query.add_node(renames[original], extracted.label(original))
+    for source, target in extracted.edges():
+        query.add_edge(renames[source], renames[target])
+    truth = {renames[original]: original for original in originals}
+
+    if scenario.has_edge_noise:
+        _perturb_random_edges(query, rng)
+    if scenario.has_label_noise:
+        _modify_random_labels(query, list(data.labels()), rng)
+    return Query(graph=query, truth=truth, scenario=scenario, seed=seed)
+
+
+def _perturb_random_edges(query: LabeledDigraph, rng: random.Random) -> None:
+    """Perturb up to NOISE_BUDGET * |E| edges in place.
+
+    Each operation is a coin flip between inserting a random new edge and
+    deleting an existing one.  Deletions are only applied when they keep
+    the query weakly connected (a disconnected pattern is not a valid
+    query).  The insert/delete mix is what gives the asymmetric picture of
+    Table 6: deletions are harmless to edit-distance matchers (extra data
+    edges are free) and to simulation (fewer constraints), insertions
+    break exact simulation.
+    """
+    from repro.graph.subgraph import undirected_distances
+
+    budget = max(1, int(round(NOISE_BUDGET * query.num_edges)))
+    count = rng.randint(1, budget)
+    nodes = list(query.nodes())
+    for _ in range(count):
+        if rng.random() < 0.5:
+            for _attempt in range(50):
+                source, target = rng.choice(nodes), rng.choice(nodes)
+                if source != target and query.add_edge_if_absent(source, target):
+                    break
+        else:
+            edges = list(query.edges())
+            rng.shuffle(edges)
+            for source, target in edges:
+                query.remove_edge(source, target)
+                still_connected = len(
+                    undirected_distances(query, nodes[0])
+                ) == len(nodes)
+                if still_connected:
+                    break
+                query.add_edge(source, target)
+
+
+def _modify_random_labels(
+    query: LabeledDigraph, alphabet: List[Hashable], rng: random.Random
+) -> None:
+    """Modify up to NOISE_BUDGET * |V| node labels in place."""
+    budget = max(1, int(round(NOISE_BUDGET * query.num_nodes)))
+    count = rng.randint(1, budget)
+    victims = rng.sample(list(query.nodes()), min(count, query.num_nodes))
+    for node in victims:
+        current = query.label(node)
+        options = [label for label in alphabet if label != current]
+        if options:
+            query.set_label(node, rng.choice(options))
+
+
+def generate_workload(
+    data: LabeledDigraph,
+    scenario: Scenario,
+    num_queries: int = 100,
+    min_size: int = 3,
+    max_size: int = 13,
+    seed: int = 0,
+) -> List[Query]:
+    """The paper's workload: ``num_queries`` random queries of sizes 3-13."""
+    if min_size > max_size:
+        raise GraphError(f"min_size {min_size} exceeds max_size {max_size}")
+    rng = random.Random(seed)
+    queries = []
+    for index in range(num_queries):
+        size = rng.randint(min_size, min(max_size, data.num_nodes))
+        queries.append(
+            generate_query(data, size, scenario, seed=seed * 100_003 + index)
+        )
+    return queries

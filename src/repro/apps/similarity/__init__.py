@@ -1,0 +1,34 @@
+"""Node similarity measurement on a bibliographic network (Tables 7-8)."""
+
+from repro.apps.similarity.dbis import DBISMetadata, generate_dbis
+from repro.apps.similarity.baselines import (
+    PathSim,
+    JoinSim,
+    PCRW,
+    NSimGram,
+    venue_author_matrix,
+)
+from repro.apps.similarity.fsim_venues import FSimVenueSimilarity
+from repro.apps.similarity.evaluation import (
+    ndcg_at_k,
+    rank_venues,
+    relevance,
+    evaluate_table7,
+    evaluate_table8,
+)
+
+__all__ = [
+    "DBISMetadata",
+    "generate_dbis",
+    "PathSim",
+    "JoinSim",
+    "PCRW",
+    "NSimGram",
+    "venue_author_matrix",
+    "FSimVenueSimilarity",
+    "ndcg_at_k",
+    "rank_venues",
+    "relevance",
+    "evaluate_table7",
+    "evaluate_table8",
+]

@@ -1,0 +1,184 @@
+"""A DBIS-like heterogeneous bibliographic network generator.
+
+The paper's DBIS dataset (60,694 authors / 72,902 papers / 464 venues)
+labels venues "V", papers "P" and authors by their names, and notably
+contains *duplicate venue records*: WWW1, WWW2 and WWW3 "all represent
+the WWW venue but with different node ids".  Table 7's headline result is
+that only FSimbj surfaces all three duplicates among WWW's top-5.
+
+This generator plants that structure at laptop scale:
+
+- research areas, each with a pool of authors; every venue draws most of
+  its papers' authors from its own *core community* (a venue-specific
+  subset of the area pool), so same-area venues overlap partially;
+- papers point at their venue (``paper -> venue``) and are written by
+  authors (``author -> paper``); tier-1 venues publish more papers;
+- duplicate records of one subject venue model *older editions* of the
+  same venue: they have their own paper sets of comparable size, written
+  largely by a legacy author cohort with only light overlap with the
+  current community.
+
+That combination is what separates the measures the way Table 7 does:
+count-based meta-path measures (PathSim / PCRW) score the duplicates low
+(little exact author overlap), while the bijective variant recognises the
+matching venue shape (paper-set size and per-paper structure) and ranks
+all duplicates high; plain bisimulation's non-injective mapping is
+attracted to large well-covered venues instead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.graph.digraph import LabeledDigraph
+
+VENUE_LABEL = "V"
+PAPER_LABEL = "P"
+
+#: Stylised research areas with recognisable venue names; the first half
+#: of each area's venues are tier 1.
+_AREA_VENUES: Dict[str, List[str]] = {
+    "web": ["WWW", "CIKM", "WSDM", "ICWE", "WISE", "Hypertext"],
+    "db": ["SIGMOD", "VLDB", "ICDE", "EDBT", "DASFAA", "CIDR"],
+    "dm": ["SIGKDD", "ICDM", "SDM", "PAKDD", "ECMLPKDD", "DSAA"],
+    "ir": ["SIGIR", "ECIR", "ICTIR", "CHIIR", "TREC", "NTCIR"],
+    "ml": ["NeurIPS", "ICML", "AISTATS", "UAI", "COLT", "ACML"],
+}
+
+#: Per-area publication volumes (tier-1 papers, tier-2 papers): research
+#: communities differ in size, so a venue's paper count carries area and
+#: tier information -- the venue *shape* that the bijective variant
+#: exploits.  All ten size classes are pairwise distinct and none equals
+#: the subject group's size (``subject_papers``, default 12).
+_AREA_SIZES: Dict[str, Tuple[int, int]] = {
+    "web": (6, 3), "db": (8, 4), "dm": (10, 5), "ir": (14, 7), "ml": (18, 9),
+}
+
+
+@dataclass
+class DBISMetadata:
+    """Ground truth accompanying the generated network."""
+
+    venue_area: Dict[str, str] = field(default_factory=dict)
+    venue_tier: Dict[str, int] = field(default_factory=dict)
+    #: duplicate node -> canonical venue (e.g. "WWW1" -> "WWW")
+    duplicates: Dict[str, str] = field(default_factory=dict)
+    subject_venues: List[str] = field(default_factory=list)
+
+    def venues(self) -> List[str]:
+        return list(self.venue_area)
+
+    def is_duplicate_of(self, candidate: str, venue: str) -> bool:
+        return self.duplicates.get(candidate) == venue
+
+
+def generate_dbis(
+    seed: int = 0,
+    subject_papers: int = 12,
+    authors_per_area: int = 10,
+    core_size: int = 5,
+    core_rate: float = 0.9,
+    cross_area_rate: float = 0.05,
+    duplicate_venue: str = "WWW",
+    num_duplicates: int = 3,
+    legacy_pool_size: int = 12,
+    legacy_overlap: int = 3,
+) -> Tuple[LabeledDigraph, DBISMetadata]:
+    """Build the network; returns (graph, metadata).
+
+    Edges: ``paper -> venue`` (published in) and ``author -> paper``
+    (wrote).  Venue labels are all ``"V"``, papers ``"P"``, authors carry
+    their unique name as label (the paper's convention).
+
+    ``duplicate_venue`` (the canonical record) and its duplicates each
+    publish ``subject_papers`` papers -- a venue *shape* distinct from
+    every regular venue.  Duplicate papers are authored by a dedicated
+    legacy cohort of ``legacy_pool_size`` authors including
+    ``legacy_overlap`` members of the canonical venue's core, so exact
+    author overlap with the canonical record stays below the overlap of
+    ordinary same-area venues.
+    """
+    rng = random.Random(seed)
+    graph = LabeledDigraph("dbis")
+    meta = DBISMetadata()
+
+    area_pools: Dict[str, List[str]] = {}
+    for area in _AREA_VENUES:
+        pool = [f"{area}_author{k}" for k in range(authors_per_area)]
+        for name in pool:
+            graph.add_node(name, name)
+        area_pools[area] = pool
+
+    venue_core: Dict[str, List[str]] = {}
+    for area, venues in _AREA_VENUES.items():
+        for index, venue in enumerate(venues):
+            tier = 1 if index < len(venues) // 2 else 2
+            graph.add_node(venue, VENUE_LABEL)
+            meta.venue_area[venue] = area
+            meta.venue_tier[venue] = tier
+            venue_core[venue] = rng.sample(area_pools[area], core_size)
+            if venue == duplicate_venue:
+                count = subject_papers
+            else:
+                count = _AREA_SIZES[area][0 if tier == 1 else 1]
+            for paper_index in range(count):
+                _add_paper(
+                    graph, rng, f"p_{venue}_{paper_index}", venue,
+                    venue_core[venue], area_pools, area,
+                    core_rate, cross_area_rate,
+                )
+
+    canonical_area = meta.venue_area[duplicate_venue]
+    legacy_pool = [f"{duplicate_venue}_legacy{k}" for k in range(legacy_pool_size)]
+    for name in legacy_pool:
+        graph.add_node(name, name)
+    legacy_core = legacy_pool + venue_core[duplicate_venue][:legacy_overlap]
+    for dup_index in range(1, num_duplicates + 1):
+        dup = f"{duplicate_venue}{dup_index}"
+        graph.add_node(dup, VENUE_LABEL)
+        meta.venue_area[dup] = canonical_area
+        meta.venue_tier[dup] = meta.venue_tier[duplicate_venue]
+        meta.duplicates[dup] = duplicate_venue
+        for paper_index in range(subject_papers):
+            _add_paper(
+                graph, rng, f"p_{dup}_{paper_index}", dup,
+                legacy_core, area_pools, canonical_area,
+                core_rate=1.0, cross_area_rate=0.0,
+            )
+
+    meta.subject_venues = [venues[0] for venues in _AREA_VENUES.values()] + [
+        venues[1] for venues in _AREA_VENUES.values()
+    ] + [venues[2] for venues in _AREA_VENUES.values()]
+    return graph, meta
+
+
+def _add_paper(
+    graph: LabeledDigraph,
+    rng: random.Random,
+    paper: str,
+    venue: str,
+    core_pool: List[str],
+    area_pools: Dict[str, List[str]],
+    area: str,
+    core_rate: float,
+    cross_area_rate: float,
+) -> None:
+    graph.add_node(paper, PAPER_LABEL)
+    graph.add_edge(paper, venue)
+    num_authors = rng.randint(1, 3)
+    chosen = set()
+    guard = 0
+    while len(chosen) < num_authors and guard < 50:
+        guard += 1
+        roll = rng.random()
+        if roll < cross_area_rate:
+            other_area = rng.choice([a for a in area_pools if a != area])
+            chosen.add(rng.choice(area_pools[other_area]))
+        elif roll < cross_area_rate + core_rate:
+            chosen.add(rng.choice(core_pool))
+        else:
+            chosen.add(rng.choice(area_pools[area]))
+    for author in sorted(chosen):
+        graph.add_edge(author, paper)

@@ -1,0 +1,141 @@
+"""Ranking evaluation for the similarity case study (Tables 7 and 8).
+
+Relevance labelling follows the paper: "we labeled each returned venue
+with a relevance score: 0 for non-relevant, 1 for some-relevant, and 2
+for very-relevant, considering both the research area and venue ranking".
+With our generator's ground truth that becomes: same area and same tier
+(or a duplicate record) -> 2; same area -> 1; different area -> 0.
+Ranking quality is nDCG over the top-k returned venues.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.apps.similarity.dbis import DBISMetadata
+from repro.graph.digraph import Node
+
+
+def relevance(meta: DBISMetadata, subject: str, candidate: str) -> int:
+    """0 / 1 / 2 relevance of ``candidate`` for ``subject``."""
+    if candidate == subject or meta.is_duplicate_of(candidate, subject):
+        return 2
+    subject_canonical = meta.duplicates.get(subject, subject)
+    candidate_canonical = meta.duplicates.get(candidate, candidate)
+    if candidate_canonical == subject_canonical:
+        return 2
+    if meta.venue_area.get(candidate) != meta.venue_area.get(subject):
+        return 0
+    if meta.venue_tier.get(candidate) == meta.venue_tier.get(subject):
+        return 2
+    return 1
+
+
+def rank_venues(
+    scores: Dict[Node, float], subject: Node, k: int, include_self: bool = True
+) -> List[Node]:
+    """Top-k venues by score; the subject itself ranks first when included
+    (Table 7 lists WWW itself at rank 1)."""
+    candidates = [
+        (venue, value)
+        for venue, value in scores.items()
+        if include_self or venue != subject
+    ]
+    candidates.sort(key=lambda item: (-item[1], item[0] != subject, repr(item[0])))
+    return [venue for venue, _ in candidates[:k]]
+
+
+def ndcg_at_k(relevances: Sequence[int], k: int) -> float:
+    """Normalized discounted cumulative gain of a ranked relevance list."""
+    gains = list(relevances[:k])
+    if not gains:
+        return 0.0
+    dcg = sum(
+        (2 ** gain - 1) / math.log2(position + 2)
+        for position, gain in enumerate(gains)
+    )
+    ideal = sorted(relevances, reverse=True)[:k]
+    idcg = sum(
+        (2 ** gain - 1) / math.log2(position + 2)
+        for position, gain in enumerate(ideal)
+    )
+    return dcg / idcg if idcg > 0 else 0.0
+
+
+def evaluate_table7(
+    algorithms: Dict[str, Dict[Node, float]],
+    subject: str,
+    k: int = 5,
+) -> Dict[str, List[Node]]:
+    """Top-k lists per algorithm for one subject venue (Table 7)."""
+    return {
+        name: rank_venues(scores, subject, k) for name, scores in algorithms.items()
+    }
+
+
+def evaluate_table8(
+    scorers: Dict[str, "callable"],
+    meta: DBISMetadata,
+    venues: Sequence[str],
+    k: int = 15,
+) -> Dict[str, float]:
+    """Average nDCG@k over the subject venues (Table 8).
+
+    ``scorers[name]`` must be a callable ``subject -> {venue: score}``.
+    """
+    results: Dict[str, float] = {}
+    for name, scorer in scorers.items():
+        total = 0.0
+        for subject in meta.subject_venues:
+            scores = scorer(subject)
+            ranked = rank_venues(scores, subject, k, include_self=False)
+            gains = [relevance(meta, subject, venue) for venue in ranked]
+            # the ideal ranking considers every candidate venue
+            all_gains = sorted(
+                (relevance(meta, subject, venue) for venue in venues
+                 if venue != subject),
+                reverse=True,
+            )
+            dcg = sum(
+                (2 ** g - 1) / math.log2(i + 2) for i, g in enumerate(gains)
+            )
+            idcg = sum(
+                (2 ** g - 1) / math.log2(i + 2)
+                for i, g in enumerate(all_gains[:k])
+            )
+            total += dcg / idcg if idcg > 0 else 0.0
+        results[name] = total / max(1, len(meta.subject_venues))
+    return results
+
+
+def render_table7(top_lists: Dict[str, List[Node]]) -> str:
+    """Render the Table 7 layout (rows = ranks, columns = algorithms)."""
+    names = list(top_lists)
+    depth = max(len(ranked) for ranked in top_lists.values())
+    width = max(12, max(len(str(n)) for n in names) + 2)
+    lines = ["Rank".ljust(6) + "".join(name.rjust(width) for name in names)]
+    for rank in range(depth):
+        cells = [
+            str(top_lists[name][rank]) if rank < len(top_lists[name]) else "-"
+            for name in names
+        ]
+        lines.append(str(rank + 1).ljust(6) + "".join(c.rjust(width) for c in cells))
+    return "\n".join(lines)
+
+
+def render_table8(ndcg: Dict[str, float]) -> str:
+    """Render the Table 8 layout (one nDCG per algorithm)."""
+    names = list(ndcg)
+    width = max(10, max(len(n) for n in names) + 2)
+    header = "".join(name.rjust(width) for name in names)
+    values = "".join(f"{ndcg[name]:.3f}".rjust(width) for name in names)
+    return header + "\n" + values
+
+
+def pair_table(
+    scores: Dict[Tuple[Node, Node], float], limit: int = 10
+) -> str:  # pragma: no cover - debugging helper
+    """Pretty-print the highest scoring pairs (debugging aid)."""
+    ordered = sorted(scores.items(), key=lambda item: -item[1])[:limit]
+    return "\n".join(f"{pair}: {value:.3f}" for pair, value in ordered)

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Print the emulated dataset statistics (the Table 4 analogue).
+``fsim GRAPH1 GRAPH2``
+    Compute fractional chi-simulation scores between two graphs stored
+    in the v/e text format of :mod:`repro.graph.io` and print the top
+    pairs.
+``experiment NAME``
+    Run one experiment driver (table2, table5, table6, table7, table8,
+    table9, fig4a, fig4b, fig5, fig6a, fig6b, fig7, fig8, fig9a, fig9b,
+    efficiency) and print its rendered output.
+``examples``
+    List the runnable example scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.simulation.base import Variant
+
+
+def _cmd_datasets(args) -> int:
+    from repro.datasets import dataset_table
+
+    print(dataset_table(scale=args.scale, seed=args.seed))
+    return 0
+
+
+def _cmd_fsim(args) -> int:
+    from repro.core.api import fsim_matrix
+    from repro.graph.io import load_graph
+
+    graph1 = load_graph(args.graph1)
+    graph2 = load_graph(args.graph2)
+    result = fsim_matrix(
+        graph1,
+        graph2,
+        Variant(args.variant),
+        theta=args.theta,
+        label_function=args.label_function,
+        workers=args.workers,
+    )
+    print(
+        f"# FSim{args.variant}: {graph1.num_nodes}x{graph2.num_nodes} nodes, "
+        f"{result.num_candidates} candidate pairs, "
+        f"{result.iterations} iterations, converged={result.converged}"
+    )
+    ranked = sorted(result.scores.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    for (u, v), score in ranked[: args.top]:
+        print(f"{u}\t{v}\t{score:.6f}")
+    return 0
+
+
+_EXPERIMENTS = {
+    "table2": ("repro.experiments.table2", "run"),
+    "table5": ("repro.experiments.table5", "run"),
+    "table6": ("repro.experiments.table6", "run"),
+    "table9": ("repro.experiments.table9", "run"),
+    "fig4a": ("repro.experiments.fig4", "run_theta"),
+    "fig4b": ("repro.experiments.fig4", "run_wstar"),
+    "fig5": ("repro.experiments.fig5", "run"),
+    "fig6a": ("repro.experiments.fig6", "run_beta"),
+    "fig6b": ("repro.experiments.fig6", "run_alpha"),
+    "fig7": ("repro.experiments.fig7", "run"),
+    "fig8": ("repro.experiments.fig8", "run"),
+    "fig9a": ("repro.experiments.fig9", "run_workers"),
+    "fig9b": ("repro.experiments.fig9", "run_density"),
+    "efficiency": ("repro.experiments.case_efficiency", "run"),
+    # table7/table8 share one driver returning two outputs
+    "table7": ("repro.experiments.table7_8", "run"),
+    "table8": ("repro.experiments.table7_8", "run"),
+}
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    module_name, function_name = _EXPERIMENTS[args.name]
+    module = importlib.import_module(module_name)
+    function = getattr(module, function_name)
+    kwargs = {}
+    if args.name not in ("table2", "table7", "table8", "table9"):
+        kwargs["scale"] = args.scale
+    output = function(**kwargs)
+    if isinstance(output, tuple):
+        if args.name == "table7":
+            output = (output[0],)
+        elif args.name == "table8":
+            output = (output[1],)
+        for item in output:
+            print(item.render())
+            print()
+    else:
+        print(output.render())
+    return 0
+
+
+def _cmd_examples(_args) -> int:
+    import pathlib
+
+    examples_dir = pathlib.Path(__file__).resolve().parents[2] / "examples"
+    if not examples_dir.is_dir():
+        print("examples/ directory not found next to the package source")
+        return 1
+    for script in sorted(examples_dir.glob("*.py")):
+        first_doc_line = ""
+        for line in script.read_text(encoding="utf-8").splitlines():
+            stripped = line.strip().strip('"')
+            if stripped:
+                first_doc_line = stripped
+                break
+        print(f"{script.name:32} {first_doc_line}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FSimX: quantify approximate simulation on graph data",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    datasets = commands.add_parser("datasets", help="emulated dataset statistics")
+    datasets.add_argument("--scale", type=float, default=1.0)
+    datasets.add_argument("--seed", type=int, default=0)
+    datasets.set_defaults(handler=_cmd_datasets)
+
+    fsim = commands.add_parser("fsim", help="score two graphs from files")
+    fsim.add_argument("graph1")
+    fsim.add_argument("graph2")
+    fsim.add_argument(
+        "--variant", choices=[v.value for v in Variant if v is not Variant.CROSS],
+        default="s",
+    )
+    fsim.add_argument("--theta", type=float, default=0.0)
+    fsim.add_argument("--label-function", default="jaro_winkler")
+    fsim.add_argument("--workers", type=int, default=1)
+    fsim.add_argument("--top", type=int, default=20, help="pairs to print")
+    fsim.set_defaults(handler=_cmd_fsim)
+
+    experiment = commands.add_parser("experiment", help="run one paper experiment")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--scale", type=float, default=0.6)
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    examples = commands.add_parser("examples", help="list example scripts")
+    examples.set_defaults(handler=_cmd_examples)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The FSimX fractional chi-simulation framework (Sections 3 and 4)."""
+
+from repro.core.config import FSimConfig
+from repro.core.engine import FSimEngine, FSimResult
+from repro.core.api import fsim, fsim_matrix, fsim_single_graph
+from repro.core.operators import neighbor_term, term_upper_bound, omega
+from repro.core.simrank import simrank_reference, simrank_via_framework
+from repro.core.rolesim import rolesim_reference, rolesim_via_framework
+from repro.core.wl import wl_colors, wl_equivalent_pairs, wl_test_pair
+from repro.core.topk import TopKResult, TopKSearch, top_k_similar
+
+__all__ = [
+    "FSimConfig",
+    "FSimEngine",
+    "FSimResult",
+    "fsim",
+    "fsim_matrix",
+    "fsim_single_graph",
+    "neighbor_term",
+    "term_upper_bound",
+    "omega",
+    "simrank_reference",
+    "simrank_via_framework",
+    "rolesim_reference",
+    "rolesim_via_framework",
+    "wl_colors",
+    "wl_equivalent_pairs",
+    "wl_test_pair",
+    "TopKResult",
+    "TopKSearch",
+    "top_k_similar",
+]

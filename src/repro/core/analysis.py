@@ -1,0 +1,118 @@
+"""Post-hoc analysis of FSim score maps.
+
+Utilities a downstream user needs after an all-pairs run: distribution
+summaries, the exactly-simulated sub-relation, mutual-simulation
+equivalence classes, and score-map comparisons (the building block of
+the paper's sensitivity studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.core.engine import FSimResult, is_one
+from repro.experiments.common import pearson
+
+Node = Hashable
+Pair = Tuple[Node, Node]
+
+
+@dataclass(frozen=True)
+class ScoreSummary:
+    """Distribution summary of one FSim run."""
+
+    num_pairs: int
+    num_exact: int  #: pairs certified as exactly chi-simulated (P2)
+    minimum: float
+    maximum: float
+    mean: float
+    quartiles: Tuple[float, float, float]
+
+    def render(self) -> str:
+        q1, q2, q3 = self.quartiles
+        return (
+            f"{self.num_pairs} pairs, {self.num_exact} exact, "
+            f"min={self.minimum:.3f} q1={q1:.3f} median={q2:.3f} "
+            f"q3={q3:.3f} max={self.maximum:.3f} mean={self.mean:.3f}"
+        )
+
+
+def summarize(result: FSimResult) -> ScoreSummary:
+    """Distribution summary of the maintained scores."""
+    values = sorted(result.scores.values())
+    if not values:
+        return ScoreSummary(0, 0, 0.0, 0.0, 0.0, (0.0, 0.0, 0.0))
+
+    def quantile(fraction: float) -> float:
+        index = min(len(values) - 1, int(fraction * (len(values) - 1)))
+        return values[index]
+
+    return ScoreSummary(
+        num_pairs=len(values),
+        num_exact=sum(1 for value in values if is_one(value)),
+        minimum=values[0],
+        maximum=values[-1],
+        mean=sum(values) / len(values),
+        quartiles=(quantile(0.25), quantile(0.5), quantile(0.75)),
+    )
+
+
+def exact_pairs(result: FSimResult) -> Set[Pair]:
+    """The pairs whose score certifies exact chi-simulation (P2)."""
+    return {pair for pair, value in result.scores.items() if is_one(value)}
+
+
+def mutual_classes(result: FSimResult) -> Dict[Node, int]:
+    """Equivalence classes of mutual exact simulation (G1 = G2 runs).
+
+    Two nodes share a class when each exactly chi-simulates the other --
+    the fractional analogue of
+    :func:`repro.simulation.maximal.simulation_preorder_classes`.
+    """
+    ones = exact_pairs(result)
+    nodes: List[Node] = sorted({u for u, _ in ones} | {v for _, v in ones},
+                               key=repr)
+    class_of: Dict[Node, int] = {}
+    representatives: List[Node] = []
+    for node in nodes:
+        for class_id, representative in enumerate(representatives):
+            if (node, representative) in ones and (representative, node) in ones:
+                class_of[node] = class_id
+                break
+        else:
+            class_of[node] = len(representatives)
+            representatives.append(node)
+    return class_of
+
+
+def compare(result_a: FSimResult, result_b: FSimResult) -> Dict[str, float]:
+    """Agreement metrics between two runs over their shared pairs.
+
+    Returns Pearson correlation, maximum absolute difference and mean
+    absolute difference -- the quantities behind Tables 5 / Figures 4-6.
+    """
+    pairs = sorted(set(result_a.scores) & set(result_b.scores), key=repr)
+    if not pairs:
+        return {"pearson": 1.0, "max_abs_diff": 0.0, "mean_abs_diff": 0.0}
+    xs = [result_a.scores[pair] for pair in pairs]
+    ys = [result_b.scores[pair] for pair in pairs]
+    diffs = [abs(x - y) for x, y in zip(xs, ys)]
+    return {
+        "pearson": pearson(xs, ys),
+        "max_abs_diff": max(diffs),
+        "mean_abs_diff": sum(diffs) / len(diffs),
+    }
+
+
+def top_pairs(result: FSimResult, k: int = 10, exclude_self: bool = True):
+    """The k best-scoring pairs (optionally skipping the diagonal)."""
+    ranked = sorted(result.scores.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    out = []
+    for (u, v), value in ranked:
+        if exclude_self and u == v:
+            continue
+        out.append(((u, v), value))
+        if len(out) == k:
+            break
+    return out

@@ -1,0 +1,70 @@
+"""Convenience entry points for the FSimX framework."""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.core.config import FSimConfig
+from repro.core.engine import FSimEngine, FSimResult
+from repro.graph.digraph import LabeledDigraph
+from repro.simulation.base import Variant
+
+
+def fsim_matrix(
+    graph1: LabeledDigraph,
+    graph2: LabeledDigraph,
+    variant: Variant = Variant.S,
+    config: Optional[FSimConfig] = None,
+    workers: int = 1,
+    **overrides,
+) -> FSimResult:
+    """Compute FSim_chi scores for all candidate pairs across two graphs.
+
+    ``overrides`` are forwarded to :class:`FSimConfig` (e.g. ``theta=1.0``,
+    ``use_upper_bound=True``).  An explicit ``config`` wins over both the
+    ``variant`` argument and the overrides.
+
+    Examples
+    --------
+    >>> from repro.graph import figure1_graphs
+    >>> pattern, data = figure1_graphs()
+    >>> result = fsim_matrix(pattern, data, variant="bj",
+    ...                      label_function="indicator")
+    >>> result.is_simulated("u", "v4")
+    True
+    """
+    if config is None:
+        config = FSimConfig(variant=Variant(variant), **overrides)
+    return FSimEngine(graph1, graph2, config).run(workers=workers)
+
+
+def fsim(
+    graph1: LabeledDigraph,
+    u: Hashable,
+    graph2: LabeledDigraph,
+    v: Hashable,
+    variant: Variant = Variant.S,
+    config: Optional[FSimConfig] = None,
+    **overrides,
+) -> float:
+    """FSim_chi(u, v) for a single pair.
+
+    The framework is inherently all-pairs (neighbor scores feed each
+    other), so this computes the full matrix and projects -- prefer
+    :func:`fsim_matrix` when querying many pairs.
+    """
+    result = fsim_matrix(graph1, graph2, variant, config, **overrides)
+    return result.score(u, v)
+
+
+def fsim_single_graph(
+    graph: LabeledDigraph,
+    variant: Variant = Variant.B,
+    config: Optional[FSimConfig] = None,
+    workers: int = 1,
+    **overrides,
+) -> FSimResult:
+    """All-pairs FSim scores from a graph to itself (the paper's
+    single-graph experiments compute "the FSim scores from the graph to
+    itself")."""
+    return fsim_matrix(graph, graph, variant, config, workers, **overrides)

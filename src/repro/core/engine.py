@@ -1,0 +1,353 @@
+"""The iterative FSimX computation (Algorithm 1).
+
+The engine precomputes, per graph pair:
+
+- the label-similarity cache (label pairs, not node pairs),
+- the theta-feasibility predicate (Remark 2),
+- the candidate pair store H_c (pairs with L >= theta; optionally further
+  pruned to pairs whose Equation-6 upper bound exceeds beta),
+
+then iterates Equation 3 until the maximum score change drops below
+epsilon or the Corollary-1 iteration budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.config import FSimConfig
+from repro.core.operators import neighbor_term, term_upper_bound
+from repro.exceptions import ConfigError
+from repro.graph.digraph import LabeledDigraph
+
+Node = Hashable
+Pair = Tuple[Node, Node]
+
+#: Scores within this tolerance of 1.0 are treated as exactly 1
+#: (simulation definiteness in floating point).
+ONE_TOLERANCE = 1e-9
+
+
+def is_one(score: float) -> bool:
+    """True when ``score`` equals 1 up to floating-point tolerance."""
+    return score >= 1.0 - ONE_TOLERANCE
+
+
+@dataclass
+class FSimResult:
+    """Outcome of one FSimX computation.
+
+    ``scores`` holds the maintained candidate pairs only; unmaintained
+    pairs are answered by the pruning fallback (alpha times the upper
+    bound when upper-bound updating is on, otherwise 0).
+    """
+
+    scores: Dict[Pair, float]
+    config: FSimConfig
+    iterations: int
+    converged: bool
+    deltas: List[float] = field(default_factory=list)
+    num_candidates: int = 0
+    fallback: Optional[Callable[[Node, Node], float]] = None
+
+    def score(self, u: Node, v: Node) -> float:
+        """FSim(u, v), falling back to the pruned-pair approximation."""
+        value = self.scores.get((u, v))
+        if value is not None:
+            return value
+        if self.fallback is not None:
+            return self.fallback(u, v)
+        return 0.0
+
+    def is_simulated(self, u: Node, v: Node) -> bool:
+        """Whether the score certifies exact chi-simulation (P2)."""
+        return is_one(self.score(u, v))
+
+    def top_k(self, u: Node, k: int = 10) -> List[Tuple[Node, float]]:
+        """The k best partners of ``u`` among maintained pairs."""
+        partners = [
+            (v, value) for (x, v), value in self.scores.items() if x == u
+        ]
+        partners.sort(key=lambda item: (-item[1], repr(item[0])))
+        return partners[:k]
+
+    def best_partner(self, u: Node) -> Optional[Tuple[Node, float]]:
+        """The best partner of ``u`` or None when no pair is maintained."""
+        top = self.top_k(u, 1)
+        return top[0] if top else None
+
+    def argmax_partners(self, u: Node, tolerance: float = 1e-9) -> List[Node]:
+        """All partners tying for the maximum score of ``u`` (alignment)."""
+        top = self.top_k(u, len(self.scores))
+        if not top:
+            return []
+        best = top[0][1]
+        return [v for v, value in top if value >= best - tolerance]
+
+    def as_dict(self) -> Dict[Pair, float]:
+        """A copy of the maintained score map."""
+        return dict(self.scores)
+
+    def score_vector(self, pairs: Sequence[Pair]) -> List[float]:
+        """Scores for the given pairs (fallback applied) -- for correlations."""
+        return [self.score(u, v) for u, v in pairs]
+
+    def as_matrix(
+        self,
+        nodes1: Sequence[Node],
+        nodes2: Sequence[Node],
+    ):
+        """Dense numpy score matrix with rows ``nodes1``, columns ``nodes2``.
+
+        Unmaintained pairs are answered by the pruning fallback, so the
+        matrix is total.  Handy for plugging FSim scores into numpy/scipy
+        pipelines (clustering, assignment, embedding).
+        """
+        import numpy as np
+
+        matrix = np.empty((len(nodes1), len(nodes2)))
+        for i, u in enumerate(nodes1):
+            for j, v in enumerate(nodes2):
+                matrix[i, j] = self.score(u, v)
+        return matrix
+
+    def save_scores(self, path) -> None:
+        """Persist the maintained scores as a TSV of ``u, v, score``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for (u, v), value in sorted(self.scores.items(), key=repr):
+                handle.write(f"{u}\t{v}\t{value:.12f}\n")
+
+
+def load_scores(path) -> Dict[Pair, float]:
+    """Read a score TSV written by :meth:`FSimResult.save_scores`.
+
+    Node ids are restored as strings (relabel as needed).
+    """
+    scores: Dict[Pair, float] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            u, v, value = line.rstrip("\n").split("\t")
+            scores[(u, v)] = float(value)
+    return scores
+
+
+class FSimEngine:
+    """Computes fractional chi-simulation scores between two graphs.
+
+    Parameters
+    ----------
+    graph1, graph2:
+        The compared graphs (``graph1 is graph2`` is allowed and means
+        all-pairs self-similarity, as in the paper's single-graph
+        experiments).
+    config:
+        A :class:`~repro.core.config.FSimConfig`.
+    """
+
+    def __init__(
+        self,
+        graph1: LabeledDigraph,
+        graph2: LabeledDigraph,
+        config: Optional[FSimConfig] = None,
+    ):
+        self.graph1 = graph1
+        self.graph2 = graph2
+        self.config = config or FSimConfig()
+        self._label_fn = self.config.resolved_label_function
+        self._label1 = {node: graph1.label(node) for node in graph1.nodes()}
+        self._label2 = {node: graph2.label(node) for node in graph2.nodes()}
+        self._out1 = {node: graph1.out_neighbors(node) for node in graph1.nodes()}
+        self._out2 = {node: graph2.out_neighbors(node) for node in graph2.nodes()}
+        self._in1 = {node: graph1.in_neighbors(node) for node in graph1.nodes()}
+        self._in2 = {node: graph2.in_neighbors(node) for node in graph2.nodes()}
+        self._lsim_cache: Dict[Tuple[Hashable, Hashable], float] = {}
+        self._ub_cache: Dict[Pair, float] = {}
+        self._candidates: Optional[List[Pair]] = None
+
+    # ------------------------------------------------------------------
+    # label similarity and feasibility
+    # ------------------------------------------------------------------
+    def label_similarity(self, u: Node, v: Node) -> float:
+        """L(u, v): similarity of the node labels (cached per label pair)."""
+        key = (self._label1[u], self._label2[v])
+        value = self._lsim_cache.get(key)
+        if value is None:
+            value = float(self._label_fn(key[0], key[1]))
+            self._lsim_cache[key] = value
+        return value
+
+    def feasible(self, x: Node, y: Node) -> bool:
+        """The theta label constraint of Remark 2 for a G1/G2 node pair."""
+        return self.label_similarity(x, y) >= self.config.theta
+
+    # ------------------------------------------------------------------
+    # upper bound (Equation 6)
+    # ------------------------------------------------------------------
+    def upper_bound(self, u: Node, v: Node) -> float:
+        """Iteration-independent upper bound on FSim(u, v)."""
+        cached = self._ub_cache.get((u, v))
+        if cached is not None:
+            return cached
+        cfg = self.config
+        out_bound = term_upper_bound(
+            cfg.variant, self._out1[u], self._out2[v], self.feasible, cfg.normalizer
+        )
+        in_bound = term_upper_bound(
+            cfg.variant, self._in1[u], self._in2[v], self.feasible, cfg.normalizer
+        )
+        bound = (
+            cfg.w_out * out_bound
+            + cfg.w_in * in_bound
+            + cfg.w_label * self.label_similarity(u, v)
+        )
+        bound = min(bound, 1.0)
+        self._ub_cache[(u, v)] = bound
+        return bound
+
+    # ------------------------------------------------------------------
+    # candidate generation (Line 1 of Algorithm 1)
+    # ------------------------------------------------------------------
+    def candidates(self) -> List[Pair]:
+        """Maintained node pairs: L >= theta, optional ub > beta pruning."""
+        if self._candidates is not None:
+            return self._candidates
+        cfg = self.config
+        pairs: List[Pair] = []
+        nodes2 = self.graph2.nodes()
+        # Group G2 nodes by label so the theta test runs per label pair.
+        by_label2: Dict[Hashable, List[Node]] = {}
+        for v in nodes2:
+            by_label2.setdefault(self._label2[v], []).append(v)
+        label_feasible: Dict[Tuple[Hashable, Hashable], bool] = {}
+        for u in self.graph1.nodes():
+            label_u = self._label1[u]
+            for label_v, group in by_label2.items():
+                key = (label_u, label_v)
+                ok = label_feasible.get(key)
+                if ok is None:
+                    ok = float(self._label_fn(label_u, label_v)) >= cfg.theta
+                    label_feasible[key] = ok
+                if not ok:
+                    continue
+                for v in group:
+                    pairs.append((u, v))
+        if cfg.candidate_filter is not None:
+            pairs = [pair for pair in pairs if cfg.candidate_filter(*pair)]
+        if cfg.use_upper_bound:
+            pairs = [pair for pair in pairs if self.upper_bound(*pair) > cfg.beta]
+        self._candidates = pairs
+        return pairs
+
+    def initial_scores(self) -> Dict[Pair, float]:
+        """FSim^0: L(u, v) by default, or the configured init function."""
+        init = self.config.init_function
+        scores: Dict[Pair, float] = {}
+        for u, v in self.candidates():
+            if init is not None:
+                scores[(u, v)] = float(init(u, v))
+            else:
+                scores[(u, v)] = self.label_similarity(u, v)
+        if self.config.pinned_pairs:
+            for pair, value in self.config.pinned_pairs.items():
+                scores[pair] = float(value)
+        return scores
+
+    # ------------------------------------------------------------------
+    # the iterative update (Lines 3-10 of Algorithm 1)
+    # ------------------------------------------------------------------
+    def _fallback_score(self, x: Node, y: Node) -> float:
+        """Score of an unmaintained pair: alpha * upper bound (Section 3.4)."""
+        cfg = self.config
+        if cfg.use_upper_bound and cfg.alpha > 0.0:
+            return cfg.alpha * self.upper_bound(x, y)
+        return 0.0
+
+    def update_pair(self, u: Node, v: Node, prev: Dict[Pair, float]) -> float:
+        """One Equation-3 update of FSim(u, v) from the previous scores."""
+        cfg = self.config
+
+        def weight(x: Node, y: Node) -> float:
+            value = prev.get((x, y))
+            if value is None:
+                return self._fallback_score(x, y)
+            return value
+
+        out_term = 0.0
+        if cfg.w_out > 0.0:
+            out_term = neighbor_term(
+                cfg.variant,
+                self._out1[u],
+                self._out2[v],
+                weight,
+                self.feasible,
+                cfg.matching_mode,
+                cfg.normalizer,
+            )
+        in_term = 0.0
+        if cfg.w_in > 0.0:
+            in_term = neighbor_term(
+                cfg.variant,
+                self._in1[u],
+                self._in2[v],
+                weight,
+                self.feasible,
+                cfg.matching_mode,
+                cfg.normalizer,
+            )
+        score = (
+            cfg.w_out * out_term
+            + cfg.w_in * in_term
+            + cfg.w_label * self.label_similarity(u, v)
+        )
+        return min(max(score, 0.0), 1.0)
+
+    def run(self, workers: int = 1) -> FSimResult:
+        """Run Algorithm 1 to convergence and return the scores.
+
+        ``workers > 1`` distributes each iteration's pair updates over a
+        process pool (see :mod:`repro.core.parallel`).
+        """
+        if workers < 1:
+            raise ConfigError(f"workers must be positive, got {workers}")
+        if workers > 1:
+            from repro.core.parallel import run_parallel
+
+            return run_parallel(self, workers)
+        cfg = self.config
+        pinned = cfg.pinned_pairs or {}
+        candidates = self.candidates()
+        prev = self.initial_scores()
+        deltas: List[float] = []
+        converged = False
+        iterations = 0
+        for _ in range(cfg.iteration_budget()):
+            iterations += 1
+            current: Dict[Pair, float] = {}
+            delta = 0.0
+            for pair in candidates:
+                if pair in pinned:
+                    current[pair] = pinned[pair]
+                    continue
+                value = self.update_pair(pair[0], pair[1], prev)
+                current[pair] = value
+                change = abs(value - prev[pair])
+                if change > delta:
+                    delta = change
+            for pair, value in pinned.items():
+                current[pair] = value
+            prev = current
+            deltas.append(delta)
+            if delta < cfg.epsilon:
+                converged = True
+                break
+        return FSimResult(
+            scores=prev,
+            config=cfg,
+            iterations=iterations,
+            converged=converged,
+            deltas=deltas,
+            num_candidates=len(candidates),
+            fallback=self._fallback_score,
+        )

@@ -1,0 +1,267 @@
+"""Mapping and normalizing operators (Equation 2 / Table 3).
+
+Each chi-simulation variant configures the framework through two
+operators over node sets ``S1`` (from G1) and ``S2`` (from G2):
+
+=========  =============================================  ==================
+variant    M_chi (maximum mapping)                        Omega_chi
+=========  =============================================  ==================
+s          every x in S1 -> best feasible y in S2         |S1|
+dp         max-weight injective map S1 -> S2              |S1|
+b          both directions of the s mapping               |S1| + |S2|
+bj         max-weight injective map (smaller -> larger)   sqrt(|S1| |S2|)
+cross      all feasible pairs (SimRank configuration)     |S1| * |S2|
+=========  =============================================  ==================
+
+Empty-set conventions (chosen so simulation definiteness P2 holds; the
+paper leaves them implicit):
+
+- s, dp: S1 empty -> 1 (conditions hold vacuously); S1 nonempty and S2
+  empty -> 0.
+- b, bj: both empty -> 1; exactly one empty -> 0.
+- cross: any empty -> 0 (SimRank's semantics).
+
+The *label constraint* of Remark 2 enters through the ``feasible(x, y)``
+predicate: only feasible pairs may be mapped.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, List, Sequence, Tuple
+
+from repro.simulation.base import Variant
+from repro.simulation.matching import (
+    exact_max_weight_matching,
+    greedy_max_weight_matching,
+    hopcroft_karp,
+)
+
+Node = Hashable
+WeightFn = Callable[[Node, Node], float]
+FeasibleFn = Callable[[Node, Node], bool]
+
+#: Pseudo-variant for the SimRank configuration of Section 4.3.
+CROSS = "cross"
+
+
+def omega(
+    variant,
+    size1: int,
+    size2: int,
+    normalizer: str = "table3",
+) -> float:
+    """The normalizing operator Omega_chi(S1, S2) of Table 3."""
+    if variant == CROSS:
+        return float(size1 * size2)
+    variant = Variant(variant)
+    if variant is Variant.B:
+        return float(size1 + size2)
+    if variant is Variant.BJ:
+        if normalizer == "max":
+            return float(max(size1, size2))
+        return math.sqrt(size1 * size2)
+    if variant is Variant.DP and normalizer == "max":
+        return float(max(size1, size2))
+    # s and dp normalize by |S1|.
+    return float(size1)
+
+
+def _empty_convention(variant, size1: int, size2: int):
+    """Return the term value for empty sets, or ``None`` when both nonempty."""
+    if variant == CROSS:
+        if size1 == 0 or size2 == 0:
+            return 0.0
+        return None
+    variant = Variant(variant)
+    if variant in (Variant.S, Variant.DP):
+        if size1 == 0:
+            return 1.0
+        if size2 == 0:
+            return 0.0
+        return None
+    # b and bj
+    if size1 == 0 and size2 == 0:
+        return 1.0
+    if size1 == 0 or size2 == 0:
+        return 0.0
+    return None
+
+
+def _best_match_sum(
+    sources: Sequence[Node],
+    targets: Sequence[Node],
+    weight: WeightFn,
+    feasible: FeasibleFn,
+    flip: bool = False,
+) -> float:
+    """Sum over sources of the best feasible weight (the s-style mapping).
+
+    ``flip`` swaps the argument order of ``weight``/``feasible`` so the
+    same loop serves the backward direction of the b operator.
+    """
+    total = 0.0
+    for x in sources:
+        best = 0.0
+        found = False
+        for y in targets:
+            a, b = (y, x) if flip else (x, y)
+            if not feasible(a, b):
+                continue
+            found = True
+            w = weight(a, b)
+            if w > best:
+                best = w
+        if found:
+            total += best
+    return total
+
+
+def _matching_sum(
+    s1: Sequence[Node],
+    s2: Sequence[Node],
+    weight: WeightFn,
+    feasible: FeasibleFn,
+    matching_mode: str,
+) -> float:
+    """Max-weight injective mapping sum (the dp/bj operator).
+
+    Zero-weight pairs cannot change the sum, so only positive feasible
+    weights enter the matching problem.
+    """
+    weights: Dict[Tuple[Node, Node], float] = {}
+    for a in s1:
+        for b in s2:
+            if feasible(a, b):
+                w = weight(a, b)
+                if w > 0.0:
+                    weights[(a, b)] = w
+    if not weights:
+        return 0.0
+    if matching_mode == "exact":
+        matching = exact_max_weight_matching(weights)
+    else:
+        matching = greedy_max_weight_matching(weights)
+    return sum(weights.get(pair, 0.0) for pair in matching.items())
+
+
+def neighbor_term(
+    variant,
+    s1: Sequence[Node],
+    s2: Sequence[Node],
+    weight: WeightFn,
+    feasible: FeasibleFn,
+    matching_mode: str = "greedy",
+    normalizer: str = "table3",
+) -> float:
+    """FSim_chi(S1, S2) of Equation 2: mapped score sum over Omega.
+
+    ``weight(a, b)`` must return the previous-iteration FSim score of the
+    pair (a from the G1 side, b from the G2 side); ``feasible`` is the
+    theta label constraint.
+    """
+    convention = _empty_convention(variant, len(s1), len(s2))
+    if convention is not None:
+        return convention
+    if variant == CROSS:
+        total = sum(
+            weight(a, b) for a in s1 for b in s2 if feasible(a, b)
+        )
+        return min(total / (len(s1) * len(s2)), 1.0)
+    variant = Variant(variant)
+    if variant is Variant.S:
+        total = _best_match_sum(s1, s2, weight, feasible)
+    elif variant is Variant.B:
+        total = _best_match_sum(s1, s2, weight, feasible) + _best_match_sum(
+            s2, s1, weight, feasible, flip=True
+        )
+    else:  # dp / bj share the injective matching; only Omega differs.
+        total = _matching_sum(s1, s2, weight, feasible, matching_mode)
+    denominator = omega(variant, len(s1), len(s2), normalizer)
+    return min(total / denominator, 1.0)
+
+
+def mapping_pairs(
+    variant,
+    s1: Sequence[Node],
+    s2: Sequence[Node],
+    weight: WeightFn,
+    feasible: FeasibleFn,
+    matching_mode: str = "greedy",
+) -> List[Tuple[Node, Node]]:
+    """The node pairs chosen by the mapping operator M_chi.
+
+    Used by match generation (seed expansion in the pattern-matching case
+    study) to recover which neighbor supported which.  Pairs are returned
+    as (G1-side, G2-side).
+    """
+    if variant == CROSS:
+        return [(a, b) for a in s1 for b in s2 if feasible(a, b)]
+    variant = Variant(variant)
+    pairs: List[Tuple[Node, Node]] = []
+    if variant in (Variant.S, Variant.B):
+        for a in s1:
+            options = [(weight(a, b), repr(b), b) for b in s2 if feasible(a, b)]
+            if options:
+                pairs.append((a, max(options)[2]))
+        if variant is Variant.B:
+            for b in s2:
+                options = [(weight(a, b), repr(a), a) for a in s1 if feasible(a, b)]
+                if options:
+                    pairs.append((max(options)[2], b))
+        return pairs
+    weights = {
+        (a, b): weight(a, b)
+        for a in s1
+        for b in s2
+        if feasible(a, b) and weight(a, b) > 0.0
+    }
+    if matching_mode == "exact":
+        matching = exact_max_weight_matching(weights)
+    else:
+        matching = greedy_max_weight_matching(weights)
+    return sorted(matching.items(), key=repr)
+
+
+def mapping_size(
+    variant,
+    s1: Sequence[Node],
+    s2: Sequence[Node],
+    feasible: FeasibleFn,
+) -> int:
+    """|M_chi(S1, S2)| under the label constraint alone (Equation 6).
+
+    This is the *maximum possible* number of mapped pairs, which by
+    condition C1 is iteration independent.
+    """
+    if variant == CROSS:
+        return sum(1 for a in s1 for b in s2 if feasible(a, b))
+    variant = Variant(variant)
+    if variant is Variant.S:
+        return sum(1 for a in s1 if any(feasible(a, b) for b in s2))
+    if variant is Variant.B:
+        forward = sum(1 for a in s1 if any(feasible(a, b) for b in s2))
+        backward = sum(1 for b in s2 if any(feasible(a, b) for a in s1))
+        return forward + backward
+    # dp / bj: maximum-cardinality matching on the feasibility graph.
+    index2 = {b: j for j, b in enumerate(s2)}
+    adjacency = [
+        [index2[b] for b in s2 if feasible(a, b)] for a in s1
+    ]
+    size, _, _ = hopcroft_karp(len(s1), len(s2), adjacency)
+    return size
+
+
+def term_upper_bound(
+    variant,
+    s1: Sequence[Node],
+    s2: Sequence[Node],
+    feasible: FeasibleFn,
+    normalizer: str = "table3",
+) -> float:
+    """Upper bound of one neighbor term: |M_chi| / Omega_chi (Equation 6)."""
+    convention = _empty_convention(variant, len(s1), len(s2))
+    if convention is not None:
+        return convention
+    size = mapping_size(variant, s1, s2, feasible)
+    return min(size / omega(variant, len(s1), len(s2), normalizer), 1.0)

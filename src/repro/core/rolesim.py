@@ -1,0 +1,114 @@
+"""RoleSim, both as a textbook reference and as an FSimX configuration.
+
+Section 4.3 of the paper: RoleSim operates on an undirected unlabeled
+graph; the adaptation lets out-neighbors hold the undirected neighbors.
+With initial scores ``min(d(u), d(v)) / max(d(u), d(v))``, ``w- = 0``,
+``L = 1`` and the bijective mapping operator, the framework computes
+axiomatic role similarity.
+
+RoleSim's own normalizer is ``max(|S1|, |S2|)`` whereas Table 3's
+``Omega_bj`` is ``sqrt(|S1| |S2|)``; both are supported through the
+``normalizer`` option and the reference/framework pair is validated per
+normalizer in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from repro.core.config import FSimConfig
+from repro.core.engine import FSimEngine, FSimResult
+from repro.graph.digraph import LabeledDigraph
+from repro.simulation.base import Variant
+from repro.simulation.matching import greedy_max_weight_matching
+
+Pair = Tuple[Hashable, Hashable]
+
+
+def _degree_ratio(degree_u: int, degree_v: int) -> float:
+    if degree_u == 0 and degree_v == 0:
+        return 1.0
+    if degree_u == 0 or degree_v == 0:
+        return 0.0
+    return min(degree_u, degree_v) / max(degree_u, degree_v)
+
+
+def rolesim_reference(
+    graph: LabeledDigraph,
+    beta: float = 0.15,
+    epsilon: float = 1e-4,
+    max_iterations: int = 100,
+    normalizer: str = "max",
+) -> Dict[Pair, float]:
+    """Plain iterative RoleSim (Jin et al. 2011) with greedy matching.
+
+    ``normalizer`` selects max(d, d) (RoleSim's choice) or the geometric
+    mean sqrt(d * d) (Table 3's Omega_bj).
+    """
+    undirected = graph.to_undirected()
+    nodes = undirected.nodes()
+    neighbors = {node: undirected.out_neighbors(node) for node in nodes}
+    scores: Dict[Pair, float] = {
+        (u, v): _degree_ratio(len(neighbors[u]), len(neighbors[v]))
+        for u in nodes
+        for v in nodes
+    }
+    for _ in range(max_iterations):
+        updated: Dict[Pair, float] = {}
+        delta = 0.0
+        for u in nodes:
+            for v in nodes:
+                set_u, set_v = neighbors[u], neighbors[v]
+                if not set_u and not set_v:
+                    matched = 1.0
+                elif not set_u or not set_v:
+                    matched = 0.0
+                else:
+                    weights = {
+                        (a, b): scores[(a, b)]
+                        for a in set_u
+                        for b in set_v
+                        if scores[(a, b)] > 0.0
+                    }
+                    matching = greedy_max_weight_matching(weights)
+                    total = sum(weights[pair] for pair in matching.items())
+                    if normalizer == "max":
+                        denominator = float(max(len(set_u), len(set_v)))
+                    else:
+                        denominator = (len(set_u) * len(set_v)) ** 0.5
+                    matched = min(total / denominator, 1.0)
+                value = (1.0 - beta) * matched + beta
+                updated[(u, v)] = value
+                delta = max(delta, abs(value - scores[(u, v)]))
+        scores = updated
+        if delta < epsilon:
+            break
+    return scores
+
+
+def rolesim_via_framework(
+    graph: LabeledDigraph,
+    beta: float = 0.15,
+    epsilon: float = 1e-4,
+    max_iterations: int = 100,
+    normalizer: str = "max",
+) -> FSimResult:
+    """RoleSim expressed as an FSimX configuration (Section 4.3).
+
+    Matches :func:`rolesim_reference` (same normalizer, same greedy
+    matching) up to floating point; tested to 1e-9.
+    """
+    undirected = graph.to_undirected()
+    degrees = {node: undirected.out_degree(node) for node in undirected.nodes()}
+    config = FSimConfig(
+        variant=Variant.BJ,
+        w_out=1.0 - beta,
+        w_in=0.0,
+        label_function=lambda _a, _b: 1.0,
+        theta=0.0,
+        epsilon=epsilon,
+        max_iterations=max_iterations,
+        init_function=lambda u, v: _degree_ratio(degrees[u], degrees[v]),
+        normalizer="max" if normalizer == "max" else "table3",
+    )
+    return FSimEngine(undirected, undirected, config).run()

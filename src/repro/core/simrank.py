@@ -1,0 +1,83 @@
+"""SimRank, both as a textbook reference and as an FSimX configuration.
+
+Section 4.3 of the paper: with ``G1 = G2``, a label-free graph, initial
+scores 1 on the diagonal and 0 elsewhere, ``w+ = 0``, ``M = S1 x S2``,
+``Omega = |S1| |S2|`` and ``L = 0``, the framework computes SimRank.  The
+diagonal is pinned to 1 (SimRank fixes s(u, u) = 1 by definition).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+from repro.core.config import FSimConfig
+from repro.core.engine import FSimEngine, FSimResult
+from repro.graph.digraph import LabeledDigraph
+from repro.simulation.base import Variant
+
+Pair = Tuple[Hashable, Hashable]
+
+
+def simrank_reference(
+    graph: LabeledDigraph,
+    decay: float = 0.8,
+    epsilon: float = 1e-4,
+    max_iterations: int = 100,
+) -> Dict[Pair, float]:
+    """Plain iterative SimRank (Jeh & Widom 2002) over in-neighbors."""
+    nodes = graph.nodes()
+    in_neighbors = {node: graph.in_neighbors(node) for node in nodes}
+    scores: Dict[Pair, float] = {
+        (u, v): 1.0 if u == v else 0.0 for u in nodes for v in nodes
+    }
+    for _ in range(max_iterations):
+        updated: Dict[Pair, float] = {}
+        delta = 0.0
+        for u in nodes:
+            for v in nodes:
+                if u == v:
+                    updated[(u, v)] = 1.0
+                    continue
+                sources_u = in_neighbors[u]
+                sources_v = in_neighbors[v]
+                if not sources_u or not sources_v:
+                    updated[(u, v)] = 0.0
+                else:
+                    total = sum(
+                        scores[(a, b)] for a in sources_u for b in sources_v
+                    )
+                    updated[(u, v)] = (
+                        decay * total / (len(sources_u) * len(sources_v))
+                    )
+                delta = max(delta, abs(updated[(u, v)] - scores[(u, v)]))
+        scores = updated
+        if delta < epsilon:
+            break
+    return scores
+
+
+def simrank_via_framework(
+    graph: LabeledDigraph,
+    decay: float = 0.8,
+    epsilon: float = 1e-4,
+    max_iterations: int = 100,
+) -> FSimResult:
+    """SimRank expressed as an FSimX configuration (Section 4.3).
+
+    The returned scores match :func:`simrank_reference` up to summation
+    order (tested to 1e-9).
+    """
+    nodes = graph.nodes()
+    diagonal = {(node, node): 1.0 for node in nodes}
+    config = FSimConfig(
+        variant=Variant.CROSS,
+        w_out=0.0,
+        w_in=decay,
+        label_function=lambda _a, _b: 0.0,
+        theta=0.0,
+        epsilon=epsilon,
+        max_iterations=max_iterations,
+        init_function=lambda u, v: 1.0 if u == v else 0.0,
+        pinned_pairs=diagonal,
+    )
+    return FSimEngine(graph, graph, config).run()

@@ -1,0 +1,26 @@
+"""Scaled-down synthetic emulators of the paper's evaluation datasets.
+
+The paper evaluates on eight public graphs (Table 4) up to 9.7M edges on
+a 40-core server with a C++ implementation.  This pure-Python
+reproduction substitutes deterministic synthetic emulators that preserve
+each dataset's *shape* -- relative size ordering, label-alphabet size,
+average degree and degree skew -- at a scale where every experiment runs
+on a laptop.  See DESIGN.md ("Paper-said vs. we-built substitutions").
+"""
+
+from repro.datasets.synthetic import DatasetSpec, build_dataset
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    dataset_spec,
+    load_dataset,
+    dataset_table,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "build_dataset",
+    "DATASET_NAMES",
+    "dataset_spec",
+    "load_dataset",
+    "dataset_table",
+]

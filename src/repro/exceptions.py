@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single except clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references a node that is not in the graph."""
+
+    def __init__(self, node):
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, source, target):
+        super().__init__(f"edge ({source!r}, {target!r}) is not in the graph")
+        self.source = source
+        self.target = target
+
+
+class ConfigError(ReproError, ValueError):
+    """Raised when a framework configuration violates a paper constraint."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative computation fails to converge in time."""

@@ -1,0 +1,11 @@
+"""Experiment drivers regenerating every table and figure of Section 5.
+
+Each module exposes ``run(...) -> ExperimentOutput`` printing the same
+rows/series the paper reports.  Absolute numbers differ (synthetic
+emulators, pure Python); the *shapes* -- who wins, trends, crossovers --
+are the reproduction targets recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import ExperimentOutput, pearson
+
+__all__ = ["ExperimentOutput", "pearson"]

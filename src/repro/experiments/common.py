@@ -1,0 +1,88 @@
+"""Shared utilities for the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.engine import FSimResult
+
+
+@dataclass
+class ExperimentOutput:
+    """Rendered result of one experiment (one table or figure)."""
+
+    name: str
+    headers: List[str]
+    rows: List[List[str]]
+    notes: str = ""
+    data: Dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        widths = [
+            max(len(str(self.headers[i])), *(len(str(row[i])) for row in self.rows))
+            if self.rows
+            else len(str(self.headers[i]))
+            for i in range(len(self.headers))
+        ]
+        lines = [f"== {self.name} =="]
+        lines.append(
+            "  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+            )
+        if self.notes:
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson's correlation coefficient (the paper's sensitivity metric)."""
+    if len(xs) != len(ys):
+        raise ValueError(f"length mismatch: {len(xs)} vs {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        return 1.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        # A constant vector correlates perfectly with another constant
+        # vector and is undefined otherwise; 1.0/0.0 keeps sweeps readable.
+        return 1.0 if var_x == var_y else 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def score_correlation(
+    result_a: FSimResult, result_b: FSimResult, pairs: Sequence[Tuple] = None
+) -> float:
+    """Pearson correlation of two FSim runs over shared candidate pairs.
+
+    By default the pairs are the intersection of both runs' maintained
+    candidates (pruned pairs are answered by each run's own fallback).
+    """
+    if pairs is None:
+        pairs = sorted(
+            set(result_a.scores) & set(result_b.scores), key=repr
+        )
+    xs = [result_a.score(u, v) for u, v in pairs]
+    ys = [result_b.score(u, v) for u, v in pairs]
+    return pearson(xs, ys)
+
+
+def timed(fn: Callable, *args, **kwargs) -> Tuple[float, object]:
+    """Run ``fn`` returning (elapsed_seconds, result)."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def fmt(value: float, digits: int = 3) -> str:
+    return f"{value:.{digits}f}"

@@ -1,0 +1,52 @@
+"""Figure 5: robustness of FSimbj against data errors.
+
+Structural errors (edges added/removed) and label errors (labels
+replaced) are injected at 0-20%; the coefficient between clean and noisy
+scores stays high (> 0.7 at 20% in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.core.api import fsim_matrix
+from repro.datasets import load_dataset
+from repro.experiments.common import ExperimentOutput, fmt, score_correlation
+from repro.graph.noise import add_label_noise, add_structural_noise
+from repro.simulation import Variant
+
+ERROR_LEVELS = (0.0, 0.05, 0.10, 0.15, 0.20)
+
+
+def run(
+    scale: float = 1.0,
+    seed: int = 0,
+    variant: Variant = Variant.BJ,
+) -> ExperimentOutput:
+    graph = load_dataset("nell", scale=scale, seed=seed)
+    clean = {
+        theta: fsim_matrix(graph, graph, variant, theta=theta)
+        for theta in (0.0, 1.0)
+    }
+    rows = []
+    data = {}
+    for kind, noiser in (
+        ("structural", add_structural_noise),
+        ("label", add_label_noise),
+    ):
+        for level in ERROR_LEVELS:
+            noisy_graph = noiser(graph, level, seed=seed + 17)
+            row = [kind, f"{level:.0%}"]
+            for theta in (0.0, 1.0):
+                noisy = fsim_matrix(
+                    noisy_graph, noisy_graph, variant, theta=theta
+                )
+                coefficient = score_correlation(clean[theta], noisy)
+                row.append(fmt(coefficient))
+                data[(kind, level, theta)] = coefficient
+            rows.append(row)
+    return ExperimentOutput(
+        name=f"Figure 5: FSim{variant.value} robustness to data errors",
+        headers=["error kind", "level", "FSimbj", "FSimbj{theta=1}"],
+        rows=rows,
+        notes="Paper: decreasing with error level yet > 0.7 at 20%.",
+        data=data,
+    )

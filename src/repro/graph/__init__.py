@@ -1,0 +1,103 @@
+"""Node-labeled directed graph substrate.
+
+The paper's data model (Section 2) is a node-labeled directed graph
+``G = (V, E, l)``.  :class:`LabeledDigraph` implements that model with
+deterministic iteration order, fast neighbor access and a label index.
+"""
+
+from repro.graph.digraph import LabeledDigraph
+from repro.graph.stats import GraphStats, compute_stats
+from repro.graph.builders import (
+    from_edges,
+    from_adjacency,
+    from_networkx,
+    to_networkx,
+    relabel_to_integers,
+    union,
+)
+from repro.graph.io import (
+    load_graph,
+    save_graph,
+    load_graph_json,
+    save_graph_json,
+)
+from repro.graph.generators import (
+    random_graph,
+    power_law_graph,
+    random_dag,
+    star_graph,
+    cycle_graph,
+    path_graph,
+    complete_bipartite,
+    uniform_labels,
+    zipf_labels,
+)
+from repro.graph.noise import (
+    add_structural_noise,
+    add_label_noise,
+    drop_labels,
+    densify,
+)
+from repro.graph.dot import to_dot, match_to_dot, save_dot
+from repro.graph.examples import (
+    figure1_graphs,
+    figure1_pattern,
+    figure1_data,
+    figure2_query_poster,
+    figure2_data_posters,
+    tiny_pair,
+    TABLE2_EXPECTED,
+)
+from repro.graph.subgraph import (
+    induced_subgraph,
+    ball,
+    undirected_distances,
+    undirected_diameter,
+    extract_connected_subgraph,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "LabeledDigraph",
+    "GraphStats",
+    "compute_stats",
+    "from_edges",
+    "from_adjacency",
+    "from_networkx",
+    "to_networkx",
+    "relabel_to_integers",
+    "union",
+    "load_graph",
+    "save_graph",
+    "load_graph_json",
+    "save_graph_json",
+    "random_graph",
+    "power_law_graph",
+    "random_dag",
+    "star_graph",
+    "cycle_graph",
+    "path_graph",
+    "complete_bipartite",
+    "uniform_labels",
+    "zipf_labels",
+    "add_structural_noise",
+    "add_label_noise",
+    "drop_labels",
+    "densify",
+    "to_dot",
+    "match_to_dot",
+    "save_dot",
+    "figure1_graphs",
+    "figure1_pattern",
+    "figure1_data",
+    "figure2_query_poster",
+    "figure2_data_posters",
+    "tiny_pair",
+    "TABLE2_EXPECTED",
+    "induced_subgraph",
+    "ball",
+    "undirected_distances",
+    "undirected_diameter",
+    "extract_connected_subgraph",
+    "weakly_connected_components",
+]

@@ -1,0 +1,332 @@
+"""The core node-labeled directed graph data structure.
+
+Design notes
+------------
+- Node identifiers are arbitrary hashable objects (the paper's datasets use
+  integer ids; the examples use strings).
+- Adjacency is stored as dict-of-lists in insertion order, which keeps every
+  algorithm in this package deterministic for a fixed seed.
+- Parallel edges are rejected; self loops are allowed (the paper's data
+  model does not forbid them).
+- Labels live in a secondary index (label -> ordered list of nodes) so that
+  label-constrained candidate generation (Remark 2 of the paper) is O(1)
+  per label.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+
+Node = Hashable
+Label = Hashable
+
+
+class LabeledDigraph:
+    """A node-labeled directed graph ``G = (V, E, l)``.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable name, carried through copies and reported
+        by ``repr``.
+
+    Examples
+    --------
+    >>> g = LabeledDigraph()
+    >>> g.add_node("u", label="person")
+    >>> g.add_node("v", label="person")
+    >>> g.add_edge("u", "v")
+    >>> g.out_neighbors("u")
+    ('v',)
+    >>> g.label("v")
+    'person'
+    """
+
+    __slots__ = ("name", "_out", "_in", "_labels", "_label_index", "_num_edges")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._out: Dict[Node, List[Node]] = {}
+        self._in: Dict[Node, List[Node]] = {}
+        self._labels: Dict[Node, Label] = {}
+        self._label_index: Dict[Label, List[Node]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, label: Label) -> None:
+        """Add ``node`` with ``label``; re-adding an existing node relabels it."""
+        if node in self._labels:
+            if self._labels[node] != label:
+                self.set_label(node, label)
+            return
+        self._out[node] = []
+        self._in[node] = []
+        self._labels[node] = label
+        self._label_index.setdefault(label, []).append(node)
+
+    def add_edge(self, source: Node, target: Node) -> None:
+        """Add a directed edge; both endpoints must already exist."""
+        if source not in self._labels:
+            raise NodeNotFoundError(source)
+        if target not in self._labels:
+            raise NodeNotFoundError(target)
+        if target in self._out[source]:
+            raise GraphError(f"edge ({source!r}, {target!r}) already exists")
+        self._out[source].append(target)
+        self._in[target].append(source)
+        self._num_edges += 1
+
+    def add_edge_if_absent(self, source: Node, target: Node) -> bool:
+        """Add the edge unless it already exists; return True if added."""
+        if self.has_edge(source, target):
+            return False
+        self.add_edge(source, target)
+        return True
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        """Remove a directed edge, raising :class:`EdgeNotFoundError` if absent."""
+        if not self.has_edge(source, target):
+            raise EdgeNotFoundError(source, target)
+        self._out[source].remove(target)
+        self._in[target].remove(source)
+        self._num_edges -= 1
+
+    def remove_node(self, node: Node) -> None:
+        """Remove a node together with all of its incident edges."""
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        for target in list(self._out[node]):
+            self.remove_edge(node, target)
+        for source in list(self._in[node]):
+            self.remove_edge(source, node)
+        label = self._labels.pop(node)
+        self._label_index[label].remove(node)
+        if not self._label_index[label]:
+            del self._label_index[label]
+        del self._out[node]
+        del self._in[node]
+
+    def set_label(self, node: Node, label: Label) -> None:
+        """Change the label of an existing node, keeping the index in sync."""
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        old = self._labels[node]
+        if old == label:
+            return
+        self._label_index[old].remove(node)
+        if not self._label_index[old]:
+            del self._label_index[old]
+        self._labels[node] = label
+        self._label_index.setdefault(label, []).append(node)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_node(self, node: Node) -> bool:
+        return node in self._labels
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        out = self._out.get(source)
+        return out is not None and target in out
+
+    def label(self, node: Node) -> Label:
+        """Return ``l(node)``."""
+        try:
+            return self._labels[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def out_neighbors(self, node: Node) -> Tuple[Node, ...]:
+        """Return ``N+(node)`` in insertion order."""
+        try:
+            return tuple(self._out[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def in_neighbors(self, node: Node) -> Tuple[Node, ...]:
+        """Return ``N-(node)`` in insertion order."""
+        try:
+            return tuple(self._in[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def neighbors(self, node: Node) -> Tuple[Node, ...]:
+        """Return undirected neighbors (out then in, deduplicated)."""
+        seen = dict.fromkeys(self.out_neighbors(node))
+        for other in self.in_neighbors(node):
+            seen.setdefault(other)
+        return tuple(seen)
+
+    def out_degree(self, node: Node) -> int:
+        """Return ``d+(node)``."""
+        try:
+            return len(self._out[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def in_degree(self, node: Node) -> int:
+        """Return ``d-(node)``."""
+        try:
+            return len(self._in[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def nodes(self) -> Tuple[Node, ...]:
+        """Return all nodes in insertion order."""
+        return tuple(self._labels)
+
+    def edges(self) -> Iterator[Tuple[Node, Node]]:
+        """Yield all edges ``(source, target)`` in deterministic order."""
+        for source, targets in self._out.items():
+            for target in targets:
+                yield (source, target)
+
+    def labels(self) -> Tuple[Label, ...]:
+        """Return the label alphabet actually used, in first-seen order."""
+        return tuple(self._label_index)
+
+    def nodes_with_label(self, label: Label) -> Tuple[Node, ...]:
+        """Return every node carrying ``label`` (empty tuple if unused)."""
+        return tuple(self._label_index.get(label, ()))
+
+    def label_histogram(self) -> Dict[Label, int]:
+        """Return ``{label: count}`` over all nodes."""
+        return {label: len(nodes) for label, nodes in self._label_index.items()}
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._labels
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._labels)
+
+    def __repr__(self) -> str:
+        name = f" {self.name!r}" if self.name else ""
+        return (
+            f"<LabeledDigraph{name}: {self.num_nodes} nodes, "
+            f"{self.num_edges} edges, {len(self._label_index)} labels>"
+        )
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "LabeledDigraph":
+        """Return a deep structural copy."""
+        clone = LabeledDigraph(self.name if name is None else name)
+        for node, label in self._labels.items():
+            clone.add_node(node, label)
+        for source, target in self.edges():
+            clone.add_edge(source, target)
+        return clone
+
+    def reverse(self, name: Optional[str] = None) -> "LabeledDigraph":
+        """Return the graph with every edge direction flipped."""
+        rev = LabeledDigraph(self.name if name is None else name)
+        for node, label in self._labels.items():
+            rev.add_node(node, label)
+        for source, target in self.edges():
+            rev.add_edge(target, source)
+        return rev
+
+    def to_undirected(self, name: Optional[str] = None) -> "LabeledDigraph":
+        """Return a symmetric-closure copy (each edge present both ways).
+
+        This is the adaptation used by the paper for RoleSim and the WL
+        test (Section 4.3): undirected neighbors become out-neighbors in
+        both directions.
+        """
+        sym = LabeledDigraph(self.name if name is None else name)
+        for node, label in self._labels.items():
+            sym.add_node(node, label)
+        for source, target in self.edges():
+            sym.add_edge_if_absent(source, target)
+            sym.add_edge_if_absent(target, source)
+        return sym
+
+    def same_structure(self, other: "LabeledDigraph") -> bool:
+        """True when both graphs have identical nodes, labels and edges."""
+        if self.num_nodes != other.num_nodes or self.num_edges != other.num_edges:
+            return False
+        if self._labels != other._labels:
+            return False
+        return all(
+            sorted(map(repr, self._out[node])) == sorted(map(repr, other._out[node]))
+            for node in self._labels
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def sort_adjacency(self, key=repr) -> None:
+        """Sort every adjacency list (by ``key``) for canonical iteration."""
+        for targets in self._out.values():
+            targets.sort(key=key)
+        for sources in self._in.values():
+            sources.sort(key=key)
+
+    def validate(self) -> None:
+        """Check internal invariants; raises :class:`GraphError` on corruption.
+
+        Intended for tests and debugging -- all public mutators preserve
+        these invariants.
+        """
+        forward = sum(len(targets) for targets in self._out.values())
+        backward = sum(len(sources) for sources in self._in.values())
+        if forward != backward or forward != self._num_edges:
+            raise GraphError(
+                f"edge count mismatch: out={forward} in={backward} "
+                f"cached={self._num_edges}"
+            )
+        for source, targets in self._out.items():
+            if len(set(map(id, targets))) != len(targets) and len(set(targets)) != len(
+                targets
+            ):
+                raise GraphError(f"parallel edges out of {source!r}")
+            for target in targets:
+                if source not in self._in[target]:
+                    raise GraphError(
+                        f"edge ({source!r}, {target!r}) missing from in-adjacency"
+                    )
+        indexed = sum(len(nodes) for nodes in self._label_index.values())
+        if indexed != len(self._labels):
+            raise GraphError("label index out of sync with node set")
+        for label, nodes in self._label_index.items():
+            for node in nodes:
+                if self._labels.get(node) != label:
+                    raise GraphError(f"label index wrong for node {node!r}")
+
+
+def degree_sequence(graph: LabeledDigraph) -> List[Tuple[int, int]]:
+    """Return ``[(out_degree, in_degree), ...]`` in node order."""
+    return [(graph.out_degree(n), graph.in_degree(n)) for n in graph.nodes()]
+
+
+def edge_set(graph: LabeledDigraph) -> set:
+    """Return the edge set as a ``set`` of pairs (order-insensitive view)."""
+    return set(graph.edges())
+
+
+def nodes_sorted(graph: LabeledDigraph) -> List[Node]:
+    """Return nodes sorted by ``repr`` -- a stable canonical ordering."""
+    return sorted(graph.nodes(), key=repr)
+
+
+def check_same_label_sets(
+    graph1: LabeledDigraph, graph2: LabeledDigraph
+) -> Iterable[Label]:
+    """Return the labels shared by both graphs (useful for candidate seeding)."""
+    return [label for label in graph1.labels() if graph2.nodes_with_label(label)]

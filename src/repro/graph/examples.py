@@ -1,0 +1,146 @@
+"""Reconstructions of the paper's running examples (Figures 1 and 2).
+
+Figure 1 is only available as an image in the paper, so the graphs here
+are *reconstructed from the text* to satisfy every statement made about
+them:
+
+- ``u`` has no in-neighbors and three out-neighbors: two hexagons and a
+  pentagon (Example 1: "the two hexagonal nodes in P are simulated by the
+  same hexagonal node in G2").
+- ``u`` is s-simulated by v2, v3, v4 but not v1 (v1 lacks a pentagon
+  neighbor).
+- ``u`` is not dp-simulated by v2 ("u has two hexagonal neighbors and v2
+  does not") -- v2 has a single hexagon child.
+- ``u`` is not b-simulated by v3 ("v3's square neighbor fails to simulate
+  any neighbor of u") -- v3 has an extra square child.
+- ``u`` is bj-simulated only by v4 (exact one-to-one neighborhood).
+
+Table 2's check-mark/cross pattern is exactly reproduced by these graphs
+(asserted in the tests); the fractional values differ from the paper's
+because the unpublished topology details and weights differ.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.graph.digraph import LabeledDigraph
+
+#: Shape labels used in Figure 1.
+CIRCLE = "circle"
+HEXAGON = "hexagon"
+PENTAGON = "pentagon"
+SQUARE = "square"
+
+
+def figure1_pattern() -> LabeledDigraph:
+    """The pattern graph P of Figure 1 (node ``u`` plus its neighbors)."""
+    pattern = LabeledDigraph("figure1-P")
+    pattern.add_node("u", CIRCLE)
+    pattern.add_node("h1", HEXAGON)
+    pattern.add_node("h2", HEXAGON)
+    pattern.add_node("p1", PENTAGON)
+    pattern.add_edge("u", "h1")
+    pattern.add_edge("u", "h2")
+    pattern.add_edge("u", "p1")
+    return pattern
+
+
+def figure1_data() -> LabeledDigraph:
+    """The data graph G2 of Figure 1 (candidates v1..v4).
+
+    - v1 -> {hexagon, square}: misses the pentagon, so no simulation.
+    - v2 -> {hexagon, pentagon}: simulates and bisimulates u, but the two
+      hexagons of u collapse onto one node, breaking IN-mapping (dp, bj).
+    - v3 -> {hexagon, hexagon, pentagon, square}: dp-simulates u, but the
+      square child breaks the converse condition (b, bj).
+    - v4 -> {hexagon, hexagon, pentagon}: an exact one-to-one copy of u's
+      neighborhood, so every variant holds.
+    """
+    data = LabeledDigraph("figure1-G2")
+    for center in ("v1", "v2", "v3", "v4"):
+        data.add_node(center, CIRCLE)
+    children = {
+        "v1": [("v1_h", HEXAGON), ("v1_s", SQUARE)],
+        "v2": [("v2_h", HEXAGON), ("v2_p", PENTAGON)],
+        "v3": [
+            ("v3_h1", HEXAGON),
+            ("v3_h2", HEXAGON),
+            ("v3_p", PENTAGON),
+            ("v3_s", SQUARE),
+        ],
+        "v4": [("v4_h1", HEXAGON), ("v4_h2", HEXAGON), ("v4_p", PENTAGON)],
+    }
+    for center, kids in children.items():
+        for child, label in kids:
+            data.add_node(child, label)
+            data.add_edge(center, child)
+    return data
+
+
+def figure1_graphs() -> Tuple[LabeledDigraph, LabeledDigraph]:
+    """Return ``(P, G2)`` -- the two graphs of Figure 1."""
+    return figure1_pattern(), figure1_data()
+
+
+#: Expected exact-simulation outcome per Table 2: variant -> {vi: bool}.
+TABLE2_EXPECTED = {
+    "s": {"v1": False, "v2": True, "v3": True, "v4": True},
+    "dp": {"v1": False, "v2": False, "v3": True, "v4": True},
+    "b": {"v1": False, "v2": True, "v3": False, "v4": True},
+    "bj": {"v1": False, "v2": False, "v3": False, "v4": True},
+}
+
+
+def figure2_query_poster() -> LabeledDigraph:
+    """The candidate poster P of Figure 2(c) as a design-element graph.
+
+    An edge poster -> element means "the poster has this design element".
+    """
+    poster = LabeledDigraph("figure2-P")
+    poster.add_node("P", "poster")
+    for element in ("Person(embed)", "Comic", "Arial", "Brown", "Purple", "Black",
+                    "Italic"):
+        poster.add_node(element, element)
+        poster.add_edge("P", element)
+    return poster
+
+
+def figure2_data_posters() -> LabeledDigraph:
+    """The poster database of Figure 2(d): existing posters P1..P3.
+
+    P1 shares most design elements with the candidate poster P (only the
+    font and font style differ), so P is "highly suspected as a case of
+    plagiarism" of P1 -- yet no exact simulation exists between them.
+    """
+    database = LabeledDigraph("figure2-DB")
+    elements = {
+        "P1": ["Person(embed)", "Times", "Brown", "Purple", "Black"],
+        "P2": ["Person(notembed)", "Arial", "Blue", "Yellow", "Black"],
+        "P3": ["Person(notembed)", "Bradley", "White", "Yellow", "Blue"],
+    }
+    for poster, its_elements in elements.items():
+        database.add_node(poster, "poster")
+        for element in its_elements:
+            if not database.has_node(element):
+                database.add_node(element, element)
+            database.add_edge(poster, element)
+    return database
+
+
+def tiny_pair() -> Tuple[LabeledDigraph, LabeledDigraph]:
+    """A minimal simulation example: a 2-path and a 3-cycle over one label.
+
+    Every node of the path is simulated by every node of the cycle but
+    not vice versa (the cycle has infinite unrolling, the path does not).
+    """
+    path = LabeledDigraph("tiny-path")
+    for i in range(2):
+        path.add_node(i, "L")
+    path.add_edge(0, 1)
+    cycle = LabeledDigraph("tiny-cycle")
+    for i in range(3):
+        cycle.add_node(i, "L")
+    for i in range(3):
+        cycle.add_edge(i, (i + 1) % 3)
+    return path, cycle

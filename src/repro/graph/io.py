@@ -1,0 +1,82 @@
+"""Plain-text and JSON persistence for labeled digraphs.
+
+Text format (one record per line, tab separated):
+
+.. code-block:: text
+
+    v <node-id> <label>
+    e <source-id> <target-id>
+
+Node ids and labels are stored as strings; callers that need typed ids
+should relabel after loading.  The JSON format keeps native types for
+ids/labels that are JSON representable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import LabeledDigraph
+
+PathLike = Union[str, Path]
+
+
+def save_graph(graph: LabeledDigraph, path: PathLike) -> None:
+    """Write ``graph`` in the v/e text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for node in graph.nodes():
+            handle.write(f"v\t{node}\t{graph.label(node)}\n")
+        for source, target in graph.edges():
+            handle.write(f"e\t{source}\t{target}\n")
+
+
+def load_graph(path: PathLike, name: str = "") -> LabeledDigraph:
+    """Read a graph written by :func:`save_graph` (ids/labels as strings)."""
+    graph = LabeledDigraph(name or Path(path).stem)
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if parts[0] == "v" and len(parts) == 3:
+                graph.add_node(parts[1], parts[2])
+            elif parts[0] == "e" and len(parts) == 3:
+                graph.add_edge(parts[1], parts[2])
+            else:
+                raise GraphError(f"{path}:{line_no}: malformed line {line!r}")
+    return graph
+
+
+def save_graph_json(graph: LabeledDigraph, path: PathLike) -> None:
+    """Write ``graph`` as a JSON document preserving native id/label types."""
+    document = {
+        "name": graph.name,
+        "nodes": [[node, graph.label(node)] for node in graph.nodes()],
+        "edges": [list(edge) for edge in graph.edges()],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def load_graph_json(path: PathLike) -> LabeledDigraph:
+    """Read a graph written by :func:`save_graph_json`.
+
+    JSON turns tuples into lists; node ids that were lists are restored as
+    tuples so they stay hashable.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+
+    def _hashable(value):
+        return tuple(value) if isinstance(value, list) else value
+
+    graph = LabeledDigraph(document.get("name", ""))
+    for node, label in document["nodes"]:
+        graph.add_node(_hashable(node), _hashable(label))
+    for source, target in document["edges"]:
+        graph.add_edge(_hashable(source), _hashable(target))
+    return graph

@@ -1,0 +1,128 @@
+"""Data-error injection used by the robustness study (Figure 5) and the
+query workloads (Table 6), plus the densification sweep of Figure 9(b).
+
+All functions return modified *copies* and are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import LabeledDigraph
+
+#: Label substituted by :func:`drop_labels` -- models "certain labels missing".
+MISSING_LABEL = "__missing__"
+
+
+def add_structural_noise(
+    graph: LabeledDigraph,
+    ratio: float,
+    seed: int,
+    add_fraction: float = 0.5,
+) -> LabeledDigraph:
+    """Perturb ``ratio * |E|`` edges: a mix of random insertions and deletions.
+
+    The paper's "structural errors (with edges added/removed)".
+    ``add_fraction`` controls the insertion/deletion mix (0.5 by default).
+    """
+    if not 0.0 <= ratio:
+        raise GraphError(f"noise ratio must be non-negative, got {ratio}")
+    noisy = graph.copy()
+    rng = random.Random(seed)
+    nodes = list(noisy.nodes())
+    if len(nodes) < 2:
+        return noisy
+    budget = int(round(ratio * graph.num_edges))
+    num_add = int(round(budget * add_fraction))
+    num_remove = budget - num_add
+    existing = list(noisy.edges())
+    rng.shuffle(existing)
+    for source, target in existing[:num_remove]:
+        noisy.remove_edge(source, target)
+    added = 0
+    attempts = 0
+    while added < num_add and attempts < num_add * 50 + 100:
+        attempts += 1
+        source = rng.choice(nodes)
+        target = rng.choice(nodes)
+        if source == target:
+            continue
+        if noisy.add_edge_if_absent(source, target):
+            added += 1
+    return noisy
+
+
+def add_label_noise(
+    graph: LabeledDigraph,
+    ratio: float,
+    seed: int,
+    alphabet: Optional[Sequence] = None,
+) -> LabeledDigraph:
+    """Reassign labels of ``ratio * |V|`` random nodes.
+
+    The replacement label is drawn from ``alphabet`` (defaults to the
+    graph's own alphabet) and is always different from the original when
+    the alphabet allows it.
+    """
+    if not 0.0 <= ratio <= 1.0:
+        raise GraphError(f"label-noise ratio must be in [0, 1], got {ratio}")
+    noisy = graph.copy()
+    rng = random.Random(seed)
+    nodes = list(noisy.nodes())
+    rng.shuffle(nodes)
+    victims = nodes[: int(round(ratio * len(nodes)))]
+    pool = list(alphabet) if alphabet is not None else list(graph.labels())
+    if not pool:
+        return noisy
+    for node in victims:
+        current = noisy.label(node)
+        candidates = [label for label in pool if label != current]
+        if not candidates:
+            continue
+        noisy.set_label(node, rng.choice(candidates))
+    return noisy
+
+
+def drop_labels(graph: LabeledDigraph, ratio: float, seed: int) -> LabeledDigraph:
+    """Replace ``ratio * |V|`` node labels with :data:`MISSING_LABEL`.
+
+    Models the paper's "certain labels missing" flavour of label error.
+    """
+    if not 0.0 <= ratio <= 1.0:
+        raise GraphError(f"drop ratio must be in [0, 1], got {ratio}")
+    noisy = graph.copy()
+    rng = random.Random(seed)
+    nodes = list(noisy.nodes())
+    rng.shuffle(nodes)
+    for node in nodes[: int(round(ratio * len(nodes)))]:
+        noisy.set_label(node, MISSING_LABEL)
+    return noisy
+
+
+def densify(graph: LabeledDigraph, factor: float, seed: int) -> LabeledDigraph:
+    """Randomly add edges until |E| reaches ``factor`` times the original.
+
+    Used by the scalability experiment of Figure 9(b), which sweeps the
+    density from x1 to x50.
+    """
+    if factor < 1.0:
+        raise GraphError(f"densify factor must be >= 1, got {factor}")
+    dense = graph.copy()
+    rng = random.Random(seed)
+    nodes = list(dense.nodes())
+    if len(nodes) < 2:
+        return dense
+    target_edges = int(round(graph.num_edges * factor))
+    capacity = len(nodes) * (len(nodes) - 1)
+    target_edges = min(target_edges, capacity)
+    attempts = 0
+    limit = (target_edges - dense.num_edges) * 50 + 1000
+    while dense.num_edges < target_edges and attempts < limit:
+        attempts += 1
+        source = rng.choice(nodes)
+        target = rng.choice(nodes)
+        if source != target:
+            dense.add_edge_if_absent(source, target)
+    return dense

@@ -1,0 +1,62 @@
+"""Descriptive graph statistics matching Table 4 of the paper.
+
+The paper characterises each dataset by |V|, |E|, |Sigma| (label count),
+average degree, maximum out-degree and maximum in-degree.  The same row is
+produced here for any :class:`~repro.graph.digraph.LabeledDigraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import LabeledDigraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """A Table-4-style statistics row.
+
+    Attributes
+    ----------
+    num_nodes / num_edges:
+        |V| and |E|.
+    num_labels:
+        |Sigma|, counting only labels actually used.
+    avg_degree:
+        The paper's d_G: average of (in + out) degree halved, i.e.
+        |E| / |V| (each edge contributes one out- and one in-endpoint).
+    max_out_degree / max_in_degree:
+        D+_G and D-_G.
+    """
+
+    num_nodes: int
+    num_edges: int
+    num_labels: int
+    avg_degree: float
+    max_out_degree: int
+    max_in_degree: int
+
+    def as_row(self, name: str = "") -> str:
+        """Render in the layout of Table 4."""
+        return (
+            f"{name:<12} |E|={self.num_edges:<9} |V|={self.num_nodes:<9} "
+            f"|S|={self.num_labels:<6} d={self.avg_degree:<5.1f} "
+            f"D+={self.max_out_degree:<6} D-={self.max_in_degree}"
+        )
+
+
+def compute_stats(graph: LabeledDigraph) -> GraphStats:
+    """Compute the Table-4 statistics row for ``graph``."""
+    nodes = graph.nodes()
+    num_nodes = len(nodes)
+    max_out = max((graph.out_degree(n) for n in nodes), default=0)
+    max_in = max((graph.in_degree(n) for n in nodes), default=0)
+    avg = graph.num_edges / num_nodes if num_nodes else 0.0
+    return GraphStats(
+        num_nodes=num_nodes,
+        num_edges=graph.num_edges,
+        num_labels=len(graph.labels()),
+        avg_degree=avg,
+        max_out_degree=max_out,
+        max_in_degree=max_in,
+    )

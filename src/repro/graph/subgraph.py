@@ -1,0 +1,137 @@
+"""Subgraph extraction: induced subgraphs, balls and query extraction.
+
+Balls (``G[v, r]`` in the paper) are the substrate of strong simulation:
+the induced subgraph over all nodes within undirected shortest-path
+distance ``r`` of a center.  Query extraction produces the connected query
+graphs used by the pattern-matching case study (Table 6).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, Iterable, List, Set
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import LabeledDigraph, Node
+
+
+def induced_subgraph(
+    graph: LabeledDigraph, nodes: Iterable[Node], name: str = ""
+) -> LabeledDigraph:
+    """Return the subgraph induced by ``nodes`` (edges with both ends kept)."""
+    keep = set(nodes)
+    missing = [node for node in keep if not graph.has_node(node)]
+    if missing:
+        raise GraphError(f"nodes not in graph: {sorted(map(repr, missing))[:5]}")
+    sub = LabeledDigraph(name or f"{graph.name}-induced")
+    for node in graph.nodes():
+        if node in keep:
+            sub.add_node(node, graph.label(node))
+    for source, target in graph.edges():
+        if source in keep and target in keep:
+            sub.add_edge(source, target)
+    return sub
+
+
+def undirected_distances(graph: LabeledDigraph, source: Node) -> Dict[Node, int]:
+    """BFS distances ignoring edge direction (the paper's ball metric)."""
+    if not graph.has_node(source):
+        raise GraphError(f"node {source!r} not in graph")
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def undirected_diameter(graph: LabeledDigraph) -> int:
+    """Exact diameter of the undirected view (all-pairs BFS).
+
+    Intended for query graphs (a handful of nodes); raises on disconnected
+    graphs because strong simulation is undefined there.
+    """
+    nodes = graph.nodes()
+    if not nodes:
+        return 0
+    best = 0
+    for node in nodes:
+        distances = undirected_distances(graph, node)
+        if len(distances) != len(nodes):
+            raise GraphError("diameter undefined: graph is not weakly connected")
+        best = max(best, max(distances.values()))
+    return best
+
+
+def ball(graph: LabeledDigraph, center: Node, radius: int) -> LabeledDigraph:
+    """The induced ball ``G[center, radius]`` of the paper (Section 2)."""
+    if radius < 0:
+        raise GraphError(f"radius must be non-negative, got {radius}")
+    distances = undirected_distances(graph, center)
+    members = [node for node, dist in distances.items() if dist <= radius]
+    return induced_subgraph(graph, members, name=f"ball({center!r},{radius})")
+
+
+def weakly_connected_components(graph: LabeledDigraph) -> List[Set[Node]]:
+    """Weakly connected components, largest first."""
+    remaining = set(graph.nodes())
+    components: List[Set[Node]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        component = set(undirected_distances_within(graph, seed, remaining))
+        components.append(component)
+        remaining -= component
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def undirected_distances_within(
+    graph: LabeledDigraph, source: Node, allowed: Set[Node]
+) -> Dict[Node, int]:
+    """BFS distances restricted to ``allowed`` nodes (helper for components)."""
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor in allowed and neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def extract_connected_subgraph(
+    graph: LabeledDigraph, size: int, seed: int, name: str = "query"
+) -> LabeledDigraph:
+    """Extract a weakly-connected induced subgraph of ``size`` nodes.
+
+    Grows a frontier from a random start node; used to generate the query
+    workload of the pattern-matching case study ("queries are generated
+    randomly by extracting subgraphs from the data graph").  Raises if the
+    graph has no component of at least ``size`` nodes.
+    """
+    if size < 1:
+        raise GraphError(f"size must be positive, got {size}")
+    if size > graph.num_nodes:
+        raise GraphError(f"size {size} exceeds graph order {graph.num_nodes}")
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    rng.shuffle(nodes)
+    for start in nodes:
+        chosen = {start}
+        frontier = [n for n in graph.neighbors(start) if n not in chosen]
+        while frontier and len(chosen) < size:
+            pick = frontier.pop(rng.randrange(len(frontier)))
+            if pick in chosen:
+                continue
+            chosen.add(pick)
+            for neighbor in graph.neighbors(pick):
+                if neighbor not in chosen:
+                    frontier.append(neighbor)
+        if len(chosen) == size:
+            return induced_subgraph(graph, chosen, name=name)
+    raise GraphError(f"no weakly connected subgraph of {size} nodes exists")

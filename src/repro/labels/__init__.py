@@ -1,0 +1,25 @@
+"""Label similarity functions ``L(.)`` (Section 3.2 / 3.3 of the paper)."""
+
+from repro.labels.similarity import (
+    LabelSimilarity,
+    indicator,
+    normalized_edit_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    edit_distance,
+    get_label_function,
+    register_label_function,
+    available_label_functions,
+)
+
+__all__ = [
+    "LabelSimilarity",
+    "indicator",
+    "normalized_edit_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "edit_distance",
+    "get_label_function",
+    "register_label_function",
+    "available_label_functions",
+]

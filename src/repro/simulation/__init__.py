@@ -1,0 +1,58 @@
+"""Exact simulation variants (Section 2 of the paper).
+
+Four chi-simulation variants over node-labeled digraphs:
+
+- simple simulation (``Variant.S``) -- Definition 1,
+- degree-preserving simulation (``Variant.DP``) -- injective neighbor
+  mapping,
+- bisimulation (``Variant.B``) -- converse invariant,
+- bijective simulation (``Variant.BJ``) -- the paper's new variant with
+  both properties.
+
+Plus the two derived notions used in the evaluation: k-bisimulation
+(signature refinement) and strong simulation (Ma et al., ball-restricted
+simulation for pattern matching).
+"""
+
+from repro.simulation.base import Variant, SimulationRelation
+from repro.simulation.matching import (
+    hopcroft_karp,
+    has_saturating_matching,
+    has_perfect_matching,
+    greedy_max_weight_matching,
+    exact_max_weight_matching,
+)
+from repro.simulation.maximal import maximal_simulation, simulates
+from repro.simulation.kbisimulation import (
+    kbisimulation_signatures,
+    kbisimilar,
+    kbisimulation_partition,
+)
+from repro.simulation.strong import strong_simulation, strong_simulation_match
+from repro.simulation.bounded import (
+    bounded_closure,
+    bounded_simulation,
+    weak_simulation,
+    fsim_bounded,
+)
+
+__all__ = [
+    "Variant",
+    "SimulationRelation",
+    "hopcroft_karp",
+    "has_saturating_matching",
+    "has_perfect_matching",
+    "greedy_max_weight_matching",
+    "exact_max_weight_matching",
+    "maximal_simulation",
+    "simulates",
+    "kbisimulation_signatures",
+    "kbisimilar",
+    "kbisimulation_partition",
+    "strong_simulation",
+    "strong_simulation_match",
+    "bounded_closure",
+    "bounded_simulation",
+    "weak_simulation",
+    "fsim_bounded",
+]

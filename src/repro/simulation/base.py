@@ -1,0 +1,135 @@
+"""Common types for the simulation variants."""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Set, Tuple
+
+Node = Hashable
+Pair = Tuple[Node, Node]
+
+
+class Variant(str, enum.Enum):
+    """The chi in chi-simulation (Definition 2 + Definition 3).
+
+    Members carry the paper's short names so ``Variant("bj")`` works and
+    printed output matches the paper's notation.
+    """
+
+    S = "s"  #: simple simulation (no extra constraint)
+    DP = "dp"  #: degree-preserving simulation (injective neighbor mapping)
+    B = "b"  #: bisimulation (converse invariant)
+    BJ = "bj"  #: bijective simulation (both properties; new in the paper)
+    #: Not a chi-simulation: the all-pairs mapping operator used by the
+    #: SimRank configuration of Section 4.3 (M = S1 x S2, Omega = |S1||S2|).
+    CROSS = "cross"
+
+    @property
+    def has_in_mapping(self) -> bool:
+        """True when the variant requires injective neighbor mapping."""
+        return self in (Variant.DP, Variant.BJ)
+
+    @property
+    def has_converse_invariant(self) -> bool:
+        """True when the variant is converse invariant (Figure 3a)."""
+        return self in (Variant.B, Variant.BJ)
+
+    @property
+    def is_symmetric_measure(self) -> bool:
+        """Whether FSim of this variant must be symmetric (property P3)."""
+        return self.has_converse_invariant
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: The strictness DAG of Figure 3(b): chi1 -> chi2 means every
+#: chi1-simulation is also a chi2-simulation.
+STRICTNESS_EDGES: FrozenSet[Tuple[Variant, Variant]] = frozenset(
+    {
+        (Variant.BJ, Variant.DP),
+        (Variant.BJ, Variant.B),
+        (Variant.DP, Variant.S),
+        (Variant.B, Variant.S),
+    }
+)
+
+
+def stricter_or_equal(variant1: Variant, variant2: Variant) -> bool:
+    """True when ``variant1`` implies ``variant2`` per Figure 3(b)."""
+    if variant1 == variant2:
+        return True
+    if (variant1, variant2) in STRICTNESS_EDGES:
+        return True
+    return variant1 == Variant.BJ and variant2 == Variant.S
+
+
+class SimulationRelation:
+    """A binary relation R over V1 x V2 with membership and image queries.
+
+    Stored as ``{u: set of v}`` for O(1) membership tests, which is the
+    access pattern of the fixpoint algorithms.
+    """
+
+    __slots__ = ("_forward",)
+
+    def __init__(self, pairs: Iterable[Pair] = ()):
+        self._forward: Dict[Node, Set[Node]] = {}
+        for u, v in pairs:
+            self.add(u, v)
+
+    def add(self, u: Node, v: Node) -> None:
+        self._forward.setdefault(u, set()).add(v)
+
+    def discard(self, u: Node, v: Node) -> None:
+        image = self._forward.get(u)
+        if image is not None:
+            image.discard(v)
+            if not image:
+                del self._forward[u]
+
+    def __contains__(self, pair: Pair) -> bool:
+        u, v = pair
+        image = self._forward.get(u)
+        return image is not None and v in image
+
+    def image(self, u: Node) -> FrozenSet[Node]:
+        """All v with (u, v) in R."""
+        return frozenset(self._forward.get(u, ()))
+
+    def domain(self) -> FrozenSet[Node]:
+        """All u appearing on the left of some pair."""
+        return frozenset(self._forward)
+
+    def codomain(self) -> FrozenSet[Node]:
+        """All v appearing on the right of some pair."""
+        out: Set[Node] = set()
+        for image in self._forward.values():
+            out |= image
+        return frozenset(out)
+
+    def pairs(self) -> Iterator[Pair]:
+        for u, image in self._forward.items():
+            for v in image:
+                yield (u, v)
+
+    def inverse(self) -> "SimulationRelation":
+        """The converse relation R^-1 = {(v, u) | (u, v) in R}."""
+        return SimulationRelation((v, u) for u, v in self.pairs())
+
+    def __len__(self) -> int:
+        return sum(len(image) for image in self._forward.values())
+
+    def __bool__(self) -> bool:
+        return bool(self._forward)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SimulationRelation):
+            return NotImplemented
+        return set(self.pairs()) == set(other.pairs())
+
+    def __hash__(self):
+        raise TypeError("SimulationRelation is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"<SimulationRelation: {len(self)} pairs>"

@@ -1,0 +1,170 @@
+"""Bipartite matching substrate.
+
+Two kinds of matchings are needed by the paper:
+
+- *feasibility* checks for the exact dp/bj variants ("does an injective /
+  bijective neighbor mapping into R exist?") -- solved exactly with
+  Hopcroft-Karp;
+- *maximum-weight* mappings for the FSim dp/bj operators -- the paper uses
+  "a popular greedy approximate of Hungarian [Avis 1983]"; we implement
+  that greedy plus an exact mode backed by
+  ``scipy.optimize.linear_sum_assignment`` for validation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+INFINITY = float("inf")
+
+
+def hopcroft_karp(
+    left_count: int, right_count: int, adjacency: Sequence[Sequence[int]]
+) -> Tuple[int, List[int], List[int]]:
+    """Maximum-cardinality bipartite matching.
+
+    Parameters
+    ----------
+    left_count / right_count:
+        Sizes of the two vertex classes (indices 0..count-1).
+    adjacency:
+        ``adjacency[i]`` lists the right indices adjacent to left ``i``.
+
+    Returns
+    -------
+    (size, match_left, match_right):
+        ``match_left[i]`` is the right partner of left ``i`` (or -1);
+        ``match_right[j]`` likewise for right ``j``.
+    """
+    match_left = [-1] * left_count
+    match_right = [-1] * right_count
+    size = 0
+
+    # Greedy warm start cuts the number of BFS phases roughly in half.
+    for i in range(left_count):
+        for j in adjacency[i]:
+            if match_right[j] == -1:
+                match_left[i] = j
+                match_right[j] = i
+                size += 1
+                break
+
+    distance = [0] * left_count
+
+    def bfs() -> bool:
+        queue = deque()
+        for i in range(left_count):
+            if match_left[i] == -1:
+                distance[i] = 0
+                queue.append(i)
+            else:
+                distance[i] = -1
+        found_free = False
+        while queue:
+            i = queue.popleft()
+            for j in adjacency[i]:
+                partner = match_right[j]
+                if partner == -1:
+                    found_free = True
+                elif distance[partner] == -1:
+                    distance[partner] = distance[i] + 1
+                    queue.append(partner)
+        return found_free
+
+    def dfs(i: int) -> bool:
+        for j in adjacency[i]:
+            partner = match_right[j]
+            if partner == -1 or (distance[partner] == distance[i] + 1 and dfs(partner)):
+                match_left[i] = j
+                match_right[j] = i
+                return True
+        distance[i] = -1
+        return False
+
+    while bfs():
+        for i in range(left_count):
+            if match_left[i] == -1 and dfs(i):
+                size += 1
+    return size, match_left, match_right
+
+
+def has_saturating_matching(adjacency: Sequence[Sequence[int]], right_count: int) -> bool:
+    """True when a matching saturates *every* left vertex (injective map)."""
+    left_count = len(adjacency)
+    if left_count == 0:
+        return True
+    if left_count > right_count:
+        return False
+    if any(not row for row in adjacency):
+        return False
+    size, _, _ = hopcroft_karp(left_count, right_count, adjacency)
+    return size == left_count
+
+
+def has_perfect_matching(adjacency: Sequence[Sequence[int]], right_count: int) -> bool:
+    """True when a perfect matching exists (bijective map; sizes must agree)."""
+    left_count = len(adjacency)
+    if left_count != right_count:
+        return False
+    return has_saturating_matching(adjacency, right_count)
+
+
+Key = Hashable
+
+
+def greedy_max_weight_matching(
+    weights: Mapping[Tuple[Key, Key], float],
+) -> Dict[Key, Key]:
+    """Greedy 1/2-approximate maximum-weight bipartite matching.
+
+    Sorts candidate pairs by descending weight and picks any pair whose
+    endpoints are both still free -- the classical greedy of Avis [23]
+    that the paper uses for the dp/bj mapping operators.  Ties are broken
+    by the repr of the pair to keep runs deterministic.
+
+    Returns a ``left -> right`` dict.
+    """
+    ordered = sorted(
+        weights.items(), key=lambda item: (-item[1], repr(item[0]))
+    )
+    matched_left: Dict[Key, Key] = {}
+    matched_right = set()
+    for (left, right), _weight in ordered:
+        if left in matched_left or right in matched_right:
+            continue
+        matched_left[left] = right
+        matched_right.add(right)
+    return matched_left
+
+
+def exact_max_weight_matching(
+    weights: Mapping[Tuple[Key, Key], float],
+) -> Dict[Key, Key]:
+    """Exact maximum-weight bipartite matching (Hungarian via scipy).
+
+    Missing pairs are treated as weight 0 and can be matched (the FSim
+    operators map *every* node of the constrained side, even when all of
+    its options currently score zero).
+    """
+    import numpy as np
+    from scipy.optimize import linear_sum_assignment
+
+    lefts = sorted({left for left, _ in weights}, key=repr)
+    rights = sorted({right for _, right in weights}, key=repr)
+    if not lefts or not rights:
+        return {}
+    matrix = np.zeros((len(lefts), len(rights)))
+    left_index = {left: i for i, left in enumerate(lefts)}
+    right_index = {right: j for j, right in enumerate(rights)}
+    for (left, right), weight in weights.items():
+        matrix[left_index[left], right_index[right]] = weight
+    rows, cols = linear_sum_assignment(matrix, maximize=True)
+    return {lefts[i]: rights[j] for i, j in zip(rows, cols)}
+
+
+def matching_weight(
+    matching: Mapping[Key, Key], weights: Mapping[Tuple[Key, Key], float]
+) -> float:
+    """Total weight of ``matching`` under ``weights`` (absent pairs = 0)."""
+    return sum(weights.get((left, right), 0.0) for left, right in matching.items())

@@ -1,0 +1,203 @@
+"""Maximal chi-simulation via greatest-fixpoint pair removal.
+
+For every variant the local condition "pair (u, v) is locally consistent
+with R" is *monotone* in R: enlarging R never invalidates a consistent
+pair.  Hence the union of all chi-simulations is itself a chi-simulation
+(the maximal one), and it can be computed by starting from all
+label-compatible pairs and deleting violating pairs until none remain.
+``u`` is chi-simulated by ``v`` iff (u, v) survives.
+
+The deletion loop is worklist-driven: removing (u, v) can only invalidate
+pairs whose endpoints are neighbors of u and v, so only those are
+re-checked.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.graph.digraph import LabeledDigraph, Node
+from repro.simulation.base import Pair, SimulationRelation, Variant
+from repro.simulation.matching import has_perfect_matching, has_saturating_matching
+
+_NeighborFn = Callable[[Node], Tuple[Node, ...]]
+
+
+def _covers(
+    u_neighbors: Tuple[Node, ...],
+    v_neighbors: Tuple[Node, ...],
+    relation: SimulationRelation,
+) -> bool:
+    """Simple-simulation side condition: every u' maps to some related v'."""
+    if not u_neighbors:
+        return True
+    v_set = set(v_neighbors)
+    for u_prime in u_neighbors:
+        if not (relation.image(u_prime) & v_set):
+            return False
+    return True
+
+
+def _covered_by(
+    u_neighbors: Tuple[Node, ...],
+    v_neighbors: Tuple[Node, ...],
+    relation: SimulationRelation,
+) -> bool:
+    """Converse side condition: every v' is the image of some related u'."""
+    if not v_neighbors:
+        return True
+    for v_prime in v_neighbors:
+        if not any(v_prime in relation.image(u_prime) for u_prime in u_neighbors):
+            return False
+    return True
+
+
+def _injective_into(
+    u_neighbors: Tuple[Node, ...],
+    v_neighbors: Tuple[Node, ...],
+    relation: SimulationRelation,
+) -> bool:
+    """IN-mapping condition: an injective map of u' into related v' exists."""
+    if not u_neighbors:
+        return True
+    if len(u_neighbors) > len(v_neighbors):
+        return False
+    v_index = {v_prime: j for j, v_prime in enumerate(v_neighbors)}
+    adjacency: List[List[int]] = []
+    for u_prime in u_neighbors:
+        image = relation.image(u_prime)
+        row = [v_index[v_prime] for v_prime in v_neighbors if v_prime in image]
+        adjacency.append(row)
+    return has_saturating_matching(adjacency, len(v_neighbors))
+
+
+def _bijective_between(
+    u_neighbors: Tuple[Node, ...],
+    v_neighbors: Tuple[Node, ...],
+    relation: SimulationRelation,
+) -> bool:
+    """Bijective condition: a perfect matching inside R exists."""
+    if len(u_neighbors) != len(v_neighbors):
+        return False
+    if not u_neighbors:
+        return True
+    v_index = {v_prime: j for j, v_prime in enumerate(v_neighbors)}
+    adjacency: List[List[int]] = []
+    for u_prime in u_neighbors:
+        image = relation.image(u_prime)
+        row = [v_index[v_prime] for v_prime in v_neighbors if v_prime in image]
+        adjacency.append(row)
+    return has_perfect_matching(adjacency, len(v_neighbors))
+
+
+def _pair_consistent(
+    graph1: LabeledDigraph,
+    graph2: LabeledDigraph,
+    u: Node,
+    v: Node,
+    relation: SimulationRelation,
+    variant: Variant,
+) -> bool:
+    """Local consistency of (u, v) w.r.t. the current relation."""
+    u_out, v_out = graph1.out_neighbors(u), graph2.out_neighbors(v)
+    u_in, v_in = graph1.in_neighbors(u), graph2.in_neighbors(v)
+    if variant is Variant.S:
+        return _covers(u_out, v_out, relation) and _covers(u_in, v_in, relation)
+    if variant is Variant.DP:
+        return _injective_into(u_out, v_out, relation) and _injective_into(
+            u_in, v_in, relation
+        )
+    if variant is Variant.B:
+        return (
+            _covers(u_out, v_out, relation)
+            and _covers(u_in, v_in, relation)
+            and _covered_by(u_out, v_out, relation)
+            and _covered_by(u_in, v_in, relation)
+        )
+    if variant is Variant.BJ:
+        return _bijective_between(u_out, v_out, relation) and _bijective_between(
+            u_in, v_in, relation
+        )
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+def maximal_simulation(
+    graph1: LabeledDigraph,
+    graph2: LabeledDigraph,
+    variant: Variant = Variant.S,
+) -> SimulationRelation:
+    """The maximal chi-simulation relation of ``graph1`` by ``graph2``.
+
+    Returns the greatest relation R subseteq V1 x V2 such that every pair
+    satisfies Definition 2 (and Definition 3 for bj).  ``(u, v) in R``
+    iff ``u`` is chi-simulated by ``v``.
+    """
+    variant = Variant(variant)
+    relation = SimulationRelation()
+    for label in graph1.labels():
+        mates = graph2.nodes_with_label(label)
+        if not mates:
+            continue
+        for u in graph1.nodes_with_label(label):
+            for v in mates:
+                relation.add(u, v)
+
+    # Dependency map: removing (u, v) may invalidate neighbor pairs only.
+    pending: Set[Pair] = set(relation.pairs())
+    while pending:
+        u, v = pending.pop()
+        if (u, v) not in relation:
+            continue
+        if _pair_consistent(graph1, graph2, u, v, relation, variant):
+            continue
+        relation.discard(u, v)
+        # Every variant's condition on a pair (x, y) only references pairs
+        # whose left element lies in N(x); removing (u, v) can therefore
+        # only invalidate pairs whose left endpoint is adjacent to u.
+        for u_prime in set(graph1.in_neighbors(u)) | set(graph1.out_neighbors(u)):
+            for v_prime in relation.image(u_prime):
+                pending.add((u_prime, v_prime))
+    return relation
+
+
+def simulates(
+    graph1: LabeledDigraph,
+    u: Node,
+    graph2: LabeledDigraph,
+    v: Node,
+    variant: Variant = Variant.S,
+    relation: Optional[SimulationRelation] = None,
+) -> bool:
+    """Does ``v`` chi-simulate ``u`` (u ~>_chi v)?
+
+    Pass a precomputed ``relation`` (from :func:`maximal_simulation`) when
+    asking about many pairs of the same graph pair.
+    """
+    if relation is None:
+        relation = maximal_simulation(graph1, graph2, variant)
+    return (u, v) in relation
+
+
+def simulation_preorder_classes(
+    graph: LabeledDigraph, variant: Variant = Variant.B
+) -> Dict[Node, int]:
+    """Equivalence classes of mutual chi-simulation within one graph.
+
+    For converse-invariant variants this is the chi-bisimilarity partition;
+    for s/dp it is the kernel of the simulation preorder (u ~ v iff each
+    simulates the other).  Returns ``{node: class_id}``.
+    """
+    relation = maximal_simulation(graph, graph, variant)
+    class_of: Dict[Node, int] = {}
+    representatives: List[Node] = []
+    for node in graph.nodes():
+        assigned = False
+        for class_id, representative in enumerate(representatives):
+            if (node, representative) in relation and (representative, node) in relation:
+                class_of[node] = class_id
+                assigned = True
+                break
+        if not assigned:
+            class_of[node] = len(representatives)
+            representatives.append(node)
+    return class_of

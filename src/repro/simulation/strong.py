@@ -1,0 +1,83 @@
+"""Strong simulation (Ma et al. [1, 6]), the exact pattern-matching baseline.
+
+Strong simulation exists between a query ``Q`` and a data graph ``G`` if
+some ball ``G[v, dQ]`` (``dQ`` = diameter of Q) admits a simulation
+relation R between Q and the ball such that R covers every query node and
+contains the ball center ``v``.  The paper treats it as "simulation
+performed multiple times", which is exactly what this module does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.graph.digraph import LabeledDigraph, Node
+from repro.graph.subgraph import ball, undirected_diameter
+from repro.simulation.base import SimulationRelation, Variant
+from repro.simulation.maximal import maximal_simulation
+
+
+@dataclass(frozen=True)
+class StrongMatch:
+    """One strong-simulation match: the ball center and the relation."""
+
+    center: Node
+    relation: SimulationRelation
+
+    def matched_data_nodes(self) -> frozenset:
+        """Data-graph nodes participating in the match."""
+        return self.relation.codomain()
+
+
+def strong_simulation_match(
+    query: LabeledDigraph,
+    data: LabeledDigraph,
+    center: Node,
+    diameter: Optional[int] = None,
+) -> Optional[StrongMatch]:
+    """Test one candidate ball center; return the match or ``None``.
+
+    The relation must (1) be a simulation between Q and the ball and
+    (2) contain ``center`` and cover all query nodes.
+    """
+    if diameter is None:
+        diameter = undirected_diameter(query)
+    sphere = ball(data, center, diameter)
+    relation = maximal_simulation(query, sphere, Variant.S)
+    if not relation:
+        return None
+    query_nodes = set(query.nodes())
+    if relation.domain() != frozenset(query_nodes):
+        return None
+    if center not in relation.codomain():
+        return None
+    return StrongMatch(center=center, relation=relation)
+
+
+def strong_simulation(
+    query: LabeledDigraph,
+    data: LabeledDigraph,
+    max_matches: Optional[int] = None,
+) -> List[StrongMatch]:
+    """All strong-simulation matches of ``query`` in ``data``.
+
+    Candidate centers are restricted to data nodes whose label occurs in
+    the query (any match ball must contain at least one of those).  Set
+    ``max_matches`` to stop early.
+    """
+    diameter = undirected_diameter(query)
+    query_labels = set(query.label(node) for node in query.nodes())
+    matches: List[StrongMatch] = []
+    seen_balls = set()
+    for label in query_labels:
+        for center in data.nodes_with_label(label):
+            if center in seen_balls:
+                continue
+            seen_balls.add(center)
+            match = strong_simulation_match(query, data, center, diameter)
+            if match is not None:
+                matches.append(match)
+                if max_matches is not None and len(matches) >= max_matches:
+                    return matches
+    return matches

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.graph import figure1_graphs
+from repro.graph.generators import random_graph, uniform_labels
+
+
+@pytest.fixture
+def figure1():
+    """The paper's Figure 1 graphs as a (pattern, data) pair."""
+    return figure1_graphs()
+
+
+@pytest.fixture
+def small_random_graph():
+    """A deterministic 15-node, 30-edge graph over 3 labels."""
+    return random_graph(15, 30, uniform_labels(15, 3, seed=41), seed=42)
+
+
+@pytest.fixture
+def medium_random_graph():
+    """A deterministic 40-node, 100-edge graph over 5 labels."""
+    return random_graph(40, 100, uniform_labels(40, 5, seed=43), seed=44)

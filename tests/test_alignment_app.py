@@ -1,0 +1,140 @@
+"""Tests for the graph-alignment case study (Table 9 machinery)."""
+
+import pytest
+
+from repro.apps.alignment import (
+    EWSAligner,
+    ExactBisimulationAligner,
+    FinalAligner,
+    FSimAligner,
+    KBisimulationAligner,
+    OlapAligner,
+    alignment_f1,
+    evaluate_aligners,
+    evolve_graph,
+    generate_bio_versions,
+)
+from repro.apps.alignment.evaluation import render_table9
+from repro.simulation import Variant
+
+
+@pytest.fixture(scope="module")
+def versions():
+    return generate_bio_versions(num_nodes=120, seed=3)
+
+
+class TestEvolving:
+    def test_three_versions(self, versions):
+        assert len(versions) == 3
+        for graph in versions:
+            graph.validate()
+
+    def test_versions_grow(self, versions):
+        g1, g2, g3 = versions
+        assert g2.num_nodes > g1.num_nodes  # birth > death, like the paper
+        assert g3.num_nodes > g2.num_nodes
+
+    def test_ids_preserved(self, versions):
+        g1, g2, _ = versions
+        shared = [u for u in g1.nodes() if g2.has_node(u)]
+        assert len(shared) > 0.9 * g1.num_nodes
+        for node in shared:
+            assert g1.label(node) == g2.label(node)
+
+    def test_evolution_deterministic(self, versions):
+        g1 = versions[0]
+        assert evolve_graph(g1, seed=7).same_structure(evolve_graph(g1, seed=7))
+
+    def test_zero_churn_identity(self, versions):
+        g1 = versions[0]
+        frozen = evolve_graph(g1, seed=1, edge_churn=0, node_birth=0, node_death=0)
+        assert frozen.same_structure(g1)
+
+
+class TestF1Metric:
+    def test_perfect_alignment(self, versions):
+        g1, g2, _ = versions
+        alignment = {u: [u] for u in g1.nodes() if g2.has_node(u)}
+        assert alignment_f1(alignment, g1, g2) == pytest.approx(1.0)
+
+    def test_empty_alignment(self, versions):
+        g1, g2, _ = versions
+        assert alignment_f1({}, g1, g2) == 0.0
+
+    def test_ambiguity_penalised(self, versions):
+        g1, g2, _ = versions
+        shared = [u for u in g1.nodes() if g2.has_node(u)]
+        two = {u: [u, "decoy"] for u in shared}
+        one = {u: [u] for u in shared}
+        assert alignment_f1(two, g1, g2) < alignment_f1(one, g1, g2)
+        # P = 1/2, R = 1 -> F1 per node = 2/3
+        assert alignment_f1(two, g1, g2) == pytest.approx(2 / 3)
+
+    def test_wrong_alignment_scores_zero(self, versions):
+        g1, g2, _ = versions
+        shared = [u for u in g1.nodes() if g2.has_node(u)]
+        wrong = {u: ["decoy"] for u in shared}
+        assert alignment_f1(wrong, g1, g2) == 0.0
+
+
+class TestAligners:
+    def test_fsim_beats_baselines(self, versions):
+        g1, g2, _ = versions
+        fsim = alignment_f1(FSimAligner(Variant.B).align(g1, g2), g1, g2)
+        kbisim = alignment_f1(KBisimulationAligner(2).align(g1, g2), g1, g2)
+        olap = alignment_f1(OlapAligner().align(g1, g2), g1, g2)
+        assert fsim > kbisim
+        assert fsim > olap
+        assert fsim > 0.6
+
+    def test_exact_bisim_zero_under_drift(self, versions):
+        g1, g2, _ = versions
+        f1 = alignment_f1(ExactBisimulationAligner().align(g1, g2), g1, g2)
+        assert f1 == pytest.approx(0.0, abs=0.05)
+
+    def test_identity_alignment_on_self(self, versions):
+        g1 = versions[0]
+        for aligner in (FSimAligner(Variant.BJ), EWSAligner(), OlapAligner()):
+            f1 = alignment_f1(aligner.align(g1, g1), g1, g1)
+            assert f1 > 0.5, aligner.name
+
+    def test_gsana_positional_alignment(self, versions):
+        from repro.apps.alignment import GsanaAligner
+
+        g1, g2, _ = versions
+        alignment = GsanaAligner().align(g1, g2)
+        f1 = alignment_f1(alignment, g1, g2)
+        assert 0.0 < f1 < 1.0
+        # candidates always share the query's label
+        for u, candidates in alignment.items():
+            for v in candidates:
+                assert g1.label(u) == g2.label(v)
+
+    def test_final_aligner_runs(self, versions):
+        g1, g2, _ = versions
+        f1 = alignment_f1(FinalAligner(iterations=4).align(g1, g2), g1, g2)
+        assert 0.0 <= f1 <= 1.0
+
+    def test_ews_injective(self, versions):
+        g1, g2, _ = versions
+        alignment = EWSAligner().align(g1, g2)
+        matched = [vs[0] for vs in alignment.values() if vs]
+        assert len(set(matched)) == len(matched)
+
+    def test_kbisim_k_sensitivity(self, versions):
+        g1, g2, _ = versions
+        shallow = alignment_f1(KBisimulationAligner(2).align(g1, g2), g1, g2)
+        deep = alignment_f1(KBisimulationAligner(4).align(g1, g2), g1, g2)
+        # deeper signatures shatter under drift (paper: 2-bisim > 4-bisim)
+        assert shallow >= deep
+
+    def test_evaluate_and_render(self, versions):
+        g1, g2, g3 = versions
+        results = evaluate_aligners(
+            [KBisimulationAligner(2), FSimAligner(Variant.B)],
+            {"G1-G2": (g1, g2), "G1-G3": (g1, g3)},
+        )
+        table = render_table9(results)
+        assert "G1-G2" in table
+        assert "FSimb" in table
+        assert len(results["G1-G2"]) == 2

@@ -1,0 +1,117 @@
+"""Tests for score analysis helpers and edge-label reification."""
+
+import pytest
+
+from repro.core import fsim_matrix
+from repro.core.analysis import (
+    compare,
+    exact_pairs,
+    mutual_classes,
+    summarize,
+    top_pairs,
+)
+from repro.graph import from_edges
+from repro.graph.builders import reify_edge_labels
+from repro.graph.generators import cycle_graph
+from repro.simulation import Variant, maximal_simulation
+
+
+@pytest.fixture(scope="module")
+def result(small_random_graph_module):
+    g = small_random_graph_module
+    return fsim_matrix(
+        g, g, Variant.B, label_function="indicator", matching_mode="exact"
+    )
+
+
+@pytest.fixture(scope="module")
+def small_random_graph_module():
+    from repro.graph.generators import random_graph, uniform_labels
+
+    return random_graph(15, 30, uniform_labels(15, 3, seed=41), seed=42)
+
+
+class TestSummarize:
+    def test_summary_fields(self, result):
+        summary = summarize(result)
+        assert summary.num_pairs == len(result.scores)
+        assert 0.0 <= summary.minimum <= summary.mean <= summary.maximum <= 1.0
+        q1, q2, q3 = summary.quartiles
+        assert q1 <= q2 <= q3
+        assert summary.num_exact >= 15  # at least the diagonal
+        assert "pairs" in summary.render()
+
+    def test_empty_summary(self):
+        from repro.core.engine import FSimResult
+        from repro.core.config import FSimConfig
+
+        empty = FSimResult(scores={}, config=FSimConfig(), iterations=0,
+                           converged=True)
+        summary = summarize(empty)
+        assert summary.num_pairs == 0
+
+
+class TestExactAndClasses:
+    def test_exact_pairs_match_relation(self, result, small_random_graph_module):
+        g = small_random_graph_module
+        relation = maximal_simulation(g, g, Variant.B)
+        assert exact_pairs(result) == set(relation.pairs())
+
+    def test_mutual_classes_on_cycle(self):
+        g = cycle_graph(4)
+        res = fsim_matrix(g, g, Variant.B, label_function="indicator")
+        classes = mutual_classes(res)
+        assert len(set(classes.values())) == 1
+
+    def test_compare_self_is_identity(self, result):
+        metrics = compare(result, result)
+        assert metrics["pearson"] == pytest.approx(1.0)
+        assert metrics["max_abs_diff"] == 0.0
+
+    def test_top_pairs_excludes_diagonal(self, result):
+        ranked = top_pairs(result, k=5)
+        assert all(u != v for (u, v), _ in ranked)
+        values = [value for _, value in ranked]
+        assert values == sorted(values, reverse=True)
+
+
+class TestReification:
+    def build(self):
+        graph = from_edges(
+            [("a", "b"), ("b", "c")], {"a": "X", "b": "Y", "c": "X"}
+        )
+        labels = {("a", "b"): "likes", ("b", "c"): "knows"}
+        return graph, reify_edge_labels(graph, labels)
+
+    def test_structure(self):
+        graph, reified = self.build()
+        assert reified.num_nodes == graph.num_nodes + graph.num_edges
+        assert reified.num_edges == 2 * graph.num_edges
+        assert reified.label(("edge", "a", "b")) == "likes"
+        assert reified.has_edge("a", ("edge", "a", "b"))
+        assert reified.has_edge(("edge", "a", "b"), "b")
+
+    def test_default_label(self):
+        graph = from_edges([("a", "b")], {"a": "X", "b": "X"})
+        reified = reify_edge_labels(graph, {})
+        assert reified.label(("edge", "a", "b")) == "edge"
+
+    def test_edge_labels_constrain_simulation(self):
+        # same node labels, different edge labels: simulation must fail
+        # on the reified graphs though it holds on the plain ones.
+        g1 = from_edges([("a", "b")], {"a": "X", "b": "Y"})
+        g2 = from_edges([("c", "d")], {"c": "X", "d": "Y"})
+        plain = maximal_simulation(g1, g2, Variant.S)
+        assert ("a", "c") in plain
+        reified1 = reify_edge_labels(g1, {("a", "b"): "likes"})
+        reified2 = reify_edge_labels(g2, {("c", "d"): "hates"})
+        constrained = maximal_simulation(reified1, reified2, Variant.S)
+        assert ("a", "c") not in constrained
+
+    def test_matching_edge_labels_preserve_simulation(self):
+        g1 = from_edges([("a", "b")], {"a": "X", "b": "Y"})
+        g2 = from_edges([("c", "d")], {"c": "X", "d": "Y"})
+        reified1 = reify_edge_labels(g1, {("a", "b"): "likes"})
+        reified2 = reify_edge_labels(g2, {("c", "d"): "likes"})
+        relation = maximal_simulation(reified1, reified2, Variant.S)
+        assert ("a", "c") in relation

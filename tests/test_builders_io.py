@@ -1,0 +1,125 @@
+"""Tests for graph builders and IO round-trips."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    LabeledDigraph,
+    from_adjacency,
+    from_edges,
+    from_networkx,
+    load_graph,
+    load_graph_json,
+    relabel_to_integers,
+    save_graph,
+    save_graph_json,
+    to_networkx,
+    union,
+)
+
+
+def sample_graph():
+    return from_edges(
+        edges=[("a", "b"), ("b", "c")],
+        labels={"a": "X", "b": "Y", "c": "X", "iso": "Z"},
+        name="sample",
+    )
+
+
+class TestBuilders:
+    def test_from_edges_includes_isolated_nodes(self):
+        g = sample_graph()
+        assert g.num_nodes == 4
+        assert g.num_edges == 2
+        assert g.has_node("iso")
+        assert g.out_degree("iso") == 0
+
+    def test_from_adjacency(self):
+        g = from_adjacency({"a": ["b", "c"], "b": []}, {"a": 1, "b": 2, "c": 3})
+        assert g.out_neighbors("a") == ("b", "c")
+        assert g.num_edges == 2
+
+    def test_relabel_to_integers(self):
+        g = sample_graph()
+        renamed, mapping = relabel_to_integers(g)
+        assert set(renamed.nodes()) == {0, 1, 2, 3}
+        assert renamed.num_edges == g.num_edges
+        assert renamed.label(mapping["a"]) == "X"
+        assert renamed.has_edge(mapping["a"], mapping["b"])
+
+    def test_union_disjoint(self):
+        g1 = from_edges([("a", "b")], {"a": "X", "b": "X"})
+        g2 = from_edges([(1, 2)], {1: "Y", 2: "Y"})
+        merged = union(g1, g2)
+        assert merged.num_nodes == 4
+        assert merged.num_edges == 2
+
+    def test_union_overlapping_rejected(self):
+        g1 = from_edges([], {"a": "X"})
+        g2 = from_edges([], {"a": "Y"})
+        with pytest.raises(GraphError):
+            union(g1, g2)
+
+
+class TestNetworkxBridge:
+    def test_round_trip_directed(self):
+        g = sample_graph()
+        nx_graph = to_networkx(g)
+        back = from_networkx(nx_graph)
+        assert back.same_structure(g)
+
+    def test_from_networkx_undirected_symmetrised(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_node(1, label="A")
+        nx_graph.add_node(2, label="B")
+        nx_graph.add_edge(1, 2)
+        g = from_networkx(nx_graph)
+        assert g.has_edge(1, 2)
+        assert g.has_edge(2, 1)
+
+    def test_from_networkx_default_labels(self):
+        import networkx as nx
+
+        nx_graph = nx.DiGraph()
+        nx_graph.add_node("n1")
+        g = from_networkx(nx_graph)
+        assert g.label("n1") == "n1"
+
+
+class TestIO:
+    def test_text_round_trip(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "graph.tsv"
+        save_graph(g, path)
+        loaded = load_graph(path)
+        assert loaded.num_nodes == g.num_nodes
+        assert loaded.num_edges == g.num_edges
+        assert loaded.label("a") == "X"
+        assert loaded.has_edge("a", "b")
+
+    def test_text_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("v\ta\tX\nbogus line\n")
+        with pytest.raises(GraphError):
+            load_graph(path)
+
+    def test_text_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "ok.tsv"
+        path.write_text("# comment\n\nv\ta\tX\n")
+        g = load_graph(path)
+        assert g.num_nodes == 1
+
+    def test_json_round_trip_preserves_types(self, tmp_path):
+        g = LabeledDigraph("typed")
+        g.add_node(1, "int-node")
+        g.add_node(("t", 2), "tuple-node")
+        g.add_edge(1, ("t", 2))
+        path = tmp_path / "graph.json"
+        save_graph_json(g, path)
+        loaded = load_graph_json(path)
+        assert loaded.has_node(1)
+        assert loaded.has_node(("t", 2))
+        assert loaded.has_edge(1, ("t", 2))
+        assert loaded.name == "typed"

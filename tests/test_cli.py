@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import figure1_graphs
+from repro.graph.io import save_graph
+
+
+class TestDatasets:
+    def test_prints_all_rows(self, capsys):
+        assert main(["datasets", "--scale", "0.4"]) == 0
+        out = capsys.readouterr().out
+        for name in ("yeast", "acmcit"):
+            assert name in out
+
+
+class TestFsim:
+    def test_scores_between_files(self, tmp_path, capsys):
+        pattern, data = figure1_graphs()
+        path1 = tmp_path / "p.tsv"
+        path2 = tmp_path / "d.tsv"
+        save_graph(pattern, path1)
+        save_graph(data, path2)
+        code = main(
+            [
+                "fsim", str(path1), str(path2),
+                "--variant", "bj", "--label-function", "indicator",
+                "--top", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FSimbj" in out
+        assert "1.000000" in out
+
+    def test_cross_variant_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fsim", "a", "b", "--variant", "cross"])
+
+
+class TestExperiment:
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_fig7_small_scale(self, capsys):
+        assert main(["experiment", "fig7", "--scale", "0.3"]) == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "tableX"])
+
+
+class TestExamplesListing:
+    def test_lists_scripts(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart.py" in out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,97 @@
+"""Tests for FSimConfig validation and presets."""
+
+import math
+
+import pytest
+
+from repro.core.config import FSimConfig, case_study_default, paper_default
+from repro.exceptions import ConfigError
+from repro.simulation import Variant
+
+
+class TestValidation:
+    def test_defaults_are_paper_defaults(self):
+        cfg = FSimConfig()
+        assert cfg.w_out == 0.4
+        assert cfg.w_in == 0.4
+        assert cfg.w_label == pytest.approx(0.2)
+        assert cfg.variant is Variant.S
+
+    def test_variant_coercion(self):
+        assert FSimConfig(variant="bj").variant is Variant.BJ
+
+    @pytest.mark.parametrize("w_out,w_in", [(1.0, 0.0), (-0.1, 0.4), (0.5, 0.5)])
+    def test_weight_bounds(self, w_out, w_in):
+        with pytest.raises(ConfigError):
+            FSimConfig(w_out=w_out, w_in=w_in)
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            FSimConfig(w_out=0.0, w_in=0.0)
+
+    @pytest.mark.parametrize("theta", [-0.1, 1.1])
+    def test_theta_bounds(self, theta):
+        with pytest.raises(ConfigError):
+            FSimConfig(theta=theta)
+
+    def test_alpha_beta_bounds(self):
+        with pytest.raises(ConfigError):
+            FSimConfig(alpha=1.5)
+        with pytest.raises(ConfigError):
+            FSimConfig(beta=-0.2)
+
+    def test_epsilon_positive(self):
+        with pytest.raises(ConfigError):
+            FSimConfig(epsilon=0.0)
+
+    def test_matching_mode_checked(self):
+        with pytest.raises(ConfigError):
+            FSimConfig(matching_mode="sloppy")
+
+    def test_normalizer_checked(self):
+        with pytest.raises(ConfigError):
+            FSimConfig(normalizer="weird")
+
+    def test_max_iterations_positive(self):
+        with pytest.raises(ConfigError):
+            FSimConfig(max_iterations=0)
+
+
+class TestIterationBudget:
+    def test_corollary1_formula(self):
+        cfg = FSimConfig(w_out=0.4, w_in=0.4, epsilon=0.01)
+        expected = math.ceil(math.log(0.01) / math.log(0.8))
+        assert cfg.iteration_budget() == expected
+
+    def test_explicit_override(self):
+        cfg = FSimConfig(max_iterations=3)
+        assert cfg.iteration_budget() == 3
+
+    def test_smaller_weights_converge_faster(self):
+        slow = FSimConfig(w_out=0.45, w_in=0.45)
+        fast = FSimConfig(w_out=0.1, w_in=0.1)
+        assert fast.iteration_budget() < slow.iteration_budget()
+
+
+class TestHelpers:
+    def test_with_options(self):
+        cfg = FSimConfig().with_options(theta=1.0, variant=Variant.B)
+        assert cfg.theta == 1.0
+        assert cfg.variant is Variant.B
+        # original untouched (frozen dataclass)
+        assert FSimConfig().theta == 0.0
+
+    def test_paper_default(self):
+        cfg = paper_default(Variant.BJ, theta=1.0)
+        assert cfg.variant is Variant.BJ
+        assert cfg.theta == 1.0
+        assert cfg.label_function == "jaro_winkler"
+
+    def test_case_study_default_uses_indicator(self):
+        cfg = case_study_default(Variant.S)
+        assert cfg.label_function == "indicator"
+
+    def test_resolved_label_function(self):
+        from repro.labels import jaro_winkler_similarity
+
+        assert FSimConfig().resolved_label_function is jaro_winkler_similarity

@@ -1,0 +1,78 @@
+"""Tests for the dataset emulators."""
+
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    dataset_spec,
+    dataset_table,
+    load_dataset,
+)
+from repro.exceptions import ConfigError
+from repro.graph.stats import compute_stats
+
+
+class TestRegistry:
+    def test_all_eight_datasets_present(self):
+        assert len(DATASET_NAMES) == 8
+        for name in DATASET_NAMES:
+            assert dataset_spec(name).name == name
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigError):
+            dataset_spec("imdb")
+
+    def test_case_insensitive(self):
+        assert dataset_spec("NELL").name == "nell"
+
+    def test_size_ordering_preserved(self):
+        # The paper's ordering: yeast smallest ... acmcit largest (edges).
+        edges = [dataset_spec(name).num_edges for name in DATASET_NAMES]
+        assert edges[0] == min(edges)
+        assert edges[-1] == max(edges)
+
+    def test_paper_row_recorded(self):
+        spec = dataset_spec("acmcit")
+        assert spec.paper_edges == 9_671_895
+        assert spec.paper_labels == 72_000
+
+
+class TestBuild:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_build_matches_spec(self, name):
+        spec = dataset_spec(name)
+        graph = load_dataset(name)
+        assert graph.num_nodes == spec.num_nodes
+        # power-law generation may undershoot slightly on edges
+        assert graph.num_edges >= 0.8 * spec.num_edges
+        assert len(graph.labels()) <= spec.num_labels
+        graph.validate()
+
+    def test_deterministic(self):
+        assert load_dataset("nell").same_structure(load_dataset("nell"))
+        assert not load_dataset("nell").same_structure(
+            load_dataset("nell", seed=99)
+        )
+
+    def test_scaling(self):
+        half = load_dataset("amazon", scale=0.5)
+        full = load_dataset("amazon")
+        assert half.num_nodes < full.num_nodes
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            dataset_spec("yeast", scale=0)
+
+    def test_dense_datasets_denser_than_sparse(self):
+        wiki = compute_stats(load_dataset("wiki"))
+        nell = compute_stats(load_dataset("nell"))
+        assert wiki.avg_degree > 5 * nell.avg_degree
+
+    def test_hubby_datasets_have_hubs(self):
+        jdk = compute_stats(load_dataset("jdk"))
+        assert jdk.max_in_degree > 3 * jdk.avg_degree
+
+    def test_dataset_table_renders(self):
+        table = dataset_table(scale=0.5)
+        for name in DATASET_NAMES:
+            assert name in table

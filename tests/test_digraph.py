@@ -1,0 +1,215 @@
+"""Unit tests for the LabeledDigraph data structure."""
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graph import LabeledDigraph
+from repro.graph.digraph import (
+    check_same_label_sets,
+    degree_sequence,
+    edge_set,
+    nodes_sorted,
+)
+
+
+def build_triangle():
+    g = LabeledDigraph("triangle")
+    for node, label in (("a", "X"), ("b", "Y"), ("c", "X")):
+        g.add_node(node, label)
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    g.add_edge("c", "a")
+    return g
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = LabeledDigraph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.nodes() == ()
+        assert list(g.edges()) == []
+
+    def test_add_nodes_and_edges(self):
+        g = build_triangle()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert g.label("a") == "X"
+        assert g.out_neighbors("a") == ("b",)
+        assert g.in_neighbors("a") == ("c",)
+
+    def test_re_add_node_relabels(self):
+        g = build_triangle()
+        g.add_node("a", "Z")
+        assert g.label("a") == "Z"
+        assert "a" in g.nodes_with_label("Z")
+        assert "a" not in g.nodes_with_label("X")
+
+    def test_add_edge_missing_endpoint(self):
+        g = build_triangle()
+        with pytest.raises(NodeNotFoundError):
+            g.add_edge("a", "zz")
+        with pytest.raises(NodeNotFoundError):
+            g.add_edge("zz", "a")
+
+    def test_parallel_edge_rejected(self):
+        g = build_triangle()
+        with pytest.raises(GraphError):
+            g.add_edge("a", "b")
+
+    def test_add_edge_if_absent(self):
+        g = build_triangle()
+        assert g.add_edge_if_absent("a", "b") is False
+        assert g.add_edge_if_absent("a", "c") is True
+        assert g.num_edges == 4
+
+    def test_self_loop_allowed(self):
+        g = build_triangle()
+        g.add_edge("a", "a")
+        assert g.has_edge("a", "a")
+        assert "a" in g.out_neighbors("a")
+        assert "a" in g.in_neighbors("a")
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = build_triangle()
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.num_edges == 2
+        g.validate()
+
+    def test_remove_missing_edge(self):
+        g = build_triangle()
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge("a", "c")
+
+    def test_remove_node_cleans_edges(self):
+        g = build_triangle()
+        g.remove_node("b")
+        assert g.num_nodes == 2
+        assert g.num_edges == 1  # only c -> a survives
+        assert not g.has_node("b")
+        g.validate()
+
+    def test_remove_missing_node(self):
+        g = build_triangle()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node("zz")
+
+    def test_remove_node_updates_label_index(self):
+        g = build_triangle()
+        g.remove_node("b")
+        assert g.nodes_with_label("Y") == ()
+        assert "Y" not in g.labels()
+
+
+class TestLabels:
+    def test_label_index(self):
+        g = build_triangle()
+        assert set(g.nodes_with_label("X")) == {"a", "c"}
+        assert g.nodes_with_label("missing") == ()
+        assert g.label_histogram() == {"X": 2, "Y": 1}
+
+    def test_set_label(self):
+        g = build_triangle()
+        g.set_label("b", "X")
+        assert set(g.nodes_with_label("X")) == {"a", "b", "c"}
+        assert "Y" not in g.labels()
+        g.validate()
+
+    def test_set_label_missing_node(self):
+        g = build_triangle()
+        with pytest.raises(NodeNotFoundError):
+            g.set_label("zz", "X")
+
+    def test_label_of_missing_node(self):
+        g = build_triangle()
+        with pytest.raises(NodeNotFoundError):
+            g.label("zz")
+
+
+class TestDerived:
+    def test_copy_is_independent(self):
+        g = build_triangle()
+        clone = g.copy()
+        clone.add_node("d", "Z")
+        clone.remove_edge("a", "b")
+        assert g.num_nodes == 3
+        assert g.has_edge("a", "b")
+        assert clone.num_nodes == 4
+
+    def test_reverse(self):
+        g = build_triangle()
+        rev = g.reverse()
+        assert rev.has_edge("b", "a")
+        assert not rev.has_edge("a", "b")
+        assert rev.num_edges == g.num_edges
+
+    def test_to_undirected_symmetric(self):
+        g = build_triangle()
+        und = g.to_undirected()
+        for source, target in g.edges():
+            assert und.has_edge(source, target)
+            assert und.has_edge(target, source)
+        assert und.num_edges == 6
+
+    def test_same_structure(self):
+        g = build_triangle()
+        assert g.same_structure(g.copy())
+        other = g.copy()
+        other.remove_edge("a", "b")
+        assert not g.same_structure(other)
+
+    def test_neighbors_deduplicated(self):
+        g = build_triangle()
+        g.add_edge("b", "a")  # now a <-> b
+        assert set(g.neighbors("a")) == {"b", "c"}
+        assert len(g.neighbors("a")) == 2
+
+
+class TestProtocols:
+    def test_len_contains_iter(self):
+        g = build_triangle()
+        assert len(g) == 3
+        assert "a" in g
+        assert "zz" not in g
+        assert list(g) == ["a", "b", "c"]
+
+    def test_repr_mentions_counts(self):
+        g = build_triangle()
+        text = repr(g)
+        assert "3 nodes" in text
+        assert "3 edges" in text
+
+
+class TestHelpers:
+    def test_degree_sequence(self):
+        g = build_triangle()
+        assert degree_sequence(g) == [(1, 1), (1, 1), (1, 1)]
+
+    def test_edge_set(self):
+        g = build_triangle()
+        assert edge_set(g) == {("a", "b"), ("b", "c"), ("c", "a")}
+
+    def test_nodes_sorted(self):
+        g = build_triangle()
+        assert nodes_sorted(g) == ["a", "b", "c"]
+
+    def test_shared_labels(self):
+        g1 = build_triangle()
+        g2 = LabeledDigraph()
+        g2.add_node(1, "X")
+        assert list(check_same_label_sets(g1, g2)) == ["X"]
+
+    def test_sort_adjacency(self):
+        g = LabeledDigraph()
+        for node in ("a", "c", "b"):
+            g.add_node(node, "L")
+        g.add_edge("a", "c")
+        g.add_edge("a", "b")
+        g.sort_adjacency()
+        assert g.out_neighbors("a") == ("b", "c")
+
+    def test_validate_passes_on_consistent_graph(self):
+        build_triangle().validate()

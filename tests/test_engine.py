@@ -1,0 +1,213 @@
+"""Tests for the iterative FSim engine (Algorithm 1)."""
+
+import pytest
+
+from repro.core import FSimConfig, FSimEngine, fsim_matrix
+from repro.core.engine import is_one
+from repro.graph import figure1_graphs, from_edges
+from repro.graph.examples import TABLE2_EXPECTED
+from repro.graph.generators import random_graph, uniform_labels
+from repro.simulation import Variant, maximal_simulation
+
+ALL_VARIANTS = [Variant.S, Variant.DP, Variant.B, Variant.BJ]
+
+EXACT_CFG = dict(label_function="indicator", matching_mode="exact")
+
+
+class TestFigure1Scores:
+    """Fractional counterpart of Table 2."""
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_definiteness_matches_exact_relation(self, variant, figure1):
+        pattern, data = figure1
+        result = fsim_matrix(pattern, data, variant, **EXACT_CFG)
+        for candidate, expected in TABLE2_EXPECTED[variant.value].items():
+            assert is_one(result.score("u", candidate)) == expected
+
+    def test_near_miss_scores_high(self, figure1):
+        pattern, data = figure1
+        result = fsim_matrix(pattern, data, Variant.BJ, **EXACT_CFG)
+        # v3 nearly bj-simulates u (paper reports 0.94); far above v1.
+        assert 0.8 < result.score("u", "v3") < 1.0
+        assert result.score("u", "v3") > result.score("u", "v1")
+
+    def test_v1_is_weakest_candidate(self, figure1):
+        pattern, data = figure1
+        for variant in ALL_VARIANTS:
+            result = fsim_matrix(pattern, data, variant, **EXACT_CFG)
+            scores = {c: result.score("u", c) for c in ("v1", "v2", "v3", "v4")}
+            assert min(scores, key=scores.get) == "v1", variant
+
+
+class TestProperties:
+    """The three properties of Definition 4."""
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_p1_range(self, variant, small_random_graph, medium_random_graph):
+        result = fsim_matrix(
+            small_random_graph, medium_random_graph, variant, **EXACT_CFG
+        )
+        for value in result.scores.values():
+            assert 0.0 <= value <= 1.0
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_p2_simulation_definiteness(self, variant):
+        for seed in range(3):
+            g1 = random_graph(8, 14, uniform_labels(8, 2, seed), seed=seed)
+            g2 = random_graph(9, 16, uniform_labels(9, 2, seed + 9), seed=seed + 9)
+            exact = maximal_simulation(g1, g2, variant)
+            result = fsim_matrix(g1, g2, variant, **EXACT_CFG)
+            for u in g1.nodes():
+                for v in g2.nodes():
+                    simulated = (u, v) in exact
+                    assert is_one(result.score(u, v)) == simulated, (
+                        variant, seed, u, v,
+                    )
+
+    @pytest.mark.parametrize("variant", [Variant.B, Variant.BJ])
+    def test_p3_symmetry(self, variant, small_random_graph):
+        g = small_random_graph
+        result = fsim_matrix(g, g, variant, **EXACT_CFG)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert result.score(u, v) == pytest.approx(
+                    result.score(v, u), abs=1e-9
+                )
+
+    def test_asymmetric_variants_really_asymmetric(self):
+        # u's children are a subset of v's: s-simulated one way only.
+        g = from_edges(
+            [("u", "c1"), ("v", "d1"), ("v", "d2")],
+            {"u": "P", "v": "P", "c1": "C", "d1": "C", "d2": "D"},
+        )
+        result = fsim_matrix(g, g, Variant.S, **EXACT_CFG)
+        assert is_one(result.score("u", "v"))
+        assert not is_one(result.score("v", "u"))
+
+
+class TestConvergence:
+    def test_deltas_monotone_decreasing_exact(self, small_random_graph):
+        result = fsim_matrix(
+            small_random_graph, small_random_graph, Variant.BJ,
+            epsilon=1e-6, **EXACT_CFG,
+        )
+        deltas = result.deltas
+        for before, after in zip(deltas, deltas[1:]):
+            assert after <= before + 1e-12
+
+    def test_corollary1_budget_respected(self, small_random_graph):
+        cfg = FSimConfig(variant=Variant.S, label_function="indicator")
+        result = FSimEngine(small_random_graph, small_random_graph, cfg).run()
+        assert result.iterations <= cfg.iteration_budget()
+        assert result.converged
+
+    def test_contraction_rate(self, small_random_graph):
+        # Theorem 1: delta_{k+1} <= (w+ + w-) * delta_k with exact matching.
+        result = fsim_matrix(
+            small_random_graph, small_random_graph, Variant.S,
+            epsilon=1e-8, **EXACT_CFG,
+        )
+        rate = 0.8  # w+ + w- at defaults
+        for before, after in zip(result.deltas, result.deltas[1:]):
+            assert after <= rate * before + 1e-12
+
+
+class TestThetaPruning:
+    def test_theta_one_only_same_labels(self, medium_random_graph):
+        g = medium_random_graph
+        result = fsim_matrix(g, g, Variant.S, theta=1.0, label_function="indicator")
+        for (u, v) in result.scores:
+            assert g.label(u) == g.label(v)
+
+    def test_candidate_count_shrinks_with_theta(self, medium_random_graph):
+        g = medium_random_graph
+        low = fsim_matrix(g, g, Variant.S, theta=0.0)
+        high = fsim_matrix(g, g, Variant.S, theta=1.0)
+        assert high.num_candidates < low.num_candidates
+
+    def test_theta_preserves_definiteness(self, small_random_graph):
+        g = small_random_graph
+        exact = maximal_simulation(g, g, Variant.S)
+        result = fsim_matrix(g, g, Variant.S, theta=1.0, **EXACT_CFG)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert is_one(result.score(u, v)) == ((u, v) in exact)
+
+
+class TestUpperBoundUpdating:
+    def test_bound_dominates_scores(self, small_random_graph):
+        g = small_random_graph
+        cfg = FSimConfig(variant=Variant.BJ, label_function="indicator",
+                         matching_mode="exact")
+        engine = FSimEngine(g, g, cfg)
+        result = engine.run()
+        for (u, v), value in result.scores.items():
+            assert value <= engine.upper_bound(u, v) + 1e-9
+
+    def test_pruning_reduces_candidates(self, medium_random_graph):
+        g = medium_random_graph
+        plain = fsim_matrix(g, g, Variant.BJ, label_function="indicator")
+        pruned = fsim_matrix(
+            g, g, Variant.BJ, label_function="indicator",
+            use_upper_bound=True, beta=0.5,
+        )
+        assert pruned.num_candidates <= plain.num_candidates
+
+    def test_alpha_fallback_used(self, medium_random_graph):
+        g = medium_random_graph
+        result = fsim_matrix(
+            g, g, Variant.BJ, label_function="indicator",
+            use_upper_bound=True, beta=0.9, alpha=0.3,
+        )
+        # some pair must have been pruned at this aggressive beta
+        pruned_pair = None
+        for u in g.nodes():
+            for v in g.nodes():
+                if g.label(u) == g.label(v) and (u, v) not in result.scores:
+                    pruned_pair = (u, v)
+                    break
+            if pruned_pair:
+                break
+        if pruned_pair is not None:
+            assert result.score(*pruned_pair) >= 0.0
+
+    def test_high_scores_survive_pruning(self, small_random_graph):
+        g = small_random_graph
+        exact = maximal_simulation(g, g, Variant.S)
+        result = fsim_matrix(
+            g, g, Variant.S, use_upper_bound=True, beta=0.5, **EXACT_CFG
+        )
+        for u, v in exact.pairs():
+            assert is_one(result.score(u, v))
+
+
+class TestResultHelpers:
+    def test_top_k_sorted(self, small_random_graph):
+        g = small_random_graph
+        result = fsim_matrix(g, g, Variant.S, **EXACT_CFG)
+        node = g.nodes()[0]
+        top = result.top_k(node, 5)
+        assert len(top) <= 5
+        values = [value for _, value in top]
+        assert values == sorted(values, reverse=True)
+        assert result.best_partner(node) == top[0]
+
+    def test_self_is_argmax(self, small_random_graph):
+        g = small_random_graph
+        result = fsim_matrix(g, g, Variant.BJ, **EXACT_CFG)
+        for node in g.nodes():
+            assert node in result.argmax_partners(node)
+
+    def test_score_vector(self, small_random_graph):
+        g = small_random_graph
+        result = fsim_matrix(g, g, Variant.S, **EXACT_CFG)
+        nodes = g.nodes()[:3]
+        pairs = [(u, u) for u in nodes]
+        assert result.score_vector(pairs) == [result.score(u, u) for u in nodes]
+
+    def test_workers_must_be_positive(self, small_random_graph):
+        from repro.exceptions import ConfigError
+
+        engine = FSimEngine(small_random_graph, small_random_graph, FSimConfig())
+        with pytest.raises(ConfigError):
+            engine.run(workers=0)

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "Figure 1 example",
+    "poster_plagiarism.py": "flagged as the likely source",
+    "pattern_matching_amazon.py": "scenario: exact",
+    "venue_similarity.py": "duplicate records of WWW",
+    "rdf_alignment.py": "Exact bisimulation scores 0%",
+    "topk_search.py": "Early termination saved",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert EXPECTED_SNIPPETS[script] in completed.stdout
+
+
+def test_all_examples_are_tested():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_SNIPPETS)

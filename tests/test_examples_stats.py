@@ -1,0 +1,57 @@
+"""Tests for the reconstructed paper examples and graph statistics."""
+
+import pytest
+
+from repro.core import fsim_matrix
+from repro.core.engine import is_one
+from repro.graph import (
+    compute_stats,
+    figure2_data_posters,
+    figure2_query_poster,
+)
+from repro.graph.generators import path_graph
+from repro.simulation import Variant, maximal_simulation
+
+
+class TestFigure2Posters:
+    """The motivating example: plagiarism detection via fractional scores."""
+
+    def test_no_exact_simulation(self):
+        query = figure2_query_poster()
+        database = figure2_data_posters()
+        relation = maximal_simulation(query, database, Variant.S)
+        assert ("P", "P1") not in relation  # the paper's point
+
+    def test_fractional_score_reveals_plagiarism(self):
+        query = figure2_query_poster()
+        database = figure2_data_posters()
+        result = fsim_matrix(query, database, Variant.S, label_function="indicator")
+        scores = {p: result.score("P", p) for p in ("P1", "P2", "P3")}
+        # P1 differs only in font/style: clearly the best partial simulator.
+        assert scores["P1"] > scores["P2"] > scores["P3"]
+        assert not is_one(scores["P1"])
+
+
+class TestStats:
+    def test_table4_row_fields(self, medium_random_graph):
+        stats = compute_stats(medium_random_graph)
+        assert stats.num_nodes == 40
+        assert stats.num_edges == 100
+        assert stats.avg_degree == pytest.approx(2.5)
+        assert stats.max_out_degree >= 1
+        assert stats.max_in_degree >= 1
+        assert stats.num_labels == len(medium_random_graph.labels())
+
+    def test_empty_graph(self):
+        from repro.graph import LabeledDigraph
+
+        stats = compute_stats(LabeledDigraph())
+        assert stats.num_nodes == 0
+        assert stats.avg_degree == 0.0
+        assert stats.max_out_degree == 0
+
+    def test_as_row_renders(self):
+        stats = compute_stats(path_graph(3))
+        row = stats.as_row("path")
+        assert "path" in row
+        assert "|E|=2" in row

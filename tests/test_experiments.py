@@ -1,0 +1,82 @@
+"""Tests for the experiment drivers (tiny scales for speed)."""
+
+import pytest
+
+from repro.experiments import common, fig5, fig7, fig8, table2, table5
+from repro.experiments.common import ExperimentOutput, pearson
+
+
+class TestCommon:
+    def test_pearson_perfect(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_pearson_inverse(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_pearson_matches_scipy(self):
+        import random
+
+        from scipy.stats import pearsonr
+
+        rng = random.Random(3)
+        xs = [rng.random() for _ in range(50)]
+        ys = [rng.random() for _ in range(50)]
+        assert pearson(xs, ys) == pytest.approx(pearsonr(xs, ys)[0], abs=1e-12)
+
+    def test_pearson_constant_vectors(self):
+        assert pearson([1, 1, 1], [1, 1, 1]) == 1.0
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_pearson_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1, 2])
+
+    def test_render_layout(self):
+        output = ExperimentOutput(
+            name="demo", headers=["a", "b"], rows=[["1", "22"]], notes="n"
+        )
+        text = output.render()
+        assert "== demo ==" in text
+        assert "22" in text
+        assert text.endswith("n")
+
+    def test_timed(self):
+        elapsed, value = common.timed(lambda: 41 + 1)
+        assert value == 42
+        assert elapsed >= 0.0
+
+
+class TestTable2:
+    def test_pattern_matches_paper(self):
+        output = table2.run()
+        # every Y cell is 1.00 and every x cell is below 1
+        for (variant, candidate), (simulated, score) in output.data.items():
+            if simulated:
+                assert score == pytest.approx(1.0)
+            else:
+                assert score < 1.0
+        assert len(output.rows) == 4
+
+
+class TestSweeps:
+    def test_table5_small(self):
+        output = table5.run(scale=0.3)
+        assert len(output.rows) == 3  # three L-function pairs
+        for coefficient in output.data.values():
+            assert -1.0 <= coefficient <= 1.0
+
+    def test_fig5_clean_is_perfect(self):
+        output = fig5.run(scale=0.3)
+        assert output.data[("structural", 0.0, 0.0)] == pytest.approx(1.0)
+        assert output.data[("label", 0.0, 1.0)] == pytest.approx(1.0)
+
+    def test_fig7_pairs_monotone(self):
+        output = fig7.run(scale=0.3)
+        counts = [output.data[(theta, "s")][1] for theta in fig7.THETAS]
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+
+    def test_fig8_subset(self):
+        output = fig8.run(scale=0.3, datasets=("yeast", "nell"))
+        assert output.data[("yeast", "FSimbj")] is not None
+        assert output.data[("nell", "FSimbj{ub,theta=1}")] is not None
+        assert len(output.rows) == 2

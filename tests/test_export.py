@@ -1,0 +1,84 @@
+"""Tests for score/graph export helpers (matrix, TSV, DOT)."""
+
+import pytest
+
+from repro.core import fsim_matrix
+from repro.core.engine import load_scores
+from repro.graph import figure1_graphs, match_to_dot, save_dot, to_dot
+from repro.simulation import Variant
+
+
+@pytest.fixture(scope="module")
+def scored():
+    pattern, data = figure1_graphs()
+    result = fsim_matrix(pattern, data, Variant.S, label_function="indicator")
+    return pattern, data, result
+
+
+class TestMatrix:
+    def test_shape_and_values(self, scored):
+        pattern, data, result = scored
+        rows = ["u"]
+        cols = ["v1", "v2", "v3", "v4"]
+        matrix = result.as_matrix(rows, cols)
+        assert matrix.shape == (1, 4)
+        for j, v in enumerate(cols):
+            assert matrix[0, j] == pytest.approx(result.score("u", v))
+
+    def test_unmaintained_pairs_fallback(self, scored):
+        pattern, data, result = scored
+        theta_result = fsim_matrix(
+            pattern, data, Variant.S, label_function="indicator", theta=1.0
+        )
+        matrix = theta_result.as_matrix(["u"], ["v1_h"])  # label mismatch
+        assert matrix[0, 0] == 0.0
+
+
+class TestScoresTSV:
+    def test_round_trip(self, scored, tmp_path):
+        _, _, result = scored
+        path = tmp_path / "scores.tsv"
+        result.save_scores(path)
+        loaded = load_scores(path)
+        assert len(loaded) == len(result.scores)
+        assert loaded[("u", "v4")] == pytest.approx(result.score("u", "v4"))
+
+
+class TestDot:
+    def test_document_structure(self, scored):
+        pattern, _, _ = scored
+        text = to_dot(pattern)
+        assert text.startswith("digraph")
+        assert text.rstrip().endswith("}")
+        assert '"u"' in text
+        assert "->" in text
+
+    def test_highlight(self, scored):
+        pattern, _, _ = scored
+        text = to_dot(pattern, highlight={"u": "red"})
+        assert "fillcolor" in text
+        assert '"red"' in text
+
+    def test_quote_escaping(self):
+        from repro.graph import LabeledDigraph
+
+        g = LabeledDigraph()
+        g.add_node('we"ird', 'la"bel')
+        text = to_dot(g)
+        assert '\\"' in text
+
+    def test_match_rendering(self, scored):
+        pattern, data, _ = scored
+        match = {"u": "v4", "h1": "v4_h1", "h2": "v4_h2", "p1": "v4_p"}
+        text = match_to_dot(pattern, data, match)
+        assert "cluster_query" in text
+        assert "cluster_data" in text
+        assert "style=dashed" in text
+        # matched-region edges only
+        assert text.count("lightgreen") == len(match)
+
+    def test_save_dot(self, scored, tmp_path):
+        pattern, _, _ = scored
+        path = tmp_path / "g.dot"
+        save_dot(pattern, path)
+        assert path.read_text().startswith("digraph")

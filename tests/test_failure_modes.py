@@ -1,0 +1,128 @@
+"""Failure-injection and edge-case tests across the library."""
+
+import pytest
+
+from repro.core import FSimConfig, FSimEngine, fsim_matrix
+from repro.exceptions import ConfigError, GraphError, ReproError
+from repro.graph import LabeledDigraph, from_edges, load_graph
+from repro.graph.generators import random_graph, uniform_labels
+from repro.simulation import Variant, maximal_simulation
+
+
+class TestEmptyAndDegenerateGraphs:
+    def test_fsim_on_empty_graphs(self):
+        empty = LabeledDigraph()
+        result = fsim_matrix(empty, empty, Variant.S)
+        assert result.scores == {}
+        assert result.converged
+
+    def test_fsim_single_isolated_node(self):
+        g = from_edges([], {"a": "X"})
+        result = fsim_matrix(g, g, Variant.BJ, label_function="indicator")
+        assert result.score("a", "a") == pytest.approx(1.0)
+
+    def test_maximal_simulation_empty(self):
+        empty = LabeledDigraph()
+        assert len(maximal_simulation(empty, empty, Variant.S)) == 0
+
+    def test_self_loop_simulation(self):
+        g = from_edges([("a", "a")], {"a": "X"})
+        h = from_edges([("b", "b")], {"b": "X"})
+        for variant in (Variant.S, Variant.B, Variant.DP, Variant.BJ):
+            assert ("a", "b") in maximal_simulation(g, h, variant)
+
+    def test_self_loop_vs_plain_node(self):
+        g = from_edges([("a", "a")], {"a": "X"})
+        h = from_edges([], {"b": "X"})
+        # the loop cannot be simulated by an edgeless node
+        assert ("a", "b") not in maximal_simulation(g, h, Variant.S)
+        # the edgeless node *is* simulated by the loop node
+        assert ("b", "a") in maximal_simulation(h, g, Variant.S)
+
+
+class TestEngineEdgeCases:
+    def test_non_convergence_reported(self, small_random_graph):
+        cfg = FSimConfig(
+            variant=Variant.S,
+            label_function="indicator",
+            epsilon=1e-12,
+            max_iterations=1,
+        )
+        result = FSimEngine(small_random_graph, small_random_graph, cfg).run()
+        assert not result.converged
+        assert result.iterations == 1
+
+    def test_candidate_filter(self, small_random_graph):
+        g = small_random_graph
+        keep = set(list(g.nodes())[:5])
+        cfg = FSimConfig(
+            variant=Variant.S,
+            label_function="indicator",
+            candidate_filter=lambda u, v: u in keep,
+        )
+        result = FSimEngine(g, g, cfg).run()
+        assert result.scores
+        assert all(u in keep for (u, v) in result.scores)
+
+    def test_pinned_pair_not_updated(self, small_random_graph):
+        g = small_random_graph
+        u = g.nodes()[0]
+        v = g.nodes()[1]
+        cfg = FSimConfig(
+            variant=Variant.S,
+            label_function="indicator",
+            pinned_pairs={(u, v): 0.123},
+        )
+        result = FSimEngine(g, g, cfg).run()
+        assert result.scores[(u, v)] == 0.123
+
+    def test_cross_variant_rejected_by_maximal_simulation(self):
+        g = from_edges([("a", "b")], {"a": "X", "b": "X"})
+        with pytest.raises(ValueError):
+            maximal_simulation(g, g, Variant.CROSS)
+
+    def test_theta_one_with_zero_label_function_empty_candidates(self):
+        g = from_edges([("a", "b")], {"a": "X", "b": "Y"})
+        cfg = FSimConfig(
+            variant=Variant.S,
+            label_function=lambda a, b: 0.0,
+            theta=1.0,
+        )
+        result = FSimEngine(g, g, cfg).run()
+        assert result.scores == {}
+
+    def test_exceptions_share_base_class(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(GraphError, ReproError)
+        with pytest.raises(ReproError):
+            FSimConfig(theta=5.0)
+
+
+class TestIOFailures:
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            load_graph(tmp_path / "nope.tsv")
+
+    def test_edge_before_node_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("e\ta\tb\n")
+        with pytest.raises(ReproError):
+            load_graph(path)
+
+
+class TestParallelEdgeCases:
+    def test_more_workers_than_pairs(self):
+        g = from_edges([], {"a": "X", "b": "Y"})
+        cfg = FSimConfig(variant=Variant.S, label_function="indicator")
+        result = FSimEngine(g, g, cfg).run(workers=4)
+        assert result.score("a", "a") == pytest.approx(1.0)
+        # isolated nodes: neighbor terms are vacuous (1), labels differ,
+        # so the score is w+ + w- = 0.8 < 1 (not exactly simulated).
+        assert result.score("a", "b") == pytest.approx(0.8)
+
+    def test_parallel_determinism(self):
+        g = random_graph(12, 26, uniform_labels(12, 2, 3), seed=4)
+        cfg = FSimConfig(variant=Variant.DP, label_function="indicator")
+        first = FSimEngine(g, g, cfg).run(workers=2)
+        second = FSimEngine(g, g, cfg).run(workers=3)
+        assert first.scores == second.scores

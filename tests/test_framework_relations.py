@@ -1,0 +1,149 @@
+"""Tests for Section 4.3: SimRank, RoleSim, k-bisimulation, WL test."""
+
+import pytest
+
+from repro.core import (
+    fsim_matrix,
+    rolesim_reference,
+    rolesim_via_framework,
+    simrank_reference,
+    simrank_via_framework,
+    wl_colors,
+    wl_equivalent_pairs,
+    wl_test_pair,
+)
+from repro.core.engine import is_one
+from repro.core.wl import wl_graph_test
+from repro.graph import from_edges
+from repro.graph.generators import (
+    cycle_graph,
+    path_graph,
+    random_graph,
+    uniform_labels,
+)
+from repro.simulation import Variant, kbisimulation_signatures, maximal_simulation
+
+
+class TestSimRank:
+    def test_framework_matches_reference(self):
+        g = random_graph(10, 22, uniform_labels(10, 1, 3), seed=4)
+        reference = simrank_reference(g, max_iterations=15)
+        framework = simrank_via_framework(g, max_iterations=15)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert framework.score(u, v) == pytest.approx(
+                    reference[(u, v)], abs=1e-9
+                ), (u, v)
+
+    def test_diagonal_pinned(self):
+        g = cycle_graph(4)
+        framework = simrank_via_framework(g)
+        for node in g.nodes():
+            assert framework.score(node, node) == 1.0
+
+    def test_no_inneighbors_scores_zero(self):
+        g = from_edges([("a", "b")], {"a": "L", "b": "L"})
+        framework = simrank_via_framework(g)
+        assert framework.score("a", "b") == 0.0  # a has no in-neighbors
+
+    def test_symmetry(self):
+        g = random_graph(8, 18, uniform_labels(8, 1, 5), seed=6)
+        framework = simrank_via_framework(g, max_iterations=10)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert framework.score(u, v) == pytest.approx(
+                    framework.score(v, u), abs=1e-9
+                )
+
+
+class TestRoleSim:
+    @pytest.mark.parametrize("normalizer", ["max", "geometric"])
+    def test_framework_matches_reference(self, normalizer):
+        g = random_graph(9, 18, uniform_labels(9, 1, 7), seed=8)
+        reference = rolesim_reference(g, max_iterations=10, normalizer=normalizer)
+        framework = rolesim_via_framework(g, max_iterations=10, normalizer=normalizer)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert framework.score(u, v) == pytest.approx(
+                    reference[(u, v)], abs=1e-9
+                ), (u, v, normalizer)
+
+    def test_automorphic_nodes_score_one(self):
+        # all cycle nodes are automorphically equivalent
+        g = cycle_graph(5)
+        framework = rolesim_via_framework(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert framework.score(u, v) == pytest.approx(1.0)
+
+    def test_floor_is_beta(self):
+        g = from_edges([("a", "b")], {"a": "L", "b": "L", "c": "L"})
+        framework = rolesim_via_framework(g, beta=0.15)
+        # c is isolated, a/b are not: matching term 0, floor beta remains
+        assert framework.score("a", "c") == pytest.approx(0.15)
+
+
+class TestKBisimulationTheorem4:
+    """Theorem 4: u,v k-bisimilar iff FSimb^k(u, v) = 1 (w- = 0)."""
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_equivalence_on_random_graph(self, k):
+        g = random_graph(12, 26, uniform_labels(12, 2, 11), seed=12)
+        signatures = kbisimulation_signatures(g, k)[k]
+        result = fsim_matrix(
+            g, g, Variant.B,
+            w_out=0.8, w_in=0.0,
+            label_function="indicator",
+            epsilon=1e-12,
+            max_iterations=max(k, 1),
+        )
+        if k == 0:
+            # FSim^0 is the label indicator; compare directly.
+            for u in g.nodes():
+                for v in g.nodes():
+                    assert (signatures[u] == signatures[v]) == (
+                        g.label(u) == g.label(v)
+                    )
+            return
+        for u in g.nodes():
+            for v in g.nodes():
+                bisimilar = signatures[u] == signatures[v]
+                assert is_one(result.score(u, v)) == bisimilar, (k, u, v)
+
+
+class TestWLTheorem5:
+    """Theorem 5: WL stable colors agree iff exact bj-simulation holds."""
+
+    def test_equivalence_on_random_graphs(self):
+        for seed in range(4):
+            g = random_graph(10, 20, uniform_labels(10, 2, seed), seed=seed + 20)
+            undirected = g.to_undirected()
+            wl_pairs = wl_equivalent_pairs(g, g)
+            bj_pairs = set(
+                maximal_simulation(undirected, undirected, Variant.BJ).pairs()
+            )
+            assert wl_pairs == bj_pairs, seed
+
+    def test_pair_api(self):
+        g = cycle_graph(4)
+        assert wl_test_pair(g, 0, g, 2)
+
+    def test_wl_distinguishes_degrees(self):
+        g = from_edges(
+            [("hub", "x"), ("hub", "y"), ("one", "z")],
+            {"hub": "P", "one": "P", "x": "C", "y": "C", "z": "C"},
+        )
+        assert not wl_test_pair(g, "hub", g, "one")
+
+    def test_wl_graph_test_isomorphic_cycles(self):
+        assert wl_graph_test(cycle_graph(5), cycle_graph(5))
+        assert not wl_graph_test(cycle_graph(5), cycle_graph(6))
+        assert not wl_graph_test(cycle_graph(5), path_graph(5))
+
+    def test_truncated_iterations(self):
+        g = path_graph(6)
+        colors1, colors2 = wl_colors(g, g, max_iterations=0)
+        # zero rounds: colors are just labels, all equal here
+        assert len(set(colors1.values())) == 1
+        colors1, _ = wl_colors(g, g, max_iterations=2)
+        assert len(set(colors1.values())) > 1

@@ -1,0 +1,121 @@
+"""Tests for the seeded random graph generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    complete_bipartite,
+    cycle_graph,
+    path_graph,
+    power_law_graph,
+    random_dag,
+    random_graph,
+    star_graph,
+    uniform_labels,
+    zipf_labels,
+)
+
+
+class TestLabelGenerators:
+    def test_uniform_labels_deterministic(self):
+        assert uniform_labels(20, 4, seed=1) == uniform_labels(20, 4, seed=1)
+        assert uniform_labels(20, 4, seed=1) != uniform_labels(20, 4, seed=2)
+
+    def test_uniform_labels_alphabet(self):
+        labels = uniform_labels(200, 5, seed=3)
+        assert set(labels) <= {f"L{i}" for i in range(5)}
+
+    def test_zipf_labels_skewed(self):
+        labels = zipf_labels(2000, 10, seed=4)
+        counts = {label: labels.count(label) for label in set(labels)}
+        # The most frequent label should dominate the least frequent.
+        assert counts.get("L0", 0) > counts.get("L9", 0)
+
+
+class TestRandomGraph:
+    def test_exact_size(self):
+        g = random_graph(30, 60, uniform_labels(30, 3, 1), seed=2)
+        assert g.num_nodes == 30
+        assert g.num_edges == 60
+        g.validate()
+
+    def test_deterministic(self):
+        g1 = random_graph(20, 40, uniform_labels(20, 3, 1), seed=9)
+        g2 = random_graph(20, 40, uniform_labels(20, 3, 1), seed=9)
+        assert g1.same_structure(g2)
+
+    def test_no_self_loops_by_default(self):
+        g = random_graph(10, 30, uniform_labels(10, 2, 1), seed=5)
+        assert all(s != t for s, t in g.edges())
+
+    def test_dense_request_filled_exhaustively(self):
+        g = random_graph(5, 20, uniform_labels(5, 1, 1), seed=6)
+        assert g.num_edges == 20  # of max 20
+
+    def test_infeasible_request_rejected(self):
+        with pytest.raises(GraphError):
+            random_graph(3, 100, uniform_labels(3, 1, 1), seed=1)
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            random_graph(5, 4, ["A"] * 4, seed=1)
+
+
+class TestPowerLaw:
+    def test_size_and_determinism(self):
+        g1 = power_law_graph(50, 2, uniform_labels(50, 4, 1), seed=3)
+        g2 = power_law_graph(50, 2, uniform_labels(50, 4, 1), seed=3)
+        assert g1.num_nodes == 50
+        assert g1.same_structure(g2)
+        g1.validate()
+
+    def test_heavy_tail(self):
+        g = power_law_graph(300, 2, uniform_labels(300, 2, 1), seed=7)
+        max_in = max(g.in_degree(n) for n in g.nodes())
+        avg_in = g.num_edges / g.num_nodes
+        assert max_in > 5 * avg_in  # hub formation
+
+
+class TestDag:
+    def test_acyclic(self):
+        g = random_dag(25, 60, uniform_labels(25, 3, 1), seed=8)
+        assert g.num_edges == 60
+        assert all(s < t for s, t in g.edges())
+
+    def test_capacity_check(self):
+        with pytest.raises(GraphError):
+            random_dag(4, 10, uniform_labels(4, 1, 1), seed=1)
+
+
+class TestFixedShapes:
+    def test_star_outward(self):
+        g = star_graph(4)
+        assert g.out_degree(0) == 4
+        assert g.in_degree(0) == 0
+
+    def test_star_inward(self):
+        g = star_graph(4, outward=False)
+        assert g.in_degree(0) == 4
+        assert g.out_degree(0) == 0
+
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert all(g.out_degree(n) == 1 and g.in_degree(n) == 1 for n in g.nodes())
+
+    def test_path(self):
+        g = path_graph(4)
+        assert g.num_edges == 3
+        assert g.out_degree(3) == 0
+
+    def test_single_node_shapes(self):
+        assert cycle_graph(1).num_edges == 1  # self loop
+        assert path_graph(1).num_edges == 0
+        with pytest.raises(GraphError):
+            cycle_graph(0)
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 2)
+        assert g.num_edges == 6
+        assert g.out_degree(("l", 0)) == 2
+        assert g.in_degree(("r", 1)) == 3

@@ -1,0 +1,85 @@
+"""End-to-end integration tests crossing module boundaries."""
+
+import pytest
+
+from repro.core import fsim_matrix
+from repro.core.engine import is_one
+from repro.datasets import load_dataset
+from repro.graph import extract_connected_subgraph, induced_subgraph
+from repro.graph.io import load_graph, save_graph
+from repro.simulation import Variant, maximal_simulation
+
+
+class TestDatasetToFramework:
+    """Emulated dataset -> FSim -> exact-simulation cross-check."""
+
+    @pytest.fixture(scope="class")
+    def yeast(self):
+        return load_dataset("yeast", scale=0.5)
+
+    def test_p2_on_emulated_dataset(self, yeast):
+        exact = maximal_simulation(yeast, yeast, Variant.S)
+        result = fsim_matrix(
+            yeast, yeast, Variant.S,
+            label_function="indicator", matching_mode="exact",
+        )
+        for u in yeast.nodes():
+            for v in yeast.nodes():
+                assert is_one(result.score(u, v)) == ((u, v) in exact)
+
+    def test_subgraph_scores_dominated_by_exact(self, yeast):
+        # a verbatim subgraph is s-simulated by the full graph everywhere
+        query = extract_connected_subgraph(yeast, 5, seed=3)
+        result = fsim_matrix(
+            query, yeast, Variant.S,
+            label_function="indicator", matching_mode="exact",
+        )
+        for node in query.nodes():
+            assert is_one(result.score(node, node)), node
+
+
+class TestPersistenceRoundTrip:
+    """Graph IO -> FSim -> identical scores."""
+
+    def test_scores_stable_across_save_load(self, tmp_path, small_random_graph):
+        # string-ify ids so the text format round-trips exactly
+        from repro.graph.builders import relabel_to_integers
+
+        g, _ = relabel_to_integers(small_random_graph)
+        renamed = g.copy()
+        path = tmp_path / "graph.tsv"
+        save_graph(renamed, path)
+        loaded = load_graph(path)
+        original = fsim_matrix(renamed, renamed, Variant.B,
+                               label_function="indicator")
+        reloaded = fsim_matrix(loaded, loaded, Variant.B,
+                               label_function="indicator")
+        for (u, v), value in original.scores.items():
+            assert reloaded.score(str(u), str(v)) == pytest.approx(value)
+
+
+class TestCrossVariantConsistency:
+    def test_bj_is_most_conservative_on_exactness(self, small_random_graph):
+        g = small_random_graph
+        exact_ones = {}
+        for variant in (Variant.S, Variant.DP, Variant.B, Variant.BJ):
+            result = fsim_matrix(
+                g, g, variant, label_function="indicator",
+                matching_mode="exact",
+            )
+            exact_ones[variant] = {
+                pair for pair, value in result.scores.items() if is_one(value)
+            }
+        # Figure 3(b) strictness lifted through P2 to the fractional side.
+        assert exact_ones[Variant.BJ] <= exact_ones[Variant.DP]
+        assert exact_ones[Variant.BJ] <= exact_ones[Variant.B]
+        assert exact_ones[Variant.DP] <= exact_ones[Variant.S]
+        assert exact_ones[Variant.B] <= exact_ones[Variant.S]
+
+    def test_symmetric_variants_agree_with_inverse_run(self, small_random_graph):
+        g = small_random_graph
+        sub = induced_subgraph(g, list(g.nodes())[:8])
+        forward = fsim_matrix(sub, g, Variant.BJ, label_function="indicator")
+        backward = fsim_matrix(g, sub, Variant.BJ, label_function="indicator")
+        for (u, v), value in forward.scores.items():
+            assert backward.score(v, u) == pytest.approx(value, abs=1e-9)

@@ -1,0 +1,102 @@
+"""Tests for k-bisimulation and strong simulation."""
+
+import pytest
+
+from repro.graph import from_edges, path_graph
+from repro.graph.generators import cycle_graph, random_graph, uniform_labels
+from repro.simulation import (
+    kbisimilar,
+    kbisimulation_partition,
+    kbisimulation_signatures,
+    strong_simulation,
+    strong_simulation_match,
+)
+
+
+class TestKBisimulation:
+    def test_k0_is_label_partition(self, medium_random_graph):
+        g = medium_random_graph
+        partition = kbisimulation_partition(g, 0)
+        for u in g.nodes():
+            for v in g.nodes():
+                same_block = partition[u] == partition[v]
+                assert same_block == (g.label(u) == g.label(v))
+
+    def test_refinement_monotone(self, medium_random_graph):
+        g = medium_random_graph
+        rounds = kbisimulation_signatures(g, 4)
+        for k in range(1, 5):
+            blocks_prev = len(set(rounds[k - 1].values()))
+            blocks_now = len(set(rounds[k].values()))
+            assert blocks_now >= blocks_prev
+            # refinement: equal sig_k implies equal sig_{k-1}
+            for u in g.nodes():
+                for v in g.nodes():
+                    if rounds[k][u] == rounds[k][v]:
+                        assert rounds[k - 1][u] == rounds[k - 1][v]
+
+    def test_path_positions_distinguished(self):
+        g = path_graph(4)
+        # distance-to-sink differs, so deep signatures split the path.
+        assert kbisimilar(g, 0, 1, 0)
+        assert not kbisimilar(g, 0, 3, 1)  # 3 has no out-neighbor
+        assert not kbisimilar(g, 0, 2, 2)
+        assert not kbisimilar(g, 0, 1, 3)
+
+    def test_cycle_uniform(self):
+        g = cycle_graph(6)
+        for k in range(4):
+            assert kbisimilar(g, 0, 3, k)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            kbisimulation_signatures(path_graph(2), -1)
+
+
+class TestStrongSimulation:
+    def test_exact_query_matches(self, medium_random_graph):
+        from repro.graph.subgraph import extract_connected_subgraph
+
+        query = extract_connected_subgraph(medium_random_graph, 4, seed=3)
+        matches = strong_simulation(query, medium_random_graph)
+        assert matches, "a verbatim subquery must match its own graph"
+        # ground-truth nodes should appear in at least one match
+        covered = set()
+        for match in matches:
+            covered |= set(match.matched_data_nodes())
+        assert set(query.nodes()) & covered
+
+    def test_no_match_for_foreign_labels(self, medium_random_graph):
+        query = from_edges([("a", "b")], {"a": "nope1", "b": "nope2"})
+        assert strong_simulation(query, medium_random_graph) == []
+
+    def test_single_center(self):
+        data = from_edges(
+            [("x", "y"), ("y", "z")], {"x": "A", "y": "B", "z": "C"}
+        )
+        query = from_edges([("q1", "q2")], {"q1": "A", "q2": "B"})
+        match = strong_simulation_match(query, data, "x")
+        assert match is not None
+        assert match.center == "x"
+        assert "x" in match.matched_data_nodes()
+
+    def test_center_must_participate(self):
+        data = from_edges(
+            [("x", "y")], {"x": "A", "y": "B", "lonely": "A"}
+        )
+        query = from_edges([("q1", "q2")], {"q1": "A", "q2": "B"})
+        assert strong_simulation_match(query, data, "lonely") is None
+
+    def test_all_query_nodes_must_be_covered(self):
+        data = from_edges([("x", "y")], {"x": "A", "y": "B"})
+        query = from_edges(
+            [("q1", "q2"), ("q1", "q3")],
+            {"q1": "A", "q2": "B", "q3": "C"},
+        )
+        assert strong_simulation_match(query, data, "x") is None
+
+    def test_max_matches_early_stop(self):
+        data = random_graph(20, 40, uniform_labels(20, 1, 7), seed=8)
+        query = path_graph(2, labels=["L0", "L0"])
+        limited = strong_simulation(query, data, max_matches=2)
+        assert len(limited) <= 2

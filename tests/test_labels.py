@@ -1,0 +1,109 @@
+"""Tests for the label similarity functions (the L of Section 3.3)."""
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.labels import (
+    available_label_functions,
+    edit_distance,
+    get_label_function,
+    indicator,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    normalized_edit_similarity,
+    register_label_function,
+)
+
+
+class TestIndicator:
+    def test_equal(self):
+        assert indicator("abc", "abc") == 1.0
+
+    def test_unequal(self):
+        assert indicator("abc", "abd") == 0.0
+
+    def test_non_string_labels(self):
+        assert indicator(7, 7) == 1.0
+        assert indicator(7, 8) == 0.0
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "", 3),
+            ("", "xy", 2),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("a", "b", 1),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+    def test_symmetric(self):
+        assert edit_distance("graph", "fraph") == edit_distance("fraph", "graph")
+
+    def test_normalized_similarity(self):
+        assert normalized_edit_similarity("abc", "abc") == 1.0
+        assert normalized_edit_similarity("abc", "abd") == pytest.approx(2 / 3)
+        assert normalized_edit_similarity("abc", "xyz") == 0.0
+
+    def test_normalized_one_iff_equal(self):
+        # The framework requires L = 1 iff labels are equal.
+        assert normalized_edit_similarity("ab", "ba") < 1.0
+
+
+class TestJaro:
+    def test_equal_strings(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        # Classic textbook pair.
+        assert jaro_similarity("MARTHA", "MARHTA") == pytest.approx(0.944444, abs=1e-5)
+
+    def test_disjoint_strings(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty_string(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_jaro_winkler_boosts_prefix(self):
+        plain = jaro_similarity("prefixes", "prefixed")
+        boosted = jaro_winkler_similarity("prefixes", "prefixed")
+        assert boosted > plain
+
+    def test_jaro_winkler_one_iff_equal(self):
+        assert jaro_winkler_similarity("same", "same") == 1.0
+        assert jaro_winkler_similarity("samex", "samey") < 1.0
+
+    def test_jaro_winkler_range(self):
+        for a, b in [("a", "ab"), ("graph", "graphs"), ("x", "y")]:
+            assert 0.0 <= jaro_winkler_similarity(a, b) < 1.0
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_label_function("indicator") is indicator
+
+    def test_lookup_passthrough(self):
+        custom = lambda a, b: 0.5  # noqa: E731
+        assert get_label_function(custom) is custom
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError):
+            get_label_function("nope")
+
+    def test_available_contains_paper_functions(self):
+        names = available_label_functions()
+        assert {"indicator", "edit", "jaro_winkler"} <= set(names)
+
+    def test_register_and_duplicate(self):
+        name = "custom-test-fn"
+        if name not in available_label_functions():
+            register_label_function(name, lambda a, b: 0.0)
+        assert name in available_label_functions()
+        with pytest.raises(ConfigError):
+            register_label_function(name, lambda a, b: 1.0)

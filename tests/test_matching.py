@@ -1,0 +1,123 @@
+"""Tests for the bipartite matching substrate."""
+
+import random
+
+import pytest
+
+from repro.simulation.matching import (
+    exact_max_weight_matching,
+    greedy_max_weight_matching,
+    has_perfect_matching,
+    has_saturating_matching,
+    hopcroft_karp,
+    matching_weight,
+)
+
+
+class TestHopcroftKarp:
+    def test_perfect_on_complete(self):
+        adjacency = [[0, 1, 2], [0, 1, 2], [0, 1, 2]]
+        size, match_left, match_right = hopcroft_karp(3, 3, adjacency)
+        assert size == 3
+        assert sorted(match_left) == [0, 1, 2]
+        assert sorted(match_right) == [0, 1, 2]
+
+    def test_augmenting_path_needed(self):
+        # Greedy alone would match 0->0 and block 1; HK must augment.
+        adjacency = [[0], [0, 1]]
+        size, _, _ = hopcroft_karp(2, 2, adjacency)
+        assert size == 2
+
+    def test_no_edges(self):
+        size, match_left, _ = hopcroft_karp(2, 2, [[], []])
+        assert size == 0
+        assert match_left == [-1, -1]
+
+    def test_matches_networkx_on_random_instances(self):
+        import networkx as nx
+
+        rng = random.Random(13)
+        for trial in range(20):
+            left, right = rng.randint(1, 8), rng.randint(1, 8)
+            adjacency = [
+                [j for j in range(right) if rng.random() < 0.4] for i in range(left)
+            ]
+            size, _, _ = hopcroft_karp(left, right, adjacency)
+            bip = nx.Graph()
+            bip.add_nodes_from((("l", i) for i in range(left)), bipartite=0)
+            bip.add_nodes_from((("r", j) for j in range(right)), bipartite=1)
+            for i, row in enumerate(adjacency):
+                for j in row:
+                    bip.add_edge(("l", i), ("r", j))
+            reference = nx.algorithms.bipartite.maximum_matching(
+                bip, top_nodes=[("l", i) for i in range(left)]
+            )
+            assert size == len(reference) // 2, f"trial {trial}"
+
+
+class TestSaturation:
+    def test_saturating(self):
+        assert has_saturating_matching([[0], [1]], 2)
+
+    def test_not_saturating_conflict(self):
+        assert not has_saturating_matching([[0], [0]], 1)
+
+    def test_empty_left_trivially_saturated(self):
+        assert has_saturating_matching([], 5)
+
+    def test_left_larger_than_right(self):
+        assert not has_saturating_matching([[0], [0], [0]], 1)
+
+    def test_isolated_left_vertex(self):
+        assert not has_saturating_matching([[0], []], 2)
+
+    def test_perfect_requires_equal_sizes(self):
+        assert not has_perfect_matching([[0], [0, 1]], 3)
+        assert has_perfect_matching([[0, 1], [0]], 2)
+
+
+class TestGreedyWeighted:
+    def test_picks_heaviest_first(self):
+        weights = {("a", "x"): 0.9, ("a", "y"): 0.5, ("b", "x"): 0.8}
+        matching = greedy_max_weight_matching(weights)
+        assert matching["a"] == "x"
+        assert matching.get("b") == "y" if ("b", "y") in weights else "b" not in matching
+
+    def test_deterministic_tie_break(self):
+        weights = {("a", "x"): 1.0, ("a", "y"): 1.0, ("b", "x"): 1.0}
+        assert greedy_max_weight_matching(weights) == greedy_max_weight_matching(
+            weights
+        )
+
+    def test_greedy_is_half_approximate(self):
+        rng = random.Random(29)
+        for _ in range(30):
+            weights = {
+                (i, j): rng.random()
+                for i in range(rng.randint(1, 6))
+                for j in range(rng.randint(1, 6))
+                if rng.random() < 0.7
+            }
+            if not weights:
+                continue
+            greedy = matching_weight(greedy_max_weight_matching(weights), weights)
+            exact = matching_weight(exact_max_weight_matching(weights), weights)
+            assert greedy >= 0.5 * exact - 1e-12
+            assert greedy <= exact + 1e-12
+
+
+class TestExactWeighted:
+    def test_beats_greedy_on_crossing_instance(self):
+        # Greedy takes (a, x) and is stuck with (b, y)=0; exact crosses.
+        weights = {("a", "x"): 1.0, ("a", "y"): 0.9, ("b", "x"): 0.9}
+        exact = exact_max_weight_matching(weights)
+        assert matching_weight(exact, weights) == pytest.approx(1.8)
+
+    def test_empty(self):
+        assert exact_max_weight_matching({}) == {}
+
+    def test_injective(self):
+        weights = {(i, j): 1.0 for i in range(4) for j in range(3)}
+        matching = exact_max_weight_matching(weights)
+        assert len(set(matching.values())) == len(matching)
+        assert len(matching) == 3

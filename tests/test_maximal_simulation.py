@@ -1,0 +1,192 @@
+"""Tests for the exact chi-simulation fixpoint solver."""
+
+import pytest
+
+from repro.graph import LabeledDigraph, figure1_graphs, from_edges, tiny_pair
+from repro.graph.examples import TABLE2_EXPECTED
+from repro.graph.generators import random_graph, uniform_labels
+from repro.simulation import Variant, maximal_simulation, simulates
+from repro.simulation.base import stricter_or_equal
+from repro.simulation.maximal import simulation_preorder_classes
+
+ALL_VARIANTS = [Variant.S, Variant.DP, Variant.B, Variant.BJ]
+
+
+class TestFigure1:
+    """The running example must reproduce Table 2's check-mark pattern."""
+
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_table2_pattern(self, variant, figure1):
+        pattern, data = figure1
+        relation = maximal_simulation(pattern, data, variant)
+        for candidate, expected in TABLE2_EXPECTED[variant.value].items():
+            assert (("u", candidate) in relation) == expected, (variant, candidate)
+
+    def test_simulates_api(self, figure1):
+        pattern, data = figure1
+        assert simulates(pattern, "u", data, "v2", Variant.S)
+        assert not simulates(pattern, "u", data, "v1", Variant.S)
+
+    def test_hexagons_collapse_onto_one(self, figure1):
+        pattern, data = figure1
+        relation = maximal_simulation(pattern, data, Variant.S)
+        # Example 1: both hexagons of P are simulated by v2's single hexagon.
+        assert ("h1", "v2_h") in relation
+        assert ("h2", "v2_h") in relation
+
+
+class TestBasics:
+    def test_label_mismatch_blocks(self):
+        g1 = from_edges([], {"a": "X"})
+        g2 = from_edges([], {"b": "Y"})
+        assert not maximal_simulation(g1, g2, Variant.S)
+
+    def test_isolated_same_label(self):
+        g1 = from_edges([], {"a": "X"})
+        g2 = from_edges([], {"b": "X"})
+        for variant in ALL_VARIANTS:
+            assert ("a", "b") in maximal_simulation(g1, g2, variant)
+
+    def test_path_simulated_by_cycle(self):
+        path, cycle = tiny_pair()
+        relation = maximal_simulation(path, cycle, Variant.S)
+        assert len(relation) == 6  # every path node by every cycle node
+
+    def test_cycle_not_simulated_by_path(self):
+        path, cycle = tiny_pair()
+        relation = maximal_simulation(cycle, path, Variant.S)
+        assert len(relation) == 0
+
+    def test_self_simulation_is_reflexive(self, small_random_graph):
+        g = small_random_graph
+        for variant in ALL_VARIANTS:
+            relation = maximal_simulation(g, g, variant)
+            for node in g.nodes():
+                assert (node, node) in relation, (variant, node)
+
+    def test_in_neighbors_matter(self):
+        # u has an in-neighbor, v does not: Ma et al. semantics reject.
+        g1 = from_edges([("p", "u")], {"p": "P", "u": "U"})
+        g2 = from_edges([], {"v": "U"})
+        assert ("u", "v") not in maximal_simulation(g1, g2, Variant.S)
+
+    def test_bisimulation_symmetric_on_self(self, small_random_graph):
+        g = small_random_graph
+        relation = maximal_simulation(g, g, Variant.B)
+        for u, v in relation.pairs():
+            assert (v, u) in relation
+
+
+class TestVariantSemantics:
+    def test_dp_requires_injectivity(self):
+        # u has two same-label children; v has only one.
+        g1 = from_edges(
+            [("u", "c1"), ("u", "c2")], {"u": "U", "c1": "C", "c2": "C"}
+        )
+        g2 = from_edges([("v", "d")], {"v": "U", "d": "C"})
+        assert ("u", "v") in maximal_simulation(g1, g2, Variant.S)
+        assert ("u", "v") not in maximal_simulation(g1, g2, Variant.DP)
+
+    def test_dp_allows_extra_targets(self):
+        g1 = from_edges([("u", "c1")], {"u": "U", "c1": "C"})
+        g2 = from_edges(
+            [("v", "d1"), ("v", "d2")], {"v": "U", "d1": "C", "d2": "C"}
+        )
+        assert ("u", "v") in maximal_simulation(g1, g2, Variant.DP)
+        # ... but bijective simulation rejects the size mismatch.
+        assert ("u", "v") not in maximal_simulation(g1, g2, Variant.BJ)
+
+    def test_b_requires_converse_coverage(self):
+        g1 = from_edges([("u", "c1")], {"u": "U", "c1": "C"})
+        g2 = from_edges(
+            [("v", "d1"), ("v", "e1")], {"v": "U", "d1": "C", "e1": "E"}
+        )
+        # v's E-child is not covered by any u-child.
+        assert ("u", "v") in maximal_simulation(g1, g2, Variant.S)
+        assert ("u", "v") not in maximal_simulation(g1, g2, Variant.B)
+
+    def test_b_converse_invariant(self, small_random_graph, medium_random_graph):
+        relation = maximal_simulation(
+            small_random_graph, medium_random_graph, Variant.B
+        )
+        inverse = maximal_simulation(
+            medium_random_graph, small_random_graph, Variant.B
+        )
+        assert set(relation.pairs()) == {(v, u) for u, v in inverse.pairs()}
+
+    def test_bj_converse_invariant(self, small_random_graph, medium_random_graph):
+        relation = maximal_simulation(
+            small_random_graph, medium_random_graph, Variant.BJ
+        )
+        inverse = maximal_simulation(
+            medium_random_graph, small_random_graph, Variant.BJ
+        )
+        assert set(relation.pairs()) == {(v, u) for u, v in inverse.pairs()}
+
+
+class TestStrictnessHierarchy:
+    """Figure 3(b): bj => dp => s and bj => b => s."""
+
+    @pytest.mark.parametrize(
+        "stricter,looser",
+        [
+            (Variant.BJ, Variant.DP),
+            (Variant.BJ, Variant.B),
+            (Variant.BJ, Variant.S),
+            (Variant.DP, Variant.S),
+            (Variant.B, Variant.S),
+        ],
+    )
+    def test_containment_on_random_graphs(self, stricter, looser):
+        for seed in range(4):
+            g1 = random_graph(10, 20, uniform_labels(10, 2, seed), seed=seed)
+            g2 = random_graph(12, 26, uniform_labels(12, 2, seed + 50), seed=seed + 50)
+            strict = set(maximal_simulation(g1, g2, stricter).pairs())
+            loose = set(maximal_simulation(g1, g2, looser).pairs())
+            assert strict <= loose, (stricter, looser, seed)
+
+    def test_stricter_or_equal_table(self):
+        assert stricter_or_equal(Variant.BJ, Variant.S)
+        assert stricter_or_equal(Variant.DP, Variant.S)
+        assert not stricter_or_equal(Variant.S, Variant.BJ)
+        assert not stricter_or_equal(Variant.DP, Variant.B)
+        assert stricter_or_equal(Variant.B, Variant.B)
+
+
+class TestPreorderClasses:
+    def test_cycle_nodes_all_equivalent(self):
+        from repro.graph.generators import cycle_graph
+
+        g = cycle_graph(5)
+        classes = simulation_preorder_classes(g, Variant.B)
+        assert len(set(classes.values())) == 1
+
+    def test_distinct_labels_distinct_classes(self):
+        g = from_edges([], {"a": "X", "b": "Y"})
+        classes = simulation_preorder_classes(g, Variant.B)
+        assert classes["a"] != classes["b"]
+
+
+class TestRelationContainer:
+    def test_inverse(self):
+        from repro.simulation.base import SimulationRelation
+
+        relation = SimulationRelation([("a", 1), ("b", 2)])
+        assert (1, "a") in relation.inverse()
+        assert len(relation) == 2
+
+    def test_discard_and_domain(self):
+        from repro.simulation.base import SimulationRelation
+
+        relation = SimulationRelation([("a", 1), ("a", 2)])
+        relation.discard("a", 1)
+        assert relation.image("a") == frozenset({2})
+        relation.discard("a", 2)
+        assert relation.domain() == frozenset()
+        assert not relation
+
+    def test_unhashable(self):
+        from repro.simulation.base import SimulationRelation
+
+        with pytest.raises(TypeError):
+            hash(SimulationRelation())

@@ -1,0 +1,166 @@
+"""Tests for noise injection and subgraph extraction."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph import (
+    add_label_noise,
+    add_structural_noise,
+    ball,
+    densify,
+    drop_labels,
+    extract_connected_subgraph,
+    induced_subgraph,
+    path_graph,
+    undirected_diameter,
+    undirected_distances,
+    weakly_connected_components,
+)
+from repro.graph.noise import MISSING_LABEL
+
+
+class TestStructuralNoise:
+    def test_budget_respected(self, medium_random_graph):
+        g = medium_random_graph
+        noisy = add_structural_noise(g, 0.2, seed=1)
+        # half added, half removed: edge count stays within the budget
+        assert abs(noisy.num_edges - g.num_edges) <= int(0.2 * g.num_edges)
+        noisy.validate()
+
+    def test_zero_ratio_identity(self, medium_random_graph):
+        noisy = add_structural_noise(medium_random_graph, 0.0, seed=1)
+        assert noisy.same_structure(medium_random_graph)
+
+    def test_original_untouched(self, medium_random_graph):
+        before = medium_random_graph.num_edges
+        add_structural_noise(medium_random_graph, 0.5, seed=2)
+        assert medium_random_graph.num_edges == before
+
+    def test_pure_additions(self, medium_random_graph):
+        noisy = add_structural_noise(medium_random_graph, 0.1, seed=3, add_fraction=1.0)
+        assert noisy.num_edges > medium_random_graph.num_edges
+
+    def test_negative_ratio_rejected(self, medium_random_graph):
+        with pytest.raises(GraphError):
+            add_structural_noise(medium_random_graph, -0.1, seed=1)
+
+
+class TestLabelNoise:
+    def test_changes_requested_fraction(self, medium_random_graph):
+        g = medium_random_graph
+        noisy = add_label_noise(g, 0.3, seed=1)
+        changed = sum(1 for n in g.nodes() if g.label(n) != noisy.label(n))
+        assert changed == int(round(0.3 * g.num_nodes))
+
+    def test_changed_labels_differ(self, medium_random_graph):
+        g = medium_random_graph
+        noisy = add_label_noise(g, 1.0, seed=2)
+        for node in g.nodes():
+            assert noisy.label(node) != g.label(node)
+
+    def test_custom_alphabet(self, medium_random_graph):
+        noisy = add_label_noise(medium_random_graph, 1.0, seed=3, alphabet=["ZZZ"])
+        assert set(noisy.labels()) == {"ZZZ"}
+
+    def test_ratio_bounds(self, medium_random_graph):
+        with pytest.raises(GraphError):
+            add_label_noise(medium_random_graph, 1.5, seed=1)
+
+    def test_drop_labels(self, medium_random_graph):
+        noisy = drop_labels(medium_random_graph, 0.25, seed=4)
+        dropped = sum(1 for n in noisy.nodes() if noisy.label(n) == MISSING_LABEL)
+        assert dropped == int(round(0.25 * medium_random_graph.num_nodes))
+
+
+class TestDensify:
+    def test_reaches_target(self, medium_random_graph):
+        g = medium_random_graph
+        dense = densify(g, 3.0, seed=1)
+        assert dense.num_edges == 3 * g.num_edges
+        # densify only adds edges
+        for edge in g.edges():
+            assert dense.has_edge(*edge)
+
+    def test_factor_one_identity(self, medium_random_graph):
+        dense = densify(medium_random_graph, 1.0, seed=1)
+        assert dense.same_structure(medium_random_graph)
+
+    def test_capacity_cap(self):
+        g = path_graph(4)
+        dense = densify(g, 100.0, seed=1)
+        assert dense.num_edges <= 12  # 4 * 3 directed pairs
+
+    def test_factor_below_one_rejected(self, medium_random_graph):
+        with pytest.raises(GraphError):
+            densify(medium_random_graph, 0.5, seed=1)
+
+
+class TestSubgraphs:
+    def test_induced_subgraph(self, medium_random_graph):
+        g = medium_random_graph
+        nodes = list(g.nodes())[:10]
+        sub = induced_subgraph(g, nodes)
+        assert sub.num_nodes == 10
+        for source, target in sub.edges():
+            assert g.has_edge(source, target)
+        for source, target in g.edges():
+            if source in set(nodes) and target in set(nodes):
+                assert sub.has_edge(source, target)
+
+    def test_induced_subgraph_missing_node(self, medium_random_graph):
+        with pytest.raises(GraphError):
+            induced_subgraph(medium_random_graph, ["not-there"])
+
+    def test_distances_on_path(self):
+        g = path_graph(5)
+        distances = undirected_distances(g, 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+        # direction is ignored
+        assert undirected_distances(g, 4)[0] == 4
+
+    def test_diameter_path(self):
+        assert undirected_diameter(path_graph(5)) == 4
+
+    def test_diameter_disconnected_raises(self):
+        from repro.graph import from_edges
+
+        g = from_edges([], {"a": "X", "b": "X"})
+        with pytest.raises(GraphError):
+            undirected_diameter(g)
+
+    def test_ball_radius(self):
+        g = path_graph(7)
+        sphere = ball(g, 3, 2)
+        assert set(sphere.nodes()) == {1, 2, 3, 4, 5}
+
+    def test_ball_radius_zero(self):
+        g = path_graph(3)
+        sphere = ball(g, 1, 0)
+        assert set(sphere.nodes()) == {1}
+        assert sphere.num_edges == 0
+
+    def test_components(self):
+        from repro.graph import from_edges
+
+        g = from_edges(
+            [("a", "b"), ("c", "d"), ("d", "e")],
+            {n: "L" for n in "abcde"},
+        )
+        comps = weakly_connected_components(g)
+        assert [sorted(c) for c in comps] == [["c", "d", "e"], ["a", "b"]]
+
+    def test_extract_connected_subgraph(self, medium_random_graph):
+        sub = extract_connected_subgraph(medium_random_graph, 8, seed=5)
+        assert sub.num_nodes == 8
+        assert len(weakly_connected_components(sub)) == 1
+
+    def test_extract_too_large(self, medium_random_graph):
+        with pytest.raises(GraphError):
+            extract_connected_subgraph(
+                medium_random_graph, medium_random_graph.num_nodes + 1, seed=1
+            )
+
+    def test_extract_deterministic(self, medium_random_graph):
+        s1 = extract_connected_subgraph(medium_random_graph, 6, seed=9)
+        s2 = extract_connected_subgraph(medium_random_graph, 6, seed=9)
+        assert s1.same_structure(s2)

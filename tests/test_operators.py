@@ -1,0 +1,186 @@
+"""Tests for the mapping/normalizing operators (Table 3)."""
+
+import math
+
+import pytest
+
+from repro.core.operators import (
+    CROSS,
+    mapping_pairs,
+    mapping_size,
+    neighbor_term,
+    omega,
+    term_upper_bound,
+)
+from repro.simulation import Variant
+
+
+def const_weight(value):
+    return lambda a, b: value
+
+
+def weight_table(table):
+    return lambda a, b: table.get((a, b), 0.0)
+
+
+ALWAYS = lambda a, b: True  # noqa: E731
+SAME_INITIAL = lambda a, b: str(a)[0] == str(b)[0]  # noqa: E731
+
+
+class TestOmega:
+    def test_table3_values(self):
+        assert omega(Variant.S, 3, 5) == 3
+        assert omega(Variant.DP, 3, 5) == 3
+        assert omega(Variant.B, 3, 5) == 8
+        assert omega(Variant.BJ, 3, 5) == pytest.approx(math.sqrt(15))
+        assert omega(CROSS, 3, 5) == 15
+
+    def test_max_normalizer(self):
+        assert omega(Variant.BJ, 3, 5, normalizer="max") == 5
+        assert omega(Variant.DP, 3, 5, normalizer="max") == 5
+
+
+class TestEmptyConventions:
+    """The conventions that keep simulation definiteness (P2) true."""
+
+    @pytest.mark.parametrize("variant", [Variant.S, Variant.DP])
+    def test_s_dp_vacuous(self, variant):
+        assert neighbor_term(variant, (), ("y",), const_weight(1), ALWAYS) == 1.0
+        assert neighbor_term(variant, (), (), const_weight(1), ALWAYS) == 1.0
+        assert neighbor_term(variant, ("x",), (), const_weight(1), ALWAYS) == 0.0
+
+    @pytest.mark.parametrize("variant", [Variant.B, Variant.BJ])
+    def test_b_bj_both_or_nothing(self, variant):
+        assert neighbor_term(variant, (), (), const_weight(1), ALWAYS) == 1.0
+        assert neighbor_term(variant, (), ("y",), const_weight(1), ALWAYS) == 0.0
+        assert neighbor_term(variant, ("x",), (), const_weight(1), ALWAYS) == 0.0
+
+    def test_cross_empty_is_zero(self):
+        assert neighbor_term(CROSS, (), (), const_weight(1), ALWAYS) == 0.0
+
+
+class TestSimpleOperator:
+    def test_per_source_argmax(self):
+        table = {("x1", "y1"): 0.3, ("x1", "y2"): 0.8, ("x2", "y1"): 0.4}
+        term = neighbor_term(
+            Variant.S, ("x1", "x2"), ("y1", "y2"), weight_table(table), ALWAYS
+        )
+        assert term == pytest.approx((0.8 + 0.4) / 2)
+
+    def test_infeasible_sources_contribute_zero(self):
+        term = neighbor_term(
+            Variant.S, ("x1", "x2"), ("x9",), const_weight(1.0), SAME_INITIAL
+        )
+        assert term == pytest.approx(1.0)  # only x-prefixed feasible; both map
+        term = neighbor_term(
+            Variant.S, ("x1", "z2"), ("x9",), const_weight(1.0), SAME_INITIAL
+        )
+        assert term == pytest.approx(0.5)  # z2 has no feasible target
+
+    def test_score_one_when_all_match(self):
+        term = neighbor_term(Variant.S, ("a", "b"), ("c",), const_weight(1.0), ALWAYS)
+        assert term == 1.0
+
+
+class TestBisimOperator:
+    def test_both_directions(self):
+        table = {("x1", "y1"): 0.5, ("x1", "y2"): 0.7}
+        term = neighbor_term(
+            Variant.B, ("x1",), ("y1", "y2"), weight_table(table), ALWAYS
+        )
+        # forward: x1->y2 (0.7); backward: y1->x1 (0.5), y2->x1 (0.7)
+        assert term == pytest.approx((0.7 + 0.5 + 0.7) / 3)
+
+
+class TestInjectiveOperators:
+    def test_dp_injective_penalty(self):
+        # two sources but a single target: only one can map.
+        term = neighbor_term(
+            Variant.DP, ("x1", "x2"), ("y1",), const_weight(1.0), ALWAYS
+        )
+        assert term == pytest.approx(0.5)
+
+    def test_bj_geometric_normalizer(self):
+        term = neighbor_term(
+            Variant.BJ, ("x1", "x2"), ("y1",), const_weight(1.0), ALWAYS
+        )
+        assert term == pytest.approx(1.0 / math.sqrt(2))
+
+    def test_exact_mode_fixes_greedy_trap(self):
+        table = {("a", "x"): 1.0, ("a", "y"): 0.9, ("b", "x"): 0.9}
+        greedy = neighbor_term(
+            Variant.DP, ("a", "b"), ("x", "y"), weight_table(table), ALWAYS, "greedy"
+        )
+        exact = neighbor_term(
+            Variant.DP, ("a", "b"), ("x", "y"), weight_table(table), ALWAYS, "exact"
+        )
+        assert greedy == pytest.approx(1.0 / 2)
+        assert exact == pytest.approx(1.8 / 2)
+
+    def test_capped_at_one(self):
+        term = neighbor_term(
+            Variant.BJ, ("x1", "x2"), ("y1", "y2", "y3", "y4"),
+            const_weight(1.0), ALWAYS,
+        )
+        assert term <= 1.0
+
+
+class TestMappingSize:
+    def test_s_counts_feasible_sources(self):
+        assert mapping_size(Variant.S, ("x1", "z1"), ("x2",), SAME_INITIAL) == 1
+
+    def test_b_counts_both_sides(self):
+        assert (
+            mapping_size(Variant.B, ("x1",), ("x2", "x3"), SAME_INITIAL) == 3
+        )
+
+    def test_dp_uses_matching(self):
+        # both sources feasible only with the single target -> matching 1
+        assert mapping_size(Variant.DP, ("x1", "x2"), ("x9",), SAME_INITIAL) == 1
+
+    def test_cross_counts_pairs(self):
+        assert mapping_size(CROSS, ("x1", "x2"), ("x3", "z1"), SAME_INITIAL) == 2
+
+
+class TestUpperBound:
+    def test_matches_term_with_unit_weights(self):
+        # With all weights at their maximum 1, term == |M| / Omega.
+        sources, targets = ("x1", "x2"), ("x3", "z9")
+        for variant in (Variant.S, Variant.DP, Variant.B, Variant.BJ):
+            bound = term_upper_bound(variant, sources, targets, SAME_INITIAL)
+            term = neighbor_term(
+                variant, sources, targets, const_weight(1.0), SAME_INITIAL, "exact"
+            )
+            assert term <= bound + 1e-12, variant
+
+    def test_empty_conventions_respected(self):
+        assert term_upper_bound(Variant.S, (), ("y",), ALWAYS) == 1.0
+        assert term_upper_bound(Variant.BJ, (), ("y",), ALWAYS) == 0.0
+
+
+class TestMappingPairs:
+    def test_s_pairs(self):
+        table = {("x1", "y1"): 0.3, ("x1", "y2"): 0.8}
+        pairs = mapping_pairs(
+            Variant.S, ("x1",), ("y1", "y2"), weight_table(table), ALWAYS
+        )
+        assert pairs == [("x1", "y2")]
+
+    def test_b_pairs_include_backward(self):
+        table = {("x1", "y1"): 0.5}
+        pairs = mapping_pairs(
+            Variant.B, ("x1",), ("y1",), weight_table(table), ALWAYS
+        )
+        assert pairs == [("x1", "y1"), ("x1", "y1")]
+
+    def test_injective_pairs_unique_targets(self):
+        table = {(a, b): 1.0 for a in "ab" for b in "xy"}
+        pairs = mapping_pairs(
+            Variant.BJ, ("a", "b"), ("x", "y"), weight_table(table), ALWAYS
+        )
+        targets = [b for _, b in pairs]
+        assert len(set(targets)) == len(targets) == 2
+
+    def test_cross_pairs(self):
+        pairs = mapping_pairs(CROSS, ("a",), ("x", "y"), const_weight(1.0), ALWAYS)
+        assert set(pairs) == {("a", "x"), ("a", "y")}

@@ -1,0 +1,68 @@
+"""Tests for the parallel runner and the convenience API."""
+
+import pytest
+
+from repro.core import FSimConfig, FSimEngine, fsim, fsim_matrix, fsim_single_graph
+from repro.simulation import Variant
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self, medium_random_graph):
+        g = medium_random_graph
+        cfg = FSimConfig(variant=Variant.S, label_function="indicator")
+        serial = FSimEngine(g, g, cfg).run(workers=1)
+        parallel = FSimEngine(g, g, cfg).run(workers=3)
+        assert serial.scores.keys() == parallel.scores.keys()
+        for pair, value in serial.scores.items():
+            assert parallel.scores[pair] == pytest.approx(value, abs=1e-12)
+        assert parallel.iterations == serial.iterations
+        assert parallel.converged == serial.converged
+
+    def test_parallel_with_pruning(self, medium_random_graph):
+        g = medium_random_graph
+        cfg = FSimConfig(
+            variant=Variant.BJ,
+            label_function="indicator",
+            theta=1.0,
+            use_upper_bound=True,
+        )
+        serial = FSimEngine(g, g, cfg).run(workers=1)
+        parallel = FSimEngine(g, g, cfg).run(workers=2)
+        for pair, value in serial.scores.items():
+            assert parallel.scores[pair] == pytest.approx(value, abs=1e-12)
+
+    def test_parallel_pinned_pairs(self, small_random_graph):
+        g = small_random_graph
+        node = g.nodes()[0]
+        cfg = FSimConfig(
+            variant=Variant.S,
+            label_function="indicator",
+            pinned_pairs={(node, node): 1.0},
+        )
+        result = FSimEngine(g, g, cfg).run(workers=2)
+        assert result.scores[(node, node)] == 1.0
+
+
+class TestApi:
+    def test_fsim_matrix_overrides(self, small_random_graph):
+        g = small_random_graph
+        result = fsim_matrix(g, g, "b", theta=1.0, label_function="indicator")
+        assert result.config.variant is Variant.B
+        assert result.config.theta == 1.0
+
+    def test_fsim_single_pair(self, figure1):
+        pattern, data = figure1
+        value = fsim(pattern, "u", data, "v4", "bj", label_function="indicator")
+        assert value == pytest.approx(1.0)
+
+    def test_fsim_single_graph(self, small_random_graph):
+        g = small_random_graph
+        result = fsim_single_graph(g, "b", label_function="indicator")
+        for node in g.nodes():
+            assert result.score(node, node) == pytest.approx(1.0)
+
+    def test_explicit_config_wins(self, small_random_graph):
+        g = small_random_graph
+        cfg = FSimConfig(variant=Variant.DP, theta=1.0)
+        result = fsim_matrix(g, g, "s", config=cfg)
+        assert result.config.variant is Variant.DP

@@ -1,0 +1,201 @@
+"""Tests for the pattern-matching case study (Table 6 machinery)."""
+
+import pytest
+
+from repro.apps.pattern_matching import (
+    FSimMatcher,
+    GFinderMatcher,
+    NagaMatcher,
+    Query,
+    Scenario,
+    StrongSimulationMatcher,
+    TSpanMatcher,
+    evaluate_all,
+    evaluate_matcher,
+    f1_score,
+    generate_query,
+    generate_workload,
+)
+from repro.apps.pattern_matching.evaluation import render_table6
+from repro.datasets import load_dataset
+from repro.graph.subgraph import weakly_connected_components
+from repro.simulation import Variant
+
+
+@pytest.fixture(scope="module")
+def amazon():
+    return load_dataset("amazon", scale=0.5)
+
+
+class TestQueries:
+    def test_exact_query_is_subgraph(self, amazon):
+        query = generate_query(amazon, 6, Scenario.EXACT, seed=3)
+        assert query.graph.num_nodes == 6
+        assert len(query.truth) == 6
+        for q_source, q_target in query.graph.edges():
+            assert amazon.has_edge(query.truth[q_source], query.truth[q_target])
+        for q in query.graph.nodes():
+            assert query.graph.label(q) == amazon.label(query.truth[q])
+
+    def test_noisy_e_perturbs_edges_only(self, amazon):
+        query = generate_query(amazon, 8, Scenario.NOISY_E, seed=5)
+        for q in query.graph.nodes():
+            assert query.graph.label(q) == amazon.label(query.truth[q])
+        # the noisy query stays weakly connected
+        assert len(weakly_connected_components(query.graph)) == 1
+
+    def test_noisy_l_changes_some_label(self, amazon):
+        changed_any = False
+        for seed in range(6):
+            query = generate_query(amazon, 8, Scenario.NOISY_L, seed=seed)
+            edges = set(query.graph.edges())
+            truth_edges = {
+                (s, t)
+                for s, t in [
+                    (qs, qt)
+                    for qs in query.graph.nodes()
+                    for qt in query.graph.nodes()
+                ]
+                if (s, t) in edges
+            }
+            assert edges == truth_edges  # structure untouched
+            changed_any |= any(
+                query.graph.label(q) != amazon.label(query.truth[q])
+                for q in query.graph.nodes()
+            )
+        assert changed_any
+
+    def test_workload_sizes_and_determinism(self, amazon):
+        workload = generate_workload(
+            amazon, Scenario.EXACT, num_queries=5, min_size=3, max_size=6, seed=7
+        )
+        assert len(workload) == 5
+        assert all(3 <= q.graph.num_nodes <= 6 for q in workload)
+        again = generate_workload(
+            amazon, Scenario.EXACT, num_queries=5, min_size=3, max_size=6, seed=7
+        )
+        for first, second in zip(workload, again):
+            assert first.graph.same_structure(second.graph)
+
+    def test_scenario_flags(self):
+        assert Scenario.COMBINED.has_edge_noise
+        assert Scenario.COMBINED.has_label_noise
+        assert not Scenario.EXACT.has_edge_noise
+        assert not Scenario.NOISY_E.has_label_noise
+
+
+class TestF1:
+    def test_perfect_match(self):
+        truth = {"q0": 1, "q1": 2}
+        assert f1_score({"q0": 1, "q1": 2}, truth) == 1.0
+
+    def test_empty_match(self):
+        assert f1_score(None, {"q0": 1}) == 0.0
+        assert f1_score({}, {"q0": 1}) == 0.0
+
+    def test_partial_match(self):
+        truth = {"q0": 1, "q1": 2, "q2": 3, "q3": 4}
+        match = {"q0": 1, "q1": 2, "q2": 99}
+        precision, recall = 2 / 3, 2 / 4
+        expected = 2 * precision * recall / (precision + recall)
+        assert f1_score(match, truth) == pytest.approx(expected)
+
+    def test_all_wrong(self):
+        assert f1_score({"q0": 9}, {"q0": 1}) == 0.0
+
+
+class TestMatchers:
+    @pytest.mark.parametrize(
+        "matcher",
+        [
+            FSimMatcher(Variant.S),
+            FSimMatcher(Variant.DP),
+            TSpanMatcher(1),
+            StrongSimulationMatcher(),
+            NagaMatcher(),
+            GFinderMatcher(),
+        ],
+        ids=lambda m: m.name,
+    )
+    def test_exact_query_scores_well(self, matcher, amazon):
+        total = 0.0
+        queries = [
+            generate_query(amazon, 5, Scenario.EXACT, seed=s) for s in range(4)
+        ]
+        for query in queries:
+            total += f1_score(matcher.match(query.graph, amazon), query.truth)
+        assert total / len(queries) > 0.15, matcher.name
+
+    def test_fsim_survives_label_noise(self, amazon):
+        matcher = FSimMatcher(Variant.S)
+        queries = [
+            generate_query(amazon, 6, Scenario.NOISY_L, seed=s) for s in range(4)
+        ]
+        scores = [
+            f1_score(matcher.match(q.graph, amazon), q.truth) for q in queries
+        ]
+        assert max(scores) > 0.4
+
+    def test_strong_sim_none_when_impossible(self, amazon):
+        from repro.graph import from_edges
+
+        query = from_edges([("a", "b")], {"a": "no-such", "b": "labels"})
+        assert StrongSimulationMatcher().match(query, amazon) is None
+
+    def test_tspan_budget_ordering(self, amazon):
+        # a larger edit budget can only find more (never fewer) matches
+        queries = [
+            generate_query(amazon, 6, Scenario.NOISY_E, seed=s) for s in range(4)
+        ]
+        found1 = sum(
+            1 for q in queries if TSpanMatcher(1).match(q.graph, amazon) is not None
+        )
+        found3 = sum(
+            1 for q in queries if TSpanMatcher(3).match(q.graph, amazon) is not None
+        )
+        assert found3 >= found1
+
+    def test_tspan_injective(self, amazon):
+        query = generate_query(amazon, 6, Scenario.EXACT, seed=11)
+        match = TSpanMatcher(0).match(query.graph, amazon)
+        assert match is not None
+        assert len(set(match.values())) == len(match)
+
+
+class TestEvaluation:
+    def test_evaluate_matcher_report(self, amazon):
+        queries = generate_workload(
+            amazon, Scenario.EXACT, num_queries=3, max_size=5, seed=2
+        )
+        report = evaluate_matcher(FSimMatcher(Variant.S), queries, amazon)
+        assert report.num_queries == 3
+        assert 0.0 <= report.avg_f1 <= 1.0
+        assert report.matcher == "FSims"
+
+    def test_no_results_cell(self, amazon):
+        class NullMatcher:
+            name = "null"
+
+            def match(self, query, data):
+                return None
+
+        queries = generate_workload(
+            amazon, Scenario.EXACT, num_queries=2, max_size=4, seed=3
+        )
+        report = evaluate_matcher(NullMatcher(), queries, amazon)
+        assert report.no_results
+        assert report.cell() == "-"
+
+    def test_table6_pipeline(self, amazon):
+        results = evaluate_all(
+            amazon,
+            [NagaMatcher(), FSimMatcher(Variant.S)],
+            scenarios=[Scenario.EXACT, Scenario.NOISY_L],
+            num_queries=3,
+            max_size=5,
+            seed=4,
+        )
+        text = render_table6(results)
+        assert "exact" in text
+        assert "FSims" in text
+        assert len(results) == 2

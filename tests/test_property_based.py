@@ -1,0 +1,169 @@
+"""Hypothesis property tests for the core invariants (DESIGN.md section 6)."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import FSimConfig, FSimEngine
+from repro.core.engine import is_one
+from repro.graph import LabeledDigraph
+from repro.simulation import Variant, maximal_simulation
+from repro.simulation.matching import (
+    exact_max_weight_matching,
+    greedy_max_weight_matching,
+    hopcroft_karp,
+    matching_weight,
+)
+
+VARIANTS = [Variant.S, Variant.DP, Variant.B, Variant.BJ]
+
+FAST = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def labeled_digraphs(draw, max_nodes=7, max_labels=3):
+    """Small random labeled digraphs."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    labels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_labels - 1),
+            min_size=n, max_size=n,
+        )
+    )
+    graph = LabeledDigraph("hypo")
+    for i in range(n):
+        graph.add_node(i, f"L{labels[i]}")
+    possible = [(s, t) for s in range(n) for t in range(n) if s != t]
+    if possible:
+        chosen = draw(st.lists(st.sampled_from(possible), max_size=3 * n, unique=True))
+        for s, t in chosen:
+            graph.add_edge(s, t)
+    return graph
+
+
+@st.composite
+def weight_maps(draw):
+    lefts = draw(st.integers(min_value=1, max_value=5))
+    rights = draw(st.integers(min_value=1, max_value=5))
+    weights = {}
+    for i in range(lefts):
+        for j in range(rights):
+            if draw(st.booleans()):
+                weights[(i, j)] = draw(
+                    st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+                )
+    return weights
+
+
+class TestMatchingProperties:
+    @given(weights=weight_maps())
+    @FAST
+    def test_greedy_half_approximation(self, weights):
+        if not weights:
+            return
+        greedy = matching_weight(greedy_max_weight_matching(weights), weights)
+        exact = matching_weight(exact_max_weight_matching(weights), weights)
+        assert greedy >= 0.5 * exact - 1e-9
+        assert greedy <= exact + 1e-9
+
+    @given(weights=weight_maps())
+    @FAST
+    def test_matchings_are_injective(self, weights):
+        for algorithm in (greedy_max_weight_matching, exact_max_weight_matching):
+            matching = algorithm(weights)
+            assert len(set(matching.values())) == len(matching)
+
+    @given(weights=weight_maps())
+    @FAST
+    def test_hopcroft_karp_bounds(self, weights):
+        if not weights:
+            return
+        lefts = sorted({i for i, _ in weights})
+        rights = sorted({j for _, j in weights})
+        adjacency = [
+            [rights.index(j) for (i2, j) in weights if i2 == i] for i in lefts
+        ]
+        size, match_left, match_right = hopcroft_karp(
+            len(lefts), len(rights), adjacency
+        )
+        assert 0 <= size <= min(len(lefts), len(rights))
+        assert sum(1 for m in match_left if m != -1) == size
+        assert sum(1 for m in match_right if m != -1) == size
+
+
+class TestSimulationProperties:
+    @given(g=labeled_digraphs())
+    @FAST
+    def test_reflexive_on_self(self, g):
+        for variant in VARIANTS:
+            relation = maximal_simulation(g, g, variant)
+            for node in g.nodes():
+                assert (node, node) in relation
+
+    @given(g1=labeled_digraphs(max_nodes=5), g2=labeled_digraphs(max_nodes=5))
+    @FAST
+    def test_strictness_hierarchy(self, g1, g2):
+        relations = {
+            variant: set(maximal_simulation(g1, g2, variant).pairs())
+            for variant in VARIANTS
+        }
+        assert relations[Variant.BJ] <= relations[Variant.DP]
+        assert relations[Variant.BJ] <= relations[Variant.B]
+        assert relations[Variant.DP] <= relations[Variant.S]
+        assert relations[Variant.B] <= relations[Variant.S]
+
+    @given(g1=labeled_digraphs(max_nodes=5), g2=labeled_digraphs(max_nodes=5))
+    @FAST
+    def test_converse_invariance(self, g1, g2):
+        for variant in (Variant.B, Variant.BJ):
+            forward = set(maximal_simulation(g1, g2, variant).pairs())
+            backward = set(maximal_simulation(g2, g1, variant).pairs())
+            assert forward == {(u, v) for v, u in backward}
+
+
+class TestFrameworkProperties:
+    @given(g=labeled_digraphs(max_nodes=6))
+    @FAST
+    def test_p1_and_p2(self, g):
+        for variant in VARIANTS:
+            cfg = FSimConfig(
+                variant=variant,
+                label_function="indicator",
+                matching_mode="exact",
+            )
+            result = FSimEngine(g, g, cfg).run()
+            exact = maximal_simulation(g, g, variant)
+            for pair, value in result.scores.items():
+                assert 0.0 <= value <= 1.0
+                assert is_one(value) == (pair in exact), (variant, pair)
+
+    @given(g=labeled_digraphs(max_nodes=6))
+    @FAST
+    def test_p3_symmetry(self, g):
+        for variant in (Variant.B, Variant.BJ):
+            cfg = FSimConfig(
+                variant=variant,
+                label_function="indicator",
+                matching_mode="exact",
+            )
+            result = FSimEngine(g, g, cfg).run()
+            for (u, v), value in result.scores.items():
+                assert math.isclose(value, result.score(v, u), abs_tol=1e-9)
+
+    @given(g=labeled_digraphs(max_nodes=6))
+    @FAST
+    def test_contraction(self, g):
+        cfg = FSimConfig(
+            variant=Variant.S,
+            label_function="indicator",
+            matching_mode="exact",
+            epsilon=1e-9,
+        )
+        result = FSimEngine(g, g, cfg).run()
+        for before, after in zip(result.deltas, result.deltas[1:]):
+            assert after <= 0.8 * before + 1e-12

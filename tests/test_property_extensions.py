@@ -1,0 +1,128 @@
+"""Hypothesis property tests for noise, closures and operators."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.operators import neighbor_term
+from repro.graph.noise import add_label_noise, add_structural_noise, densify
+from repro.simulation import Variant
+from repro.simulation.bounded import bounded_closure
+from tests.test_property_based import labeled_digraphs
+
+FAST = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ratios = st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestNoiseInvariants:
+    @given(g=labeled_digraphs(), ratio=ratios, seed=seeds)
+    @FAST
+    def test_structural_noise_preserves_nodes_and_labels(self, g, ratio, seed):
+        noisy = add_structural_noise(g, ratio, seed)
+        assert noisy.nodes() == g.nodes()
+        for node in g.nodes():
+            assert noisy.label(node) == g.label(node)
+        noisy.validate()
+
+    @given(g=labeled_digraphs(), ratio=ratios, seed=seeds)
+    @FAST
+    def test_label_noise_preserves_structure(self, g, ratio, seed):
+        noisy = add_label_noise(g, ratio, seed)
+        assert set(noisy.edges()) == set(g.edges())
+        assert noisy.num_nodes == g.num_nodes
+        noisy.validate()
+
+    @given(g=labeled_digraphs(), seed=seeds,
+           factor=st.floats(min_value=1.0, max_value=3.0, allow_nan=False))
+    @FAST
+    def test_densify_is_superset(self, g, seed, factor):
+        dense = densify(g, factor, seed)
+        for edge in g.edges():
+            assert dense.has_edge(*edge)
+        assert dense.num_edges >= g.num_edges
+        dense.validate()
+
+
+class TestClosureInvariants:
+    @given(g=labeled_digraphs(), seed=seeds)
+    @FAST
+    def test_closure_monotone_in_bound(self, g, seed):
+        previous = None
+        for bound in (1, 2, 3, None):
+            closure = bounded_closure(g, bound)
+            edges = set(closure.edges())
+            if previous is not None:
+                assert previous <= edges
+            previous = edges
+
+    @given(g=labeled_digraphs())
+    @FAST
+    def test_bound_one_is_identity(self, g):
+        closure = bounded_closure(g, 1)
+        assert set(closure.edges()) == set(g.edges())
+
+    @given(g=labeled_digraphs())
+    @FAST
+    def test_closure_preserves_labels(self, g):
+        closure = bounded_closure(g, None)
+        for node in g.nodes():
+            assert closure.label(node) == g.label(node)
+
+
+class TestOperatorMonotonicity:
+    """Raising any pair weight can never lower a mapped score term."""
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=4, max_size=4,
+        ),
+        bump=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+        variant=st.sampled_from([Variant.S, Variant.DP, Variant.B, Variant.BJ]),
+    )
+    @FAST
+    def test_monotone_in_weights(self, weights, bump, variant):
+        s1, s2 = ("a", "b"), ("x", "y")
+        table = {
+            ("a", "x"): weights[0],
+            ("a", "y"): weights[1],
+            ("b", "x"): weights[2],
+            ("b", "y"): weights[3],
+        }
+        bumped = {pair: min(1.0, value + bump) for pair, value in table.items()}
+        always = lambda a, b: True  # noqa: E731
+        low = neighbor_term(
+            variant, s1, s2, lambda a, b: table[(a, b)], always, "exact"
+        )
+        high = neighbor_term(
+            variant, s1, s2, lambda a, b: bumped[(a, b)], always, "exact"
+        )
+        assert high >= low - 1e-12
+
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=4, max_size=4,
+        ),
+        variant=st.sampled_from([Variant.S, Variant.DP, Variant.B, Variant.BJ]),
+    )
+    @FAST
+    def test_term_in_unit_interval(self, weights, variant):
+        s1, s2 = ("a", "b"), ("x", "y")
+        table = {
+            ("a", "x"): weights[0],
+            ("a", "y"): weights[1],
+            ("b", "x"): weights[2],
+            ("b", "y"): weights[3],
+        }
+        always = lambda a, b: True  # noqa: E731
+        for mode in ("greedy", "exact"):
+            term = neighbor_term(
+                variant, s1, s2, lambda a, b: table[(a, b)], always, mode
+            )
+            assert 0.0 <= term <= 1.0

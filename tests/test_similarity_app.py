@@ -1,0 +1,167 @@
+"""Tests for the node-similarity case study (Tables 7-8 machinery)."""
+
+import pytest
+
+from repro.apps.similarity import (
+    FSimVenueSimilarity,
+    JoinSim,
+    NSimGram,
+    PCRW,
+    PathSim,
+    evaluate_table8,
+    generate_dbis,
+    ndcg_at_k,
+    rank_venues,
+    relevance,
+    venue_author_matrix,
+)
+from repro.apps.similarity.baselines import score_all_venues
+from repro.apps.similarity.dbis import PAPER_LABEL, VENUE_LABEL
+from repro.simulation import Variant
+
+
+@pytest.fixture(scope="module")
+def dbis():
+    return generate_dbis(seed=0)
+
+
+class TestGenerator:
+    def test_schema(self, dbis):
+        graph, meta = dbis
+        venues = graph.nodes_with_label(VENUE_LABEL)
+        papers = graph.nodes_with_label(PAPER_LABEL)
+        assert len(venues) == 33  # 30 venues + 3 duplicates
+        assert len(papers) > 100
+        # papers point at exactly one venue
+        for paper in papers:
+            targets = graph.out_neighbors(paper)
+            assert len(targets) == 1
+            assert graph.label(targets[0]) == VENUE_LABEL
+
+    def test_authors_have_unique_labels(self, dbis):
+        graph, meta = dbis
+        authors = [
+            n for n in graph.nodes()
+            if graph.label(n) not in (VENUE_LABEL, PAPER_LABEL)
+        ]
+        assert all(graph.label(a) == a for a in authors)
+
+    def test_metadata(self, dbis):
+        _, meta = dbis
+        assert meta.venue_area["WWW"] == "web"
+        assert meta.venue_tier["SIGMOD"] == 1
+        assert meta.duplicates["WWW1"] == "WWW"
+        assert meta.is_duplicate_of("WWW2", "WWW")
+        assert not meta.is_duplicate_of("CIKM", "WWW")
+        assert len(meta.subject_venues) == 15
+
+    def test_duplicates_match_subject_size(self, dbis):
+        graph, meta = dbis
+        www_papers = graph.in_degree("WWW")
+        for dup in meta.duplicates:
+            assert graph.in_degree(dup) == www_papers
+
+    def test_deterministic(self):
+        g1, _ = generate_dbis(seed=5)
+        g2, _ = generate_dbis(seed=5)
+        assert g1.same_structure(g2)
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("cls", [PathSim, JoinSim, PCRW, NSimGram])
+    def test_self_similarity_is_max(self, cls, dbis):
+        graph, meta = dbis
+        algorithm = cls(graph)
+        venues = meta.venues()
+        for subject in ("WWW", "SIGMOD"):
+            scores = score_all_venues(algorithm, subject, venues)
+            assert scores[subject] == max(scores.values())
+
+    @pytest.mark.parametrize("cls", [PathSim, JoinSim, PCRW, NSimGram])
+    def test_symmetry(self, cls, dbis):
+        graph, _ = dbis
+        algorithm = cls(graph)
+        assert algorithm.similarity("WWW", "CIKM") == pytest.approx(
+            algorithm.similarity("CIKM", "WWW")
+        )
+
+    def test_pathsim_self_is_one(self, dbis):
+        graph, _ = dbis
+        assert PathSim(graph).similarity("WWW", "WWW") == pytest.approx(1.0)
+
+    def test_same_area_beats_cross_area(self, dbis):
+        graph, _ = dbis
+        algorithm = PathSim(graph)
+        assert algorithm.similarity("WWW", "CIKM") > algorithm.similarity(
+            "WWW", "NeurIPS"
+        )
+
+    def test_venue_author_matrix(self, dbis):
+        graph, meta = dbis
+        profiles = venue_author_matrix(graph)
+        assert set(profiles) == set(meta.venues())
+        total_authorships = sum(sum(c.values()) for c in profiles.values())
+        author_edges = sum(
+            1
+            for s, t in graph.edges()
+            if graph.label(t) == PAPER_LABEL
+        )
+        assert total_authorships == author_edges
+
+
+class TestFSimVenueSimilarity:
+    @pytest.fixture(scope="class")
+    def fbj(self, dbis):
+        graph, _ = dbis
+        return FSimVenueSimilarity(graph, Variant.BJ)
+
+    def test_headline_duplicates_in_top5(self, dbis, fbj):
+        _, meta = dbis
+        top5 = rank_venues(fbj.scores_for("WWW", meta.venues()), "WWW", 5)
+        found = [v for v in top5 if meta.is_duplicate_of(v, "WWW")]
+        assert len(found) == 3, top5
+
+    def test_symmetric(self, fbj):
+        assert fbj.similarity("WWW", "CIKM") == pytest.approx(
+            fbj.similarity("CIKM", "WWW"), abs=1e-9
+        )
+
+    def test_self_score_one(self, fbj):
+        assert fbj.similarity("WWW", "WWW") == pytest.approx(1.0)
+
+
+class TestEvaluation:
+    def test_relevance_levels(self, dbis):
+        _, meta = dbis
+        assert relevance(meta, "WWW", "WWW") == 2
+        assert relevance(meta, "WWW", "WWW1") == 2  # duplicate
+        assert relevance(meta, "WWW", "CIKM") == 2  # same area + tier
+        assert relevance(meta, "WWW", "ICWE") == 1  # same area, lower tier
+        assert relevance(meta, "WWW", "NeurIPS") == 0
+
+    def test_ndcg_bounds(self):
+        assert ndcg_at_k([2, 2, 1, 0], 4) == pytest.approx(1.0)
+        assert ndcg_at_k([0, 0, 0], 3) == 0.0
+        worse = ndcg_at_k([0, 1, 2], 3)
+        better = ndcg_at_k([2, 1, 0], 3)
+        assert 0 < worse < better <= 1.0
+
+    def test_ndcg_empty(self):
+        assert ndcg_at_k([], 5) == 0.0
+
+    def test_rank_venues_subject_first(self, dbis):
+        graph, meta = dbis
+        scores = {v: 0.5 for v in meta.venues()}
+        scores["WWW"] = 0.5  # ties everywhere: subject must still lead
+        ranked = rank_venues(scores, "WWW", 5)
+        assert ranked[0] == "WWW"
+
+    def test_table8_pipeline(self, dbis):
+        graph, meta = dbis
+        venues = meta.venues()
+        algorithm = PathSim(graph)
+        scorers = {
+            "PathSim": lambda s: score_all_venues(algorithm, s, venues)
+        }
+        ndcg = evaluate_table8(scorers, meta, venues, k=15)
+        assert 0.0 < ndcg["PathSim"] <= 1.0

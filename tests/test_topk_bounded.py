@@ -1,0 +1,148 @@
+"""Tests for the future-work extensions: top-k search and bounded/weak
+simulation."""
+
+import pytest
+
+from repro.core import FSimConfig, TopKSearch, fsim_matrix, top_k_similar
+from repro.exceptions import ConfigError, GraphError
+from repro.graph import from_edges, path_graph
+from repro.graph.generators import cycle_graph, random_graph, uniform_labels
+from repro.simulation import (
+    Variant,
+    bounded_closure,
+    bounded_simulation,
+    fsim_bounded,
+    maximal_simulation,
+    weak_simulation,
+)
+
+
+class TestTopK:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return random_graph(18, 40, uniform_labels(18, 3, 5), seed=6)
+
+    def test_matches_full_run(self, graph):
+        config = FSimConfig(variant=Variant.B, label_function="indicator")
+        full = fsim_matrix(graph, graph, config=config)
+        search = TopKSearch(graph, graph, config)
+        for query in list(graph.nodes())[:5]:
+            result = search.search(query, 3)
+            expected = full.top_k(query, 3)
+            got_nodes = [node for node, _ in result.partners]
+            expected_nodes = [node for node, _ in expected]
+            if result.certified:
+                # certified set must contain the true top scores
+                got_scores = sorted((s for _, s in result.partners), reverse=True)
+                exp_scores = sorted((s for _, s in expected), reverse=True)
+                for g_score, e_score in zip(got_scores, exp_scores):
+                    assert g_score == pytest.approx(e_score, abs=0.05)
+            assert len(got_nodes) == min(3, len(expected_nodes))
+
+    def test_self_always_first(self, graph):
+        result = top_k_similar(
+            graph, graph, 0, 1, variant=Variant.BJ, label_function="indicator"
+        )
+        assert result.partners[0][0] == 0
+        assert result.partners[0][1] == pytest.approx(1.0)
+
+    def test_early_termination_saves_iterations(self, graph):
+        config = FSimConfig(
+            variant=Variant.S, label_function="indicator", epsilon=1e-6
+        )
+        full = fsim_matrix(graph, graph, config=config)
+        result = TopKSearch(graph, graph, config).search(0, 2)
+        assert result.iterations <= full.iterations
+
+    def test_invalid_k(self, graph):
+        with pytest.raises(ConfigError):
+            top_k_similar(graph, graph, 0, 0)
+
+    def test_unknown_query(self, graph):
+        with pytest.raises(ConfigError):
+            top_k_similar(graph, graph, "ghost", 2)
+
+    def test_k_larger_than_candidates(self, graph):
+        result = top_k_similar(
+            graph, graph, 0, 10_000, label_function="indicator", theta=1.0
+        )
+        assert len(result.partners) <= 10_000
+
+
+class TestBoundedClosure:
+    def test_one_hop_is_original(self):
+        g = path_graph(4)
+        closure = bounded_closure(g, 1)
+        assert set(closure.edges()) == set(g.edges())
+
+    def test_two_hops(self):
+        g = path_graph(4)
+        closure = bounded_closure(g, 2)
+        assert closure.has_edge(0, 2)
+        assert not closure.has_edge(0, 3)
+
+    def test_unbounded_reachability(self):
+        g = path_graph(4)
+        closure = bounded_closure(g, None)
+        assert closure.has_edge(0, 3)
+
+    def test_cycle_closure_complete(self):
+        g = cycle_graph(3)
+        closure = bounded_closure(g, None)
+        # every node reaches every node (including itself around the loop)
+        assert closure.num_edges == 9
+
+    def test_invalid_bound(self):
+        with pytest.raises(GraphError):
+            bounded_closure(path_graph(2), 0)
+
+
+class TestBoundedSimulation:
+    def build(self):
+        query = from_edges([("a", "b")], {"a": "A", "b": "B"})
+        data = from_edges(
+            [("x", "m"), ("m", "y")], {"x": "A", "m": "M", "y": "B"}
+        )
+        return query, data
+
+    def test_bound_controls_matching(self):
+        query, data = self.build()
+        assert ("a", "x") not in bounded_simulation(query, data, bound=1)
+        assert ("a", "x") in bounded_simulation(query, data, bound=2)
+
+    def test_weak_equals_large_bound(self):
+        query, data = self.build()
+        weak = set(weak_simulation(query, data).pairs())
+        large = set(bounded_simulation(query, data, bound=10).pairs())
+        assert weak == large
+
+    def test_bound_one_out_only_simulation(self):
+        # bounded simulation with bound=1 considers out-edges only, so it
+        # is *coarser* than Definition 1 (which also constrains in-edges).
+        g1 = from_edges([("p", "u")], {"p": "P", "u": "U"})
+        g2 = from_edges([], {"v": "U"})
+        assert ("u", "v") in bounded_simulation(g1, g2, bound=1)
+        assert ("u", "v") not in maximal_simulation(g1, g2, Variant.S)
+
+    def test_monotone_in_bound(self):
+        data = random_graph(14, 30, uniform_labels(14, 3, 7), seed=8)
+        query = path_graph(3, labels=["L0", "L1", "L2"])
+        previous = set()
+        for bound in (1, 2, 3):
+            current = set(bounded_simulation(query, data, bound).pairs())
+            assert previous <= current
+            previous = current
+
+    def test_fractional_bounded_definiteness(self):
+        query, data = self.build()
+        result = fsim_bounded(query, data, bound=2)
+        assert result.score("a", "x") == pytest.approx(1.0)
+        shallow = fsim_bounded(query, data, bound=1)
+        assert shallow.score("a", "x") < 1.0
+
+    def test_exact_agrees_with_fractional(self):
+        from repro.simulation.bounded import exact_agrees_with_fractional
+
+        query = path_graph(3, labels=["L0", "L1", "L0"])
+        data = random_graph(10, 22, uniform_labels(10, 2, 9), seed=10)
+        assert exact_agrees_with_fractional(query, data, bound=2)
