@@ -1,0 +1,158 @@
+"""Backend speedup on the Figure-9 scalability workload.
+
+Times the reference (dict) engine against the vectorized numpy backend
+on the Fig-9(b) configuration -- FSimbj{ub, theta=1} over the NELL and
+ACMCit emulators at increasing density -- and writes a machine-readable
+``BENCH_backends.json`` next to the repo's other benchmark results, so
+future performance PRs have a trajectory to compare against.
+
+Run standalone (preferred; prints a table and writes the JSON):
+
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py
+
+or through pytest-benchmark along with the other benchmarks:
+
+    pytest benchmarks/bench_backend_speedup.py --benchmark-only -s
+
+The acceptance bar for the vectorized backend is a >= 10x wall-clock win
+at the largest workload size, with both backends' scores agreeing to
+1e-9 (they agree bitwise; the parity suite asserts the tolerance).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow standalone execution
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.api import fsim_matrix  # noqa: E402
+from repro.datasets import load_dataset  # noqa: E402
+from repro.graph.noise import densify  # noqa: E402
+from repro.simulation import Variant  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_backends.json"
+
+#: (dataset, density factor) ladder, smallest to largest.  The last row
+#: is "the largest size" of the acceptance criterion.
+WORKLOADS = (
+    ("nell", 1),
+    ("nell", 5),
+    ("nell", 10),
+    ("acmcit", 1),
+    ("acmcit", 5),
+    ("acmcit", 10),
+)
+
+SCORE_TOLERANCE = 1e-9
+
+
+def _workload_graph(name: str, factor: int, seed: int = 0):
+    base = load_dataset(name, scale=1.0, seed=seed)
+    return base if factor == 1 else densify(base, float(factor), seed)
+
+
+def _run(graph, backend: str):
+    start = time.perf_counter()
+    result = fsim_matrix(
+        graph, graph, Variant.BJ,
+        theta=1.0, use_upper_bound=True, backend=backend,
+    )
+    return time.perf_counter() - start, result
+
+
+def run_benchmark(workloads=WORKLOADS, check_scores: bool = True):
+    """Time both backends per workload; returns the report dict."""
+    rows = []
+    for name, factor in workloads:
+        graph = _workload_graph(name, factor)
+        python_seconds, python_result = _run(graph, "python")
+        numpy_seconds, numpy_result = _run(graph, "numpy")
+        worst = 0.0
+        if check_scores:
+            assert python_result.scores.keys() == numpy_result.scores.keys()
+            worst = max(
+                (
+                    abs(python_result.scores[pair] - value)
+                    for pair, value in numpy_result.scores.items()
+                ),
+                default=0.0,
+            )
+            assert worst <= SCORE_TOLERANCE, (name, factor, worst)
+        rows.append({
+            "dataset": name,
+            "density": factor,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "candidates": python_result.num_candidates,
+            "iterations": python_result.iterations,
+            "python_seconds": round(python_seconds, 4),
+            "numpy_seconds": round(numpy_seconds, 4),
+            "speedup": round(python_seconds / numpy_seconds, 2),
+            "max_score_divergence": worst,
+        })
+    report = {
+        "workload": "fig9b FSimbj{ub, theta=1} self-similarity",
+        "score_tolerance": SCORE_TOLERANCE,
+        "rows": rows,
+        "largest": rows[-1],
+    }
+    return report
+
+
+def render(report) -> str:
+    lines = [
+        "== Backend speedup: Fig-9 scalability workload ==",
+        f"{'dataset':>8} {'xdens':>5} {'nodes':>6} {'cands':>7} "
+        f"{'python':>9} {'numpy':>9} {'speedup':>8}",
+    ]
+    for row in report["rows"]:
+        lines.append(
+            f"{row['dataset']:>8} {row['density']:>5} {row['nodes']:>6} "
+            f"{row['candidates']:>7} {row['python_seconds']:>8.2f}s "
+            f"{row['numpy_seconds']:>8.3f}s {row['speedup']:>7.1f}x"
+        )
+    largest = report["largest"]
+    lines.append(
+        f"largest size ({largest['dataset']} x{largest['density']}): "
+        f"{largest['speedup']:.1f}x"
+    )
+    return "\n".join(lines)
+
+
+def write_report(report, path=RESULT_PATH) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+
+def main() -> int:
+    report = run_benchmark()
+    print(render(report))
+    write_report(report)
+    print(f"wrote {RESULT_PATH}")
+    return 0 if report["largest"]["speedup"] >= 10.0 else 1
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (smaller ladder to keep CI time sane)
+# ----------------------------------------------------------------------
+def test_backend_speedup(benchmark):
+    from conftest import run_once
+
+    report = run_once(
+        benchmark, run_benchmark,
+        workloads=(("nell", 5), ("acmcit", 1), ("acmcit", 5)),
+    )
+    write_report(report)
+    for row in report["rows"]:
+        assert row["max_score_divergence"] <= SCORE_TOLERANCE
+    assert report["largest"]["speedup"] >= 10.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

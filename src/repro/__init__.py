@@ -11,7 +11,10 @@ Graph Data" (ICDE 2021).  It provides:
 - :mod:`repro.core` -- the FSimX fractional simulation framework
   (Algorithm 1 of the paper) with the label-constrained mapping and
   upper-bound-updating optimizations, plus SimRank / RoleSim / WL-test
-  configurations;
+  configurations.  Two interchangeable compute backends are provided:
+  the dict-based reference engine and a vectorized integer-indexed
+  numpy engine with incremental (dirty-pair) iteration, selected via
+  ``FSimConfig(backend="auto"|"python"|"numpy")`` (see docs/PERF.md);
 - :mod:`repro.apps` -- the paper's three case-study applications
   (pattern matching, node similarity, graph alignment);
 - :mod:`repro.datasets` -- scaled-down synthetic emulators of the paper's

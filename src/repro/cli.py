@@ -45,6 +45,7 @@ def _cmd_fsim(args) -> int:
         theta=args.theta,
         label_function=args.label_function,
         workers=args.workers,
+        backend=args.backend,
     )
     print(
         f"# FSim{args.variant}: {graph1.num_nodes}x{graph2.num_nodes} nodes, "
@@ -141,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
     fsim.add_argument("--theta", type=float, default=0.0)
     fsim.add_argument("--label-function", default="jaro_winkler")
     fsim.add_argument("--workers", type=int, default=1)
+    fsim.add_argument(
+        "--backend", choices=["auto", "python", "numpy"], default="auto",
+        help="compute backend (auto = vectorized engine when expressible)",
+    )
     fsim.add_argument("--top", type=int, default=20, help="pairs to print")
     fsim.set_defaults(handler=_cmd_fsim)
 

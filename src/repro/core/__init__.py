@@ -1,7 +1,14 @@
-"""The FSimX fractional chi-simulation framework (Sections 3 and 4)."""
+"""The FSimX fractional chi-simulation framework (Sections 3 and 4).
+
+Two compute backends share the :class:`FSimEngine` front end: the
+dict-based reference engine and the vectorized integer-indexed engine of
+:mod:`repro.core.compile` / :mod:`repro.core.vectorized` (kept out of
+this namespace so the package imports without numpy), selected through
+``FSimConfig(backend=...)`` -- see docs/PERF.md.
+"""
 
 from repro.core.config import FSimConfig
-from repro.core.engine import FSimEngine, FSimResult
+from repro.core.engine import FSimEngine, FSimResult, vectorized_fallback_reason
 from repro.core.api import fsim, fsim_matrix, fsim_single_graph
 from repro.core.operators import neighbor_term, term_upper_bound, omega
 from repro.core.simrank import simrank_reference, simrank_via_framework
@@ -16,6 +23,7 @@ __all__ = [
     "fsim",
     "fsim_matrix",
     "fsim_single_graph",
+    "vectorized_fallback_reason",
     "neighbor_term",
     "term_upper_bound",
     "omega",

@@ -21,8 +21,12 @@ def fsim_matrix(
     """Compute FSim_chi scores for all candidate pairs across two graphs.
 
     ``overrides`` are forwarded to :class:`FSimConfig` (e.g. ``theta=1.0``,
-    ``use_upper_bound=True``).  An explicit ``config`` wins over both the
-    ``variant`` argument and the overrides.
+    ``use_upper_bound=True``, ``backend="numpy"``).  An explicit
+    ``config`` wins over both the ``variant`` argument and the overrides.
+
+    Large instances are computed by the vectorized numpy backend by
+    default (``backend="auto"``); pass ``backend="python"`` to force the
+    dict-based reference engine (see docs/PERF.md).
 
     Examples
     --------

@@ -1,0 +1,900 @@
+"""Lowering a graph pair into the integer-indexed FSim representation.
+
+The reference engine (:mod:`repro.core.engine`) evaluates Equation 3
+through ``Dict[Pair, float]`` lookups and per-pair Python closures, which
+caps every experiment at toy graph sizes.  This module compiles one
+``(graph1, graph2, config)`` triple into contiguous numpy arrays once so
+that :mod:`repro.core.vectorized` can run Algorithm 1 as array programs:
+
+- CSR adjacency (``int32`` index + indptr) for both directions of both
+  graphs;
+- a dense label-similarity table (label pairs, not node pairs) and the
+  theta-feasibility table derived from it (Remark 2);
+- a flat *candidate-pair arena*: every theta-feasible node pair gets an
+  integer pair-id; scores live in one ``float64`` array indexed by
+  pair-id.  Pruned pairs occupy frozen slots holding their alpha-fallback
+  value, pinned pairs frozen slots holding the pinned value;
+- per maintained pair, the precomputed *feasible neighbor-pair index
+  lists* (one flat entry per feasible ``(a, b)`` in ``N(u) x N(v)``,
+  storing the arena pair-id of ``(a, b)``), segmented for the
+  variant-specific reduction (per-source groups for s/b, matching
+  problems for dp/bj, plain sums for the cross/SimRank configuration);
+- Equation-6 upper bounds evaluated in bulk (with vectorized fast paths
+  for the common feasibility structures and a Hopcroft-Karp fallback);
+- a reverse-dependency CSR (arena pair-id -> consuming maintained pairs)
+  that drives the incremental dirty-pair scheduler.
+
+Everything the compiler emits replicates the reference engine's floating
+point bit for bit where the update rule is order-sensitive (greedy
+matched-weight accumulation, clamping, the Equation-3 weighted sum) --
+see ``tie_rank`` and docs/PERF.md for the tie-breaking contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+
+from repro.core.config import FSimConfig
+from repro.graph.digraph import LabeledDigraph
+from repro.simulation.base import Variant
+from repro.simulation.matching import hopcroft_karp
+
+Node = Hashable
+Pair = Tuple[Node, Node]
+
+#: Chunk budget (cross-product cells) for the entry builders, bounding
+#: peak transient memory during compilation.
+_CHUNK_CELLS = 2_000_000
+
+#: Maximum |V1| * |V2| for the dense pair-id lookup table (int32 cells).
+_DENSE_LOOKUP_CELLS = 1 << 24
+
+
+def _ragged_arange(counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(count)`` for each count (division-free)."""
+    counts = counts.astype(np.int64, copy=False)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.arange(total, dtype=np.int64)
+    out -= np.repeat(np.cumsum(counts) - counts, counts)
+    return out
+
+
+def ragged_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(start, start + count)`` for each segment.
+
+    The standard vectorized gather for CSR-style ragged ranges; zero
+    counts are allowed and contribute nothing.
+    """
+    counts = counts.astype(np.int64, copy=False)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.cumsum(counts) - counts
+    out = np.arange(total, dtype=np.int64)
+    out -= np.repeat(offsets, counts)
+    out += np.repeat(starts.astype(np.int64, copy=False), counts)
+    return out
+
+
+#: Segments at most this long are summed with the sequential masked loop
+#: (bit-identical to the reference engine's Python accumulation order);
+#: longer segments use ``np.add.reduceat`` (pairwise summation, within
+#: ~1e-15 relative of sequential).
+_SEQUENTIAL_SUM_CUTOFF = 64
+
+
+def segment_sum(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Per-segment sums of ``values`` split into consecutive segments.
+
+    ``values`` must be the concatenation of the segments in order.  Small
+    segments are accumulated left-to-right so the result is bit-identical
+    to the reference engine's sequential Python sums.
+    """
+    if counts.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    starts = np.cumsum(counts) - counts
+    out = np.zeros(len(counts), dtype=np.float64)
+    longest = int(counts.max()) if counts.size else 0
+    if longest <= _SEQUENTIAL_SUM_CUTOFF:
+        for j in range(longest):
+            sel = counts > j
+            out[sel] += values[starts[sel] + j]
+        return out
+    nonempty = counts > 0
+    if not nonempty.any():
+        return out
+    out[nonempty] = np.add.reduceat(values, starts[nonempty])
+    return out
+
+
+class SBStructure:
+    """Per-source group segmentation for one s/b mapping direction.
+
+    Entries are feasible neighbor pairs in the reference iteration order
+    (outer source, inner target); a *group* is one source's feasible
+    targets.  The s-term of a pair is the sum over its groups of the
+    group maximum.
+    """
+
+    __slots__ = (
+        "ent_arena", "ent_count", "ent_start",
+        "grp_len", "grp_count", "grp_start", "grp_pos_full",
+    )
+
+    def __init__(self, ent_arena, ent_count, grp_len, grp_count):
+        ent_arena = ent_arena.astype(np.int32, copy=False)
+        self.ent_arena = ent_arena  # arena pair-id per entry
+        self.ent_count = ent_count  # entries per maintained pair
+        self.ent_start = np.cumsum(ent_count) - ent_count
+        self.grp_len = grp_len  # entries per group
+        self.grp_count = grp_count  # groups per maintained pair
+        self.grp_start = np.cumsum(grp_count) - grp_count
+        #: Group start offsets in full entry space (full-sweep fast path).
+        self.grp_pos_full = np.cumsum(grp_len) - grp_len
+
+
+class MatchStructure:
+    """Flat matching-problem arena for one dp/bj direction.
+
+    Each maintained pair is one matching problem; ``ba_lslot`` /
+    ``ba_rslot`` are globally disjoint slot ids (so one stamp array
+    serves every problem).  The greedy visit order is *not* stored per
+    entry: an entry's weight and repr tie-break are functions of its
+    arena pair alone, so the runtime ranks the (much smaller) arena once
+    per sweep and walks arena pairs in rank order.  Entries of one arena
+    pair can never conflict (one occurrence per problem, disjoint slots),
+    so each rank step processes its whole entry list vectorized -- that
+    is what the ``ba_*`` (by-arena CSR) layout is for.  The by-problem
+    ``ent_arena`` remains for the dirty-subset round selection and the
+    dependency counts.
+    """
+
+    __slots__ = (
+        "ent_arena", "ent_count", "ent_start",
+        "ba_indptr", "ba_prob", "ba_lslot", "ba_rslot",
+        "cap", "num_lslots", "num_rslots",
+    )
+
+    def __init__(self, ent_arena, ent_lslot, ent_rslot, ent_pair, ent_count,
+                 cap, num_lslots, num_rslots, num_arena):
+        ent_arena = ent_arena.astype(np.int32, copy=False)
+        self.ent_arena = ent_arena
+        self.ent_count = ent_count
+        self.ent_start = np.cumsum(ent_count) - ent_count
+        # by-arena CSR (stable radix argsort keeps rank-step entries in
+        # deterministic problem order, though any order is correct).
+        order = np.argsort(ent_arena, kind="stable")
+        counts = np.bincount(ent_arena, minlength=num_arena)
+        self.ba_indptr = np.zeros(num_arena + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.ba_indptr[1:])
+        self.ba_prob = ent_pair.astype(np.int32, copy=False)[order]
+        self.ba_lslot = ent_lslot.astype(np.int32, copy=False)[order]
+        self.ba_rslot = ent_rslot.astype(np.int32, copy=False)[order]
+        #: Greedy saturation bound per problem: the maximum matching size
+        #: |M_chi| -- once this many pairs are matched the problem is done.
+        self.cap = cap
+        self.num_lslots = num_lslots
+        self.num_rslots = num_rslots
+
+
+class CrossStructure:
+    """Plain per-pair sums for the cross/SimRank mapping direction."""
+
+    __slots__ = ("ent_arena", "ent_count", "ent_start")
+
+    def __init__(self, ent_arena, ent_count):
+        self.ent_arena = ent_arena.astype(np.int32, copy=False)
+        self.ent_count = ent_count
+        self.ent_start = np.cumsum(ent_count) - ent_count
+
+
+class DirectionTerm:
+    """One neighbor term (out or in) of Equation 3, fully precomputed.
+
+    ``conv`` holds the empty-set convention constant where it applies and
+    NaN where the term must be computed; ``denom`` is Omega_chi.
+    """
+
+    __slots__ = ("family", "conv", "denom", "structures")
+
+    def __init__(self, family: str, conv, denom, structures):
+        self.family = family  # "sb" | "match" | "cross"
+        self.conv = conv
+        self.denom = denom
+        #: "sb": (forward, backward-or-None); "match"/"cross": (structure,)
+        self.structures = structures
+
+
+class _Csr:
+    """One adjacency direction of one graph in CSR form."""
+
+    __slots__ = ("indptr", "indices", "degrees")
+
+    def __init__(self, indptr, indices):
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees = (indptr[1:] - indptr[:-1]).astype(np.int64)
+
+
+def _lower_csr(graph: LabeledDigraph, index: Dict[Node, int],
+               direction: str) -> _Csr:
+    nodes = graph.nodes()
+    indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+    chunks: List[List[int]] = []
+    neighbors = (
+        graph.out_neighbors if direction == "out" else graph.in_neighbors
+    )
+    for i, node in enumerate(nodes):
+        row = [index[other] for other in neighbors(node)]
+        chunks.append(row)
+        indptr[i + 1] = indptr[i] + len(row)
+    flat = [j for row in chunks for j in row]
+    return _Csr(indptr, np.asarray(flat, dtype=np.int32))
+
+
+class CompiledFSim:
+    """The array-form FSim instance produced by :func:`compile_fsim`.
+
+    Attribute groups (all numpy unless noted):
+
+    - graph side: ``nodes1``/``nodes2`` (lists), ``nlab1``/``nlab2``
+      (label ids), CSR adjacency per direction, ``lsim_table``/``feas``;
+    - arena side: ``arena_u``/``arena_v``, ``scores0`` (initial score per
+      pair-id; frozen slots already hold their final value),
+      ``maintained`` mask, ``upd_arena`` (pair-ids updated each sweep,
+      in reference candidate order);
+    - update side: ``out_term``/``in_term`` (:class:`DirectionTerm` or
+      None when the corresponding weight is zero), ``upd_label``
+      (label-similarity term of each updated pair);
+    - scheduler side: ``dep_indptr``/``dep_targets`` (arena pair-id ->
+      positions in ``upd_arena`` that consume it).
+    """
+
+    def __init__(self, graph1: LabeledDigraph, graph2: LabeledDigraph,
+                 config: FSimConfig):
+        self.config = config
+        self._build_graphs(graph1, graph2)
+        self._build_label_tables()
+        self._build_arena()
+        self._apply_pinning()
+        self._build_terms()
+        self._build_dependencies()
+
+    # ------------------------------------------------------------------
+    # graph lowering
+    # ------------------------------------------------------------------
+    def _build_graphs(self, graph1, graph2):
+        self.nodes1: List[Node] = list(graph1.nodes())
+        self.nodes2: List[Node] = list(graph2.nodes())
+        self.n1 = len(self.nodes1)
+        self.n2 = len(self.nodes2)
+        index1 = {node: i for i, node in enumerate(self.nodes1)}
+        index2 = {node: i for i, node in enumerate(self.nodes2)}
+        self.index1 = index1
+        self.index2 = index2
+        self.labels1: List[Hashable] = list(graph1.labels())
+        self.labels2: List[Hashable] = list(graph2.labels())
+        lab_index1 = {label: k for k, label in enumerate(self.labels1)}
+        lab_index2 = {label: k for k, label in enumerate(self.labels2)}
+        self.nlab1 = np.asarray(
+            [lab_index1[graph1.label(n)] for n in self.nodes1], dtype=np.int32
+        )
+        self.nlab2 = np.asarray(
+            [lab_index2[graph2.label(n)] for n in self.nodes2], dtype=np.int32
+        )
+        self.out1 = _lower_csr(graph1, index1, "out")
+        self.in1 = _lower_csr(graph1, index1, "in")
+        self.out2 = _lower_csr(graph2, index2, "out")
+        self.in2 = _lower_csr(graph2, index2, "in")
+
+    def _build_label_tables(self):
+        label_fn = self.config.resolved_label_function
+        table = np.empty((max(len(self.labels1), 1), max(len(self.labels2), 1)))
+        for i, label1 in enumerate(self.labels1):
+            for j, label2 in enumerate(self.labels2):
+                table[i, j] = float(label_fn(label1, label2))
+        self.lsim_table = table
+        self.feas = table >= self.config.theta
+
+    # ------------------------------------------------------------------
+    # arena construction (Line 1 of Algorithm 1, array form)
+    # ------------------------------------------------------------------
+    def _build_arena(self):
+        cfg = self.config
+        # Feasible G2 partners per G1 label, concatenated in the reference
+        # candidate order (G2 labels in first-seen order, members in
+        # insertion order).
+        members2 = [
+            np.flatnonzero(self.nlab2 == k).astype(np.int32)
+            for k in range(len(self.labels2))
+        ]
+        vlists: List[np.ndarray] = []
+        for k1 in range(max(len(self.labels1), 1)):
+            if self.labels1:
+                feasible = [
+                    members2[k2]
+                    for k2 in range(len(self.labels2))
+                    if self.feas[k1, k2]
+                ]
+            else:
+                feasible = []
+            vlists.append(
+                np.concatenate(feasible) if feasible
+                else np.empty(0, dtype=np.int32)
+            )
+        per_u = [vlists[self.nlab1[i]] for i in range(self.n1)]
+        counts = np.asarray([len(block) for block in per_u], dtype=np.int64)
+        self.arena_v = (
+            np.concatenate(per_u) if per_u else np.empty(0, dtype=np.int32)
+        ).astype(np.int32)
+        self.arena_u = np.repeat(
+            np.arange(self.n1, dtype=np.int32), counts
+        )
+        self.num_feasible = len(self.arena_u)
+        self.arena_label = (
+            self.lsim_table[self.nlab1[self.arena_u], self.nlab2[self.arena_v]]
+            if self.num_feasible
+            else np.empty(0, dtype=np.float64)
+        )
+        # pair-id lookup: sorted flat keys u * n2 + v -> arena id, plus a
+        # dense (u, v) -> id table when the cell count is small enough
+        # (one gather then answers feasibility and id at once).
+        keys = self.arena_u.astype(np.int64) * max(self.n2, 1) + self.arena_v
+        self._key_order = np.argsort(keys, kind="stable")
+        self._sorted_keys = keys[self._key_order]
+        if self.n1 * self.n2 <= _DENSE_LOOKUP_CELLS:
+            dense = np.full((self.n1, self.n2), -1, dtype=np.int32)
+            dense[self.arena_u, self.arena_v] = np.arange(
+                self.num_feasible, dtype=np.int32
+            )
+            self._pair_id_dense = dense
+        else:
+            self._pair_id_dense = None
+
+        if cfg.use_upper_bound:
+            self.ub = self._upper_bounds()
+            self.maintained = self.ub > cfg.beta
+        else:
+            self.ub = None
+            self.maintained = np.ones(self.num_feasible, dtype=bool)
+
+        scores0 = np.zeros(self.num_feasible, dtype=np.float64)
+        scores0[self.maintained] = self.arena_label[self.maintained]
+        if cfg.use_upper_bound and cfg.alpha > 0.0:
+            pruned = ~self.maintained
+            scores0[pruned] = cfg.alpha * self.ub[pruned]
+        self.scores0 = scores0
+        self.num_candidates = int(self.maintained.sum())
+
+    def _lookup_arena(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Arena pair-ids of feasible ``(u, v)`` index pairs (must exist)."""
+        keys = us.astype(np.int64) * max(self.n2, 1) + vs
+        pos = np.searchsorted(self._sorted_keys, keys)
+        return self._key_order[pos]
+
+    def _apply_pinning(self):
+        """Freeze pinned pair-ids; collect pins outside the arena/graphs."""
+        cfg = self.config
+        pinned = cfg.pinned_pairs or {}
+        self.pinned_in_arena: Dict[int, float] = {}
+        #: (pair, value) for pinned pairs outside the theta-feasible arena
+        #: (including off-graph pairs) -- appended verbatim to the result.
+        self.pinned_extra: List[Tuple[Pair, float]] = []
+        frozen = ~self.maintained
+        for (a, b), value in pinned.items():
+            value = float(value)
+            i = self.index1.get(a)
+            j = self.index2.get(b)
+            arena_id = None
+            if i is not None and j is not None:
+                key = np.int64(i) * max(self.n2, 1) + j
+                pos = int(np.searchsorted(self._sorted_keys, key))
+                if (pos < len(self._sorted_keys)
+                        and self._sorted_keys[pos] == key):
+                    arena_id = int(self._key_order[pos])
+            if arena_id is None:
+                self.pinned_extra.append(((a, b), value))
+            else:
+                self.pinned_in_arena[arena_id] = value
+                self.scores0[arena_id] = value
+                frozen[arena_id] = True
+                if not self.maintained[arena_id]:
+                    # Pinned-but-pruned pairs are still reported (the
+                    # reference keeps every pinned pair in the score map).
+                    self.pinned_extra.append(
+                        ((self.nodes1[i], self.nodes2[j]), value)
+                    )
+        self.frozen = frozen
+        self.upd_arena = np.flatnonzero(self.maintained & ~frozen)
+        self.upd_u = self.arena_u[self.upd_arena].astype(np.int64)
+        self.upd_v = self.arena_v[self.upd_arena].astype(np.int64)
+        self.upd_label = self.arena_label[self.upd_arena]
+
+    # ------------------------------------------------------------------
+    # Equation-6 upper bounds, in bulk
+    # ------------------------------------------------------------------
+    def _upper_bounds(self) -> np.ndarray:
+        cfg = self.config
+        us = self.arena_u.astype(np.int64)
+        vs = self.arena_v.astype(np.int64)
+        out_bound = self._term_bounds(self.out1, self.out2, us, vs)
+        in_bound = self._term_bounds(self.in1, self.in2, us, vs)
+        bound = (
+            cfg.w_out * out_bound
+            + cfg.w_in * in_bound
+            + cfg.w_label * self.arena_label
+        )
+        return np.minimum(bound, 1.0)
+
+    def _term_bounds(self, csr1: _Csr, csr2: _Csr,
+                     us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """``|M_chi| / Omega_chi`` per arena pair, conventions applied."""
+        variant = self.config.variant
+        d1 = csr1.degrees[us].astype(np.float64)
+        d2 = csr2.degrees[vs].astype(np.float64)
+        conv = _empty_conventions(variant, d1, d2)
+        active = np.isnan(conv)
+        out = conv.copy()
+        if active.any():
+            sizes = self._mapping_sizes(
+                variant, csr1, csr2, us[active], vs[active]
+            )
+            denom = _omega(
+                variant, d1[active], d2[active], self.config.normalizer
+            )
+            out[active] = np.minimum(sizes / denom, 1.0)
+        return out
+
+    def _label_count_matrix(self, csr: _Csr, nlab: np.ndarray,
+                            num_labels: int, n: int) -> np.ndarray:
+        """Dense ``(node, label) -> neighbor count`` for one direction."""
+        counts = np.zeros((n, max(num_labels, 1)), dtype=np.int64)
+        if len(csr.indices):
+            rows = np.repeat(np.arange(n, dtype=np.int64), csr.degrees)
+            np.add.at(counts, (rows, nlab[csr.indices]), 1)
+        return counts
+
+    def _mapping_sizes(self, variant, csr1: _Csr, csr2: _Csr,
+                       us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """``|M_chi(N(u), N(v))|`` under the label constraint (Equation 6)."""
+        c1 = self._label_count_matrix(csr1, self.nlab1, len(self.labels1), self.n1)
+        c2 = self._label_count_matrix(csr2, self.nlab2, len(self.labels2), self.n2)
+        feas_f = self.feas.astype(np.float64)
+        if variant is Variant.CROSS:
+            reach = c1.astype(np.float64) @ feas_f  # (n1, L2)
+            return _chunked_rowdot(reach, us, c2.astype(np.float64), vs)
+        if variant is Variant.S:
+            any_f = ((c2 > 0).astype(np.float64) @ feas_f.T > 0).astype(
+                np.float64
+            )  # (n2, L1)
+            return _chunked_rowdot(c1.astype(np.float64), us, any_f, vs)
+        if variant is Variant.B:
+            any_f = ((c2 > 0).astype(np.float64) @ feas_f.T > 0).astype(
+                np.float64
+            )
+            any_b = ((c1 > 0).astype(np.float64) @ feas_f > 0).astype(
+                np.float64
+            )  # (n1, L2)
+            forward = _chunked_rowdot(c1.astype(np.float64), us, any_f, vs)
+            backward = _chunked_rowdot(c2.astype(np.float64), vs, any_b, us)
+            return forward + backward
+        # dp / bj: maximum-cardinality matching on the feasibility graph.
+        row_deg = self.feas.sum(axis=1)
+        col_deg = self.feas.sum(axis=0)
+        if self.feas.all():
+            # Complete bipartite blow-up: |M| = min(|S1|, |S2|).
+            return np.minimum(csr1.degrees[us], csr2.degrees[vs]).astype(
+                np.float64
+            )
+        if (row_deg <= 1).all() and (col_deg <= 1).all():
+            # The label feasibility graph is itself a partial matching, so
+            # the blown-up matching decomposes per label:
+            # |M| = sum_l min(count1[l], count2[m(l)]).
+            partner = np.argmax(self.feas, axis=1)
+            has = np.flatnonzero(row_deg > 0)
+            c2m = np.zeros((self.n2, c1.shape[1]), dtype=c2.dtype)
+            c2m[:, has] = c2[:, partner[has]]
+            return _chunked_min_sum(c1, us, c2m, vs)
+        return self._matching_sizes_fallback(csr1, csr2, us, vs)
+
+    def _matching_sizes_fallback(self, csr1, csr2, us, vs) -> np.ndarray:
+        """Exact per-pair Hopcroft-Karp for irregular feasibility tables."""
+        sizes = np.empty(len(us), dtype=np.float64)
+        feas = self.feas
+        for k in range(len(us)):
+            u = int(us[k])
+            v = int(vs[k])
+            left = csr1.indices[csr1.indptr[u]:csr1.indptr[u + 1]]
+            right = csr2.indices[csr2.indptr[v]:csr2.indptr[v + 1]]
+            right_labels = self.nlab2[right]
+            adjacency = [
+                np.flatnonzero(feas[self.nlab1[a], right_labels]).tolist()
+                for a in left
+            ]
+            size, _, _ = hopcroft_karp(len(left), len(right), adjacency)
+            sizes[k] = float(size)
+        return sizes
+
+    # ------------------------------------------------------------------
+    # neighbor-term entry lists
+    # ------------------------------------------------------------------
+    def _build_terms(self):
+        cfg = self.config
+        variant = cfg.variant
+        if variant is Variant.CROSS:
+            family = "cross"
+        elif variant in (Variant.DP, Variant.BJ):
+            family = "match"
+        else:
+            family = "sb"
+        self.family = family
+        if family == "match":
+            self.tie_rank = self._tie_ranks()
+        self.out_term = (
+            self._build_direction(self.out1, self.out2, family, variant)
+            if cfg.w_out > 0.0 else None
+        )
+        self.in_term = (
+            self._build_direction(self.in1, self.in2, family, variant)
+            if cfg.w_in > 0.0 else None
+        )
+
+    def _tie_ranks(self) -> np.ndarray:
+        """Rank of ``repr((u, v))`` per arena pair.
+
+        The reference greedy matching breaks weight ties by the repr of
+        the node pair; sorting by this precomputed rank reproduces its
+        decisions without building strings in the hot loop.
+        """
+        reprs = [
+            repr((self.nodes1[i], self.nodes2[j]))
+            for i, j in zip(self.arena_u.tolist(), self.arena_v.tolist())
+        ]
+        order = sorted(range(len(reprs)), key=reprs.__getitem__)
+        ranks = np.empty(len(reprs), dtype=np.int64)
+        ranks[np.asarray(order, dtype=np.int64)] = np.arange(
+            len(reprs), dtype=np.int64
+        )
+        return ranks if len(reprs) else np.empty(0, dtype=np.int64)
+
+    def _build_direction(self, csr1: _Csr, csr2: _Csr, family: str,
+                         variant) -> DirectionTerm:
+        d1 = csr1.degrees[self.upd_u].astype(np.float64)
+        d2 = csr2.degrees[self.upd_v].astype(np.float64)
+        conv = _empty_conventions(variant, d1, d2)
+        denom = _omega(variant, d1, d2, self.config.normalizer)
+        if family == "sb":
+            forward = self._cross_entries(csr1, csr2, outer="left")
+            backward = (
+                self._cross_entries(csr1, csr2, outer="right")
+                if variant is Variant.B else None
+            )
+            return DirectionTerm("sb", conv, denom, (forward, backward))
+        if family == "cross":
+            structure = self._cross_entries(csr1, csr2, outer="left",
+                                            grouped=False)
+            return DirectionTerm("cross", conv, denom, (structure,))
+        structure = self._match_entries(csr1, csr2)
+        return DirectionTerm("match", conv, denom, (structure,))
+
+    def _iter_chunks(self, cells: np.ndarray):
+        """Yield ``(start, end)`` pair ranges of ~bounded cross-product size."""
+        total = len(cells)
+        start = 0
+        while start < total:
+            end = start
+            budget = 0
+            while end < total:
+                budget += int(cells[end])
+                end += 1
+                if budget >= _CHUNK_CELLS:
+                    break
+            yield start, end
+            start = end
+
+    def _cross_feasible(self, csr1: _Csr, csr2: _Csr, outer: str):
+        """Feasible neighbor pairs of every maintained pair, chunked.
+
+        Yields ``(pair_pos, a_local, b_local, arena_id)`` blocks in the
+        reference iteration order for the requested nesting (``left``:
+        G1 neighbor outer loop; ``right``: G2 neighbor outer loop, used
+        by the backward leg of the b operator).
+        """
+        us = self.upd_u
+        vs = self.upd_v
+        d1 = csr1.degrees[us]
+        d2 = csr2.degrees[vs]
+        cells = d1 * d2
+        for start, end in self._iter_chunks(cells):
+            cnt = cells[start:end]
+            total = int(cnt.sum())
+            if total == 0:
+                continue
+            pair_pos = np.repeat(
+                np.arange(start, end, dtype=np.int64), cnt
+            )
+            # Division-free nested-loop indices: the outer index is a
+            # ragged arange over outer degrees repeated per inner row,
+            # the inner index a ragged arange over repeated inner degrees.
+            if outer == "left":
+                outer_deg, inner_deg = d1[start:end], d2[start:end]
+            else:
+                outer_deg, inner_deg = d2[start:end], d1[start:end]
+            inner_per_row = np.repeat(inner_deg, outer_deg)
+            o_local = np.repeat(_ragged_arange(outer_deg), inner_per_row)
+            i_local = _ragged_arange(inner_per_row)
+            if outer == "left":
+                a_local, b_local = o_local, i_local
+            else:
+                a_local, b_local = i_local, o_local
+            a_node = csr1.indices[
+                np.repeat(csr1.indptr[us[start:end]], cnt) + a_local
+            ]
+            b_node = csr2.indices[
+                np.repeat(csr2.indptr[vs[start:end]], cnt) + b_local
+            ]
+            if self._pair_id_dense is not None:
+                ids = self._pair_id_dense[a_node, b_node]
+                mask = ids >= 0
+                if not mask.any():
+                    continue
+                arena = ids[mask].astype(np.int64)
+            else:
+                mask = self.feas[self.nlab1[a_node], self.nlab2[b_node]]
+                if not mask.any():
+                    continue
+                arena = self._lookup_arena(a_node[mask], b_node[mask])
+            yield pair_pos[mask], a_local[mask], b_local[mask], arena
+
+    def _cross_entries(self, csr1: _Csr, csr2: _Csr, outer: str,
+                       grouped: bool = True):
+        num_pairs = len(self.upd_arena)
+        parts_pair: List[np.ndarray] = []
+        parts_outer: List[np.ndarray] = []
+        parts_arena: List[np.ndarray] = []
+        for pair_pos, a_local, b_local, arena in self._cross_feasible(
+            csr1, csr2, outer
+        ):
+            parts_pair.append(pair_pos)
+            parts_outer.append(a_local if outer == "left" else b_local)
+            parts_arena.append(arena)
+        if parts_pair:
+            ent_pair = np.concatenate(parts_pair)
+            ent_outer = np.concatenate(parts_outer)
+            ent_arena = np.concatenate(parts_arena).astype(np.int64)
+        else:
+            ent_pair = np.empty(0, dtype=np.int64)
+            ent_outer = np.empty(0, dtype=np.int64)
+            ent_arena = np.empty(0, dtype=np.int64)
+        ent_count = np.bincount(ent_pair, minlength=num_pairs).astype(np.int64)
+        if not grouped:
+            return CrossStructure(ent_arena, ent_count)
+        if len(ent_pair):
+            new_group = np.ones(len(ent_pair), dtype=bool)
+            new_group[1:] = (
+                (ent_pair[1:] != ent_pair[:-1])
+                | (ent_outer[1:] != ent_outer[:-1])
+            )
+            grp_starts = np.flatnonzero(new_group)
+            grp_len = np.diff(np.append(grp_starts, len(ent_pair)))
+            grp_pair = ent_pair[grp_starts]
+            grp_count = np.bincount(grp_pair, minlength=num_pairs).astype(
+                np.int64
+            )
+        else:
+            grp_len = np.empty(0, dtype=np.int64)
+            grp_count = np.zeros(num_pairs, dtype=np.int64)
+        return SBStructure(ent_arena, ent_count, grp_len, grp_count)
+
+    def _match_entries(self, csr1: _Csr, csr2: _Csr) -> MatchStructure:
+        num_pairs = len(self.upd_arena)
+        d1 = csr1.degrees[self.upd_u]
+        d2 = csr2.degrees[self.upd_v]
+        lbase = np.cumsum(d1) - d1
+        rbase = np.cumsum(d2) - d2
+        parts: List[Tuple[np.ndarray, ...]] = []
+        for pair_pos, a_local, b_local, arena in self._cross_feasible(
+            csr1, csr2, outer="left"
+        ):
+            parts.append((
+                pair_pos,
+                lbase[pair_pos] + a_local,
+                rbase[pair_pos] + b_local,
+                arena,
+            ))
+        if parts:
+            ent_pair = np.concatenate([p[0] for p in parts])
+            ent_lslot = np.concatenate([p[1] for p in parts])
+            ent_rslot = np.concatenate([p[2] for p in parts])
+            ent_arena = np.concatenate([p[3] for p in parts]).astype(np.int64)
+        else:
+            ent_pair = np.empty(0, dtype=np.int64)
+            ent_lslot = np.empty(0, dtype=np.int64)
+            ent_rslot = np.empty(0, dtype=np.int64)
+            ent_arena = np.empty(0, dtype=np.int64)
+        ent_count = np.bincount(ent_pair, minlength=num_pairs).astype(np.int64)
+        caps = self._mapping_sizes(
+            self.config.variant, csr1, csr2, self.upd_u, self.upd_v
+        ).astype(np.int64)
+        return MatchStructure(
+            ent_arena,
+            ent_lslot,
+            ent_rslot,
+            ent_pair,
+            ent_count,
+            caps,
+            int(d1.sum()),
+            int(d2.sum()),
+            self.num_feasible,
+        )
+
+    # ------------------------------------------------------------------
+    # reverse dependencies (dirty-pair scheduler)
+    # ------------------------------------------------------------------
+    def _dep_structures(self):
+        for term in (self.out_term, self.in_term):
+            if term is None:
+                continue
+            for structure in term.structures:
+                if structure is not None:
+                    yield structure
+
+    def _build_dependencies(self):
+        """Reverse-dependency CSR counts; targets are built lazily.
+
+        The indptr (a bincount) is cheap and enough to size a prospective
+        gather; the targets array (a big radix sort) is only materialized
+        the first time a sweep is actually sparse enough to use it.
+        """
+        self.num_updatable = len(self.upd_arena)
+        counts = np.zeros(self.num_feasible, dtype=np.int64)
+        for structure in self._dep_structures():
+            if structure.ent_arena.size:
+                counts += np.bincount(
+                    structure.ent_arena, minlength=self.num_feasible
+                )
+        indptr = np.zeros(self.num_feasible + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self.dep_indptr = indptr
+        self._dep_targets: "np.ndarray | None" = None
+
+    @property
+    def dep_targets(self) -> np.ndarray:
+        if self._dep_targets is None:
+            arena_parts: List[np.ndarray] = []
+            consumer_parts: List[np.ndarray] = []
+            for structure in self._dep_structures():
+                arena_parts.append(structure.ent_arena)
+                consumer_parts.append(
+                    np.repeat(
+                        np.arange(self.num_updatable, dtype=np.int32),
+                        structure.ent_count,
+                    )
+                )
+            if arena_parts:
+                dep_arena = np.concatenate(arena_parts)
+                consumers = np.concatenate(consumer_parts)
+                # Stable integer argsort (radix); duplicates across
+                # directions are fine -- dependents() deduplicates.
+                order = np.argsort(dep_arena, kind="stable")
+                self._dep_targets = consumers[order]
+            else:
+                self._dep_targets = np.empty(0, dtype=np.int32)
+        return self._dep_targets
+
+    def dependents(self, arena_ids: np.ndarray) -> np.ndarray:
+        """Positions in ``upd_arena`` whose Equation-3 inputs include any
+        of the given arena pair-ids (the next dirty sweep)."""
+        if arena_ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self.dep_indptr[arena_ids]
+        counts = self.dep_indptr[arena_ids + 1] - starts
+        total = int(counts.sum())
+        # When nearly everything is dirty the gather costs more than just
+        # resweeping every pair (recomputing a clean pair is exact).
+        if total >= 4 * self.num_updatable:
+            return np.arange(self.num_updatable, dtype=np.int64)
+        gathered = self.dep_targets[ragged_indices(starts, counts)]
+        return np.unique(gathered).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # result assembly
+    # ------------------------------------------------------------------
+    def result_scores(self, scores: np.ndarray) -> Dict[Pair, float]:
+        """Maintained scores as the reference-ordered ``{pair: value}``."""
+        out: Dict[Pair, float] = {}
+        ids = np.flatnonzero(self.maintained)
+        us = self.arena_u[ids].tolist()
+        vs = self.arena_v[ids].tolist()
+        values = scores[ids].tolist()
+        nodes1 = self.nodes1
+        nodes2 = self.nodes2
+        for i, j, value in zip(us, vs, values):
+            out[(nodes1[i], nodes2[j])] = value
+        for pair, value in self.pinned_extra:
+            out[pair] = value
+        return out
+
+
+# ----------------------------------------------------------------------
+# Table 3 operators in array form
+# ----------------------------------------------------------------------
+def _omega(variant, d1: np.ndarray, d2: np.ndarray,
+           normalizer: str) -> np.ndarray:
+    """Omega_chi per pair (float64; zero only where a convention applies)."""
+    if variant is Variant.CROSS:
+        return d1 * d2
+    if variant is Variant.B:
+        return d1 + d2
+    if variant is Variant.BJ:
+        if normalizer == "max":
+            return np.maximum(d1, d2)
+        return np.sqrt(d1 * d2)
+    if variant is Variant.DP and normalizer == "max":
+        return np.maximum(d1, d2)
+    return d1.copy()
+
+
+def _empty_conventions(variant, d1: np.ndarray, d2: np.ndarray) -> np.ndarray:
+    """Empty-set convention constant per pair, NaN where both sides are
+    nonempty (mirrors ``operators._empty_convention``)."""
+    conv = np.full(len(d1), np.nan)
+    if variant is Variant.CROSS:
+        conv[(d1 == 0) | (d2 == 0)] = 0.0
+        return conv
+    if variant in (Variant.S, Variant.DP):
+        conv[d2 == 0] = 0.0
+        conv[d1 == 0] = 1.0  # overrides: S1 empty wins in the reference
+        return conv
+    conv[(d1 == 0) | (d2 == 0)] = 0.0
+    conv[(d1 == 0) & (d2 == 0)] = 1.0
+    return conv
+
+
+def _chunked_rowdot(mat_a: np.ndarray, rows_a: np.ndarray,
+                    mat_b: np.ndarray, rows_b: np.ndarray,
+                    chunk: int = 1 << 20) -> np.ndarray:
+    """``sum(mat_a[rows_a] * mat_b[rows_b], axis=1)`` with bounded temps."""
+    n = len(rows_a)
+    out = np.empty(n, dtype=np.float64)
+    cols = mat_a.shape[1] if mat_a.ndim == 2 else 1
+    step = max(1, chunk // max(cols, 1))
+    for start in range(0, n, step):
+        end = min(start + step, n)
+        out[start:end] = np.einsum(
+            "ij,ij->i",
+            mat_a[rows_a[start:end]],
+            mat_b[rows_b[start:end]],
+            optimize=False,
+        )
+    return out
+
+
+def _chunked_min_sum(mat_a: np.ndarray, rows_a: np.ndarray,
+                     mat_b: np.ndarray, rows_b: np.ndarray,
+                     chunk: int = 1 << 20) -> np.ndarray:
+    """``sum(minimum(mat_a[rows_a], mat_b[rows_b]), axis=1)`` chunked."""
+    n = len(rows_a)
+    out = np.empty(n, dtype=np.float64)
+    cols = mat_a.shape[1] if mat_a.ndim == 2 else 1
+    step = max(1, chunk // max(cols, 1))
+    for start in range(0, n, step):
+        end = min(start + step, n)
+        out[start:end] = np.minimum(
+            mat_a[rows_a[start:end]], mat_b[rows_b[start:end]]
+        ).sum(axis=1)
+    return out
+
+
+def compile_fsim(graph1: LabeledDigraph, graph2: LabeledDigraph,
+                 config: FSimConfig) -> CompiledFSim:
+    """Compile ``(graph1, graph2, config)`` into the array representation.
+
+    Raises no errors for unsupported configurations -- callers gate on
+    :func:`repro.core.engine.vectorized_fallback_reason` first.
+    """
+    return CompiledFSim(graph1, graph2, config)

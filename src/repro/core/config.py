@@ -14,7 +14,12 @@ Mirrors the paper's knobs:
   values change by less than 0.01);
 - ``matching_mode`` -- "greedy" (the paper's Avis-style approximation of
   Hungarian) or "exact" (scipy Hungarian; satisfies condition C3 of
-  Theorem 1 exactly, guaranteeing simulation definiteness).
+  Theorem 1 exactly, guaranteeing simulation definiteness);
+- ``backend`` -- which compute backend evaluates Algorithm 1: "python"
+  (the dict-based reference engine), "numpy" (the vectorized
+  integer-indexed engine of :mod:`repro.core.vectorized`), or "auto"
+  (numpy when the configuration is expressible and the problem is large
+  enough to amortize compilation; see docs/PERF.md).
 """
 
 from __future__ import annotations
@@ -56,6 +61,10 @@ class FSimConfig:
     normalizer: str = "table3"
     #: Extra candidate filter ``f(u, v) -> bool`` applied on top of theta.
     candidate_filter: Optional[Callable[[Hashable, Hashable], bool]] = None
+    #: Compute backend: "auto" picks the vectorized numpy engine when the
+    #: configuration supports it (falling back to the reference Python
+    #: engine otherwise), "python"/"numpy" force a specific backend.
+    backend: str = "auto"
 
     def __post_init__(self):
         variant = Variant(self.variant)
@@ -84,6 +93,10 @@ class FSimConfig:
         if self.normalizer not in ("table3", "max"):
             raise ConfigError(
                 f"normalizer must be 'table3' or 'max', got {self.normalizer!r}"
+            )
+        if self.backend not in ("auto", "python", "numpy"):
+            raise ConfigError(
+                f"backend must be 'auto', 'python' or 'numpy', got {self.backend!r}"
             )
         if self.max_iterations is not None and self.max_iterations < 1:
             raise ConfigError("max_iterations must be positive when given")

@@ -9,11 +9,18 @@ The engine precomputes, per graph pair:
 
 then iterates Equation 3 until the maximum score change drops below
 epsilon or the Corollary-1 iteration budget is exhausted.
+
+Two compute backends share this front end (``FSimConfig(backend=...)``):
+the dict-based reference implementation below, and the vectorized
+integer-indexed engine of :mod:`repro.core.vectorized` (selected
+automatically for large enough instances; both produce the same
+:class:`FSimResult`).
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
@@ -21,6 +28,7 @@ from repro.core.config import FSimConfig
 from repro.core.operators import neighbor_term, term_upper_bound
 from repro.exceptions import ConfigError
 from repro.graph.digraph import LabeledDigraph
+from repro.simulation.base import Variant
 
 Node = Hashable
 Pair = Tuple[Node, Node]
@@ -33,6 +41,30 @@ ONE_TOLERANCE = 1e-9
 def is_one(score: float) -> bool:
     """True when ``score`` equals 1 up to floating-point tolerance."""
     return score >= 1.0 - ONE_TOLERANCE
+
+
+#: Below this many candidate cells (|V1| * |V2|) the "auto" backend keeps
+#: the reference engine: compiling to arrays costs more than it saves.
+AUTO_BACKEND_MIN_CELLS = 2500
+
+
+def vectorized_fallback_reason(config) -> Optional[str]:
+    """Why the numpy backend cannot express ``config`` (None = it can).
+
+    The vectorized engine reproduces the reference semantics for every
+    variant, theta/upper-bound pruning, pinned pairs and any registered
+    label function; it falls back for per-pair callables it cannot lower
+    to arrays and for the scipy-backed exact matching mode.
+    """
+    if config.init_function is not None:
+        return "custom init_function"
+    if config.candidate_filter is not None:
+        return "custom candidate_filter"
+    if config.matching_mode == "exact" and config.variant in (
+        Variant.DP, Variant.BJ
+    ):
+        return "exact matching mode"
+    return None
 
 
 @dataclass
@@ -51,6 +83,11 @@ class FSimResult:
     deltas: List[float] = field(default_factory=list)
     num_candidates: int = 0
     fallback: Optional[Callable[[Node, Node], float]] = None
+    #: Lazy per-source partner index (u -> partners sorted by score);
+    #: built on the first ranking query and reused across queries.
+    _partner_index: Optional[Dict[Node, List[Tuple[Node, float]]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def score(self, u: Node, v: Node) -> float:
         """FSim(u, v), falling back to the pruned-pair approximation."""
@@ -65,26 +102,41 @@ class FSimResult:
         """Whether the score certifies exact chi-simulation (P2)."""
         return is_one(self.score(u, v))
 
+    def _partners(self, u: Node) -> List[Tuple[Node, float]]:
+        """Partners of ``u`` sorted by descending score (repr tie-break).
+
+        The index over all sources is built once, on the first ranking
+        query, and shared by :meth:`top_k` / :meth:`best_partner` /
+        :meth:`argmax_partners` -- per-query cost drops from a full
+        O(|scores|) scan to a dict lookup.  Mutating ``scores`` after a
+        ranking query leaves the index stale.
+        """
+        index = self._partner_index
+        if index is None:
+            index = {}
+            for (x, v), value in self.scores.items():
+                index.setdefault(x, []).append((v, value))
+            for partners in index.values():
+                partners.sort(key=lambda item: (-item[1], repr(item[0])))
+            self._partner_index = index
+        return index.get(u, [])
+
     def top_k(self, u: Node, k: int = 10) -> List[Tuple[Node, float]]:
         """The k best partners of ``u`` among maintained pairs."""
-        partners = [
-            (v, value) for (x, v), value in self.scores.items() if x == u
-        ]
-        partners.sort(key=lambda item: (-item[1], repr(item[0])))
-        return partners[:k]
+        return self._partners(u)[:k]
 
     def best_partner(self, u: Node) -> Optional[Tuple[Node, float]]:
         """The best partner of ``u`` or None when no pair is maintained."""
-        top = self.top_k(u, 1)
-        return top[0] if top else None
+        partners = self._partners(u)
+        return partners[0] if partners else None
 
     def argmax_partners(self, u: Node, tolerance: float = 1e-9) -> List[Node]:
         """All partners tying for the maximum score of ``u`` (alignment)."""
-        top = self.top_k(u, len(self.scores))
-        if not top:
+        partners = self._partners(u)
+        if not partners:
             return []
-        best = top[0][1]
-        return [v for v, value in top if value >= best - tolerance]
+        best = partners[0][1]
+        return [v for v, value in partners if value >= best - tolerance]
 
     def as_dict(self) -> Dict[Pair, float]:
         """A copy of the maintained score map."""
@@ -104,13 +156,40 @@ class FSimResult:
         Unmaintained pairs are answered by the pruning fallback, so the
         matrix is total.  Handy for plugging FSim scores into numpy/scipy
         pipelines (clustering, assignment, embedding).
+
+        Filled in one pass over the maintained score dict on top of a
+        fallback-valued base: when no fallback is active the base is
+        zeros and no per-cell Python call happens at all; otherwise only
+        the unmaintained cells pay the fallback call.
         """
         import numpy as np
 
-        matrix = np.empty((len(nodes1), len(nodes2)))
+        matrix = np.zeros((len(nodes1), len(nodes2)))
+        positions1: Dict[Node, List[int]] = {}
         for i, u in enumerate(nodes1):
-            for j, v in enumerate(nodes2):
-                matrix[i, j] = self.score(u, v)
+            positions1.setdefault(u, []).append(i)
+        positions2: Dict[Node, List[int]] = {}
+        for j, v in enumerate(nodes2):
+            positions2.setdefault(v, []).append(j)
+        maintained = (
+            None if self.fallback is None
+            else np.zeros(matrix.shape, dtype=bool)
+        )
+        for (u, v), value in self.scores.items():
+            rows = positions1.get(u)
+            if rows is None:
+                continue
+            cols = positions2.get(v)
+            if cols is None:
+                continue
+            for i in rows:
+                for j in cols:
+                    matrix[i, j] = value
+                    if maintained is not None:
+                        maintained[i, j] = True
+        if maintained is not None:
+            for i, j in np.argwhere(~maintained):
+                matrix[i, j] = self.fallback(nodes1[i], nodes2[j])
         return matrix
 
     def save_scores(self, path) -> None:
@@ -264,6 +343,45 @@ class FSimEngine:
             return cfg.alpha * self.upper_bound(x, y)
         return 0.0
 
+    def result_fallback(self) -> Optional[Callable[[Node, Node], float]]:
+        """The unmaintained-pair fallback for the result, or None when the
+        alpha-fallback is inactive (every pruned pair scores 0.0 anyway,
+        and a None fallback lets :meth:`FSimResult.as_matrix` skip the
+        per-cell calls entirely)."""
+        cfg = self.config
+        if cfg.use_upper_bound and cfg.alpha > 0.0:
+            return self._fallback_score
+        return None
+
+    def _resolve_backend(self) -> str:
+        """Which backend :meth:`run` uses ("python" or "numpy")."""
+        choice = self.config.backend
+        if choice == "python":
+            return "python"
+        reason = vectorized_fallback_reason(self.config)
+        if reason is None:
+            try:
+                import numpy  # noqa: F401
+            except ImportError:  # pragma: no cover - numpy is baked in
+                reason = "numpy is not installed"
+        if choice == "numpy":
+            if reason is not None:
+                warnings.warn(
+                    f"numpy backend unavailable ({reason}); "
+                    "falling back to the reference engine",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return "python"
+            return "numpy"
+        # auto: vectorize when expressible and large enough to amortize
+        # the compilation step.
+        if reason is not None:
+            return "python"
+        if self.graph1.num_nodes * self.graph2.num_nodes < AUTO_BACKEND_MIN_CELLS:
+            return "python"
+        return "numpy"
+
     def update_pair(self, u: Node, v: Node, prev: Dict[Pair, float]) -> float:
         """One Equation-3 update of FSim(u, v) from the previous scores."""
         cfg = self.config
@@ -306,11 +424,19 @@ class FSimEngine:
     def run(self, workers: int = 1) -> FSimResult:
         """Run Algorithm 1 to convergence and return the scores.
 
-        ``workers > 1`` distributes each iteration's pair updates over a
-        process pool (see :mod:`repro.core.parallel`).
+        The computation is dispatched to the backend selected by
+        ``config.backend``: the vectorized numpy engine
+        (:mod:`repro.core.vectorized`) where expressible, the reference
+        loop below otherwise.  ``workers > 1`` distributes each
+        iteration's pair updates over a process pool (see
+        :mod:`repro.core.parallel`).
         """
         if workers < 1:
             raise ConfigError(f"workers must be positive, got {workers}")
+        if self._resolve_backend() == "numpy":
+            from repro.core.vectorized import run_vectorized
+
+            return run_vectorized(self, workers=workers)
         if workers > 1:
             from repro.core.parallel import run_parallel
 
@@ -349,5 +475,5 @@ class FSimEngine:
             converged=converged,
             deltas=deltas,
             num_candidates=len(candidates),
-            fallback=self._fallback_score,
+            fallback=self.result_fallback(),
         )

@@ -3,9 +3,15 @@
 The k-th iteration reads only iteration k-1 scores, so pair updates are
 independent ("can be completed in parallel without any conflicts").  The
 paper round-robins pairs over threads; pure-Python is GIL-bound, so this
-module shards the candidate pairs over *processes* instead.  Workers are
-forked with the engine and the previous-iteration map already in memory,
-which avoids pickling the engine per task.
+module shards the candidate pairs over *processes* instead.
+
+Both backends share the same shape: the pool is forked **once** per run
+with the immutable state (engine / compiled arrays) already in memory,
+and only the per-iteration mutable state crosses the process boundary --
+the previous-iteration scores.  For the reference engine that is the
+score dict; for the numpy backend it is one contiguous ``float64`` array,
+and the dirty pair-id positions are sharded as contiguous ranges (each
+worker sweeps one pair-id range and returns one value array).
 """
 
 from __future__ import annotations
@@ -20,9 +26,19 @@ Pair = Tuple[Hashable, Hashable]
 _SHARED: dict = {}
 
 
-def _update_shard(shard_index: int) -> Dict[Pair, float]:
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+# ----------------------------------------------------------------------
+# reference (dict) backend
+# ----------------------------------------------------------------------
+def _update_shard(args) -> Dict[Pair, float]:
+    shard_index, prev = args
     engine = _SHARED["engine"]
-    prev = _SHARED["prev"]
     shard = _SHARED["shards"][shard_index]
     return {pair: engine.update_pair(pair[0], pair[1], prev) for pair in shard}
 
@@ -30,15 +46,16 @@ def _update_shard(shard_index: int) -> Dict[Pair, float]:
 def run_parallel(engine, workers: int):
     """Run ``engine`` with pair updates sharded over ``workers`` processes.
 
-    Falls back to the serial path when the platform cannot fork.
-    Returns the same :class:`~repro.core.engine.FSimResult` as
-    ``engine.run()``.
+    Falls back to the serial path when the platform cannot fork.  The
+    pool is created once and reused across iterations (fork cost is paid
+    once per run, not once per iteration); each iteration ships only the
+    previous-iteration score map to the workers.  Returns the same
+    :class:`~repro.core.engine.FSimResult` as ``engine.run()``.
     """
     from repro.core.engine import FSimResult
 
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
+    context = _fork_context()
+    if context is None:  # pragma: no cover - non-POSIX platforms
         warnings.warn("fork unavailable; running serially", RuntimeWarning)
         return engine.run(workers=1)
 
@@ -50,29 +67,32 @@ def run_parallel(engine, workers: int):
     deltas: List[float] = []
     converged = False
     iterations = 0
-    for _ in range(cfg.iteration_budget()):
-        iterations += 1
-        _SHARED["engine"] = engine
-        _SHARED["prev"] = prev
-        _SHARED["shards"] = shards
+    _SHARED["engine"] = engine
+    _SHARED["shards"] = shards
+    try:
         with context.Pool(processes=workers) as pool:
-            partials = pool.map(_update_shard, range(workers))
-        current: Dict[Pair, float] = {}
-        for partial in partials:
-            current.update(partial)
-        for pair, value in pinned.items():
-            current[pair] = value
-        delta = 0.0
-        for pair, value in current.items():
-            change = abs(value - prev.get(pair, 0.0))
-            if change > delta:
-                delta = change
-        prev = current
-        deltas.append(delta)
-        if delta < cfg.epsilon:
-            converged = True
-            break
-    _SHARED.clear()
+            for _ in range(cfg.iteration_budget()):
+                iterations += 1
+                partials = pool.map(
+                    _update_shard, [(i, prev) for i in range(workers)]
+                )
+                current: Dict[Pair, float] = {}
+                for partial in partials:
+                    current.update(partial)
+                for pair, value in pinned.items():
+                    current[pair] = value
+                delta = 0.0
+                for pair, value in current.items():
+                    change = abs(value - prev.get(pair, 0.0))
+                    if change > delta:
+                        delta = change
+                prev = current
+                deltas.append(delta)
+                if delta < cfg.epsilon:
+                    converged = True
+                    break
+    finally:
+        _SHARED.clear()
     return FSimResult(
         scores=prev,
         config=cfg,
@@ -80,5 +100,48 @@ def run_parallel(engine, workers: int):
         converged=converged,
         deltas=deltas,
         num_candidates=len(candidates) + len(pinned),
-        fallback=engine._fallback_score,
+        fallback=engine.result_fallback(),
     )
+
+
+# ----------------------------------------------------------------------
+# numpy backend: shard the dirty pair-id positions as contiguous ranges
+# ----------------------------------------------------------------------
+def _sweep_shard(args):
+    scores, upd_range = args
+    return _SHARED["vectorized"].sweep(scores, upd_range)
+
+
+def iterate_vectorized_parallel(vectorized, workers: int):
+    """The vectorized fixed-point loop with sweeps sharded over processes.
+
+    The compiled arrays are inherited through fork once; every iteration
+    splits the dirty pair positions into ``workers`` contiguous pair-id
+    ranges and ships only ``(scores array, range)`` per task.  Returns
+    the ``(scores, iterations, converged, deltas)`` tuple of
+    :meth:`~repro.core.vectorized.VectorizedFSimEngine.iterate`.
+    """
+    import numpy as np
+
+    context = _fork_context()
+    if context is None:  # pragma: no cover - non-POSIX platforms
+        warnings.warn("fork unavailable; running serially", RuntimeWarning)
+        return vectorized.iterate()
+
+    _SHARED["vectorized"] = vectorized
+    try:
+        with context.Pool(processes=workers) as pool:
+
+            def sweep(scores, upd):
+                if upd.size < workers:
+                    return vectorized.sweep(scores, upd)
+                shards = np.array_split(upd, workers)
+                parts = pool.map(
+                    _sweep_shard,
+                    [(scores, shard) for shard in shards if shard.size],
+                )
+                return np.concatenate(parts)
+
+            return vectorized.iterate(sweep=sweep)
+    finally:
+        _SHARED.clear()

@@ -1,0 +1,376 @@
+"""The vectorized FSim engine: Algorithm 1 over compiled numpy arrays.
+
+Runs the same fixed-point iteration as :class:`repro.core.engine.FSimEngine`
+but on the integer-indexed representation of :mod:`repro.core.compile`:
+
+- the s/b mapping terms become segment-max reductions
+  (``np.maximum.reduceat`` over precomputed per-source groups) followed
+  by per-pair segment sums;
+- the cross/SimRank term becomes a per-pair segment sum;
+- the dp/bj greedy matching exploits that an entry's weight and repr
+  tie-break are functions of its arena pair alone: the arena is sorted
+  once per sweep by ``(-score, repr-rank)`` and arena pairs are visited
+  in that order.  All entries of one arena pair are mutually
+  conflict-free, so every rank step runs vectorized over slot-stamp
+  arrays (small instances use a flat sorted Python pass instead).  The
+  repr-rank reproduces the reference tie-breaking bit for bit (see
+  ``CompiledFSim.tie_rank``);
+- after each sweep, the *incremental scheduler* re-queues only the pairs
+  whose Equation-3 inputs changed (``dirty_tolerance`` widens "changed"
+  to ``|change| > tol``; the default 0.0 keeps the trajectory bitwise
+  identical to the reference engine, because recomputing a pair from
+  unchanged inputs reproduces its value exactly).
+
+The engine is selected through ``FSimConfig(backend=...)`` -- see
+:meth:`repro.core.engine.FSimEngine.run` for the dispatch rules and
+docs/PERF.md for the design notes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.compile import (
+    CompiledFSim,
+    DirectionTerm,
+    compile_fsim,
+    ragged_indices,
+    segment_sum,
+)
+
+#: Arena-pair score changes larger than this re-queue the dependent pairs
+#: for the next sweep.  0.0 (exact) is sound for any configuration: a
+#: pair none of whose inputs changed recomputes to the same float.
+DEFAULT_DIRTY_TOLERANCE = 0.0
+
+SweepFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+class VectorizedFSimEngine:
+    """Array-program evaluator for one compiled FSim instance."""
+
+    def __init__(self, compiled: CompiledFSim,
+                 dirty_tolerance: float = DEFAULT_DIRTY_TOLERANCE):
+        self.compiled = compiled
+        self.dirty_tolerance = float(dirty_tolerance)
+        self._stamp = 0
+        self._stamps = {}
+        #: Per-sweep cache of the arena greedy rank (both directions of a
+        #: sweep read the same pre-sweep scores).
+        self._rank_cache = None
+        for term in (compiled.out_term, compiled.in_term):
+            if term is not None and term.family == "match":
+                structure = term.structures[0]
+                self._stamps[id(structure)] = (
+                    np.zeros(structure.num_lslots, dtype=np.int64),
+                    np.zeros(structure.num_rslots, dtype=np.int64),
+                )
+
+    # ------------------------------------------------------------------
+    # one synchronous sweep over the dirty pairs
+    # ------------------------------------------------------------------
+    def sweep(self, scores: np.ndarray, upd: np.ndarray) -> np.ndarray:
+        """Equation-3 values of the pairs at positions ``upd`` (reading
+        the pre-sweep ``scores`` only, Jacobi style)."""
+        compiled = self.compiled
+        cfg = compiled.config
+        self._rank_cache = None
+        out_vals: object = 0.0
+        in_vals: object = 0.0
+        if compiled.out_term is not None:
+            out_vals = self._term(scores, upd, compiled.out_term)
+        if compiled.in_term is not None:
+            in_vals = self._term(scores, upd, compiled.in_term)
+        raw = (
+            cfg.w_out * out_vals
+            + cfg.w_in * in_vals
+            + cfg.w_label * compiled.upd_label[upd]
+        )
+        return np.minimum(np.maximum(raw, 0.0), 1.0)
+
+    def _term(self, scores: np.ndarray, upd: np.ndarray,
+              term: DirectionTerm) -> np.ndarray:
+        if term.family == "sb":
+            forward, backward = term.structures
+            total = self._sb_totals(scores, upd, forward)
+            if backward is not None:
+                total = total + self._sb_totals(scores, upd, backward)
+        elif term.family == "cross":
+            (structure,) = term.structures
+            if upd.size == len(self.compiled.upd_arena):  # full sweep
+                total = segment_sum(
+                    scores[structure.ent_arena], structure.ent_count
+                )
+            else:
+                counts = structure.ent_count[upd]
+                idx = ragged_indices(structure.ent_start[upd], counts)
+                total = segment_sum(scores[structure.ent_arena[idx]], counts)
+        else:
+            total = self._match_totals(scores, upd, term)
+        conv = term.conv[upd]
+        values = conv.copy()
+        active = np.isnan(conv)
+        if active.any():
+            values[active] = np.minimum(
+                total[active] / term.denom[upd][active], 1.0
+            )
+        return values
+
+    def _sb_totals(self, scores, upd, structure) -> np.ndarray:
+        """Sum over sources of the best feasible target weight.
+
+        Each group maximum is floored at 0.0 like the reference
+        ``_best_match_sum`` (its running best starts at 0.0, so a source
+        whose feasible targets all score negative -- possible through
+        negative pinned values -- contributes nothing).
+        """
+        if upd.size == len(self.compiled.upd_arena):  # full sweep
+            weights = scores[structure.ent_arena]
+            grp_counts = structure.grp_count
+            starts = structure.grp_pos_full
+        else:
+            ent_counts = structure.ent_count[upd]
+            idx = ragged_indices(structure.ent_start[upd], ent_counts)
+            weights = scores[structure.ent_arena[idx]]
+            grp_counts = structure.grp_count[upd]
+            gidx = ragged_indices(structure.grp_start[upd], grp_counts)
+            lengths = structure.grp_len[gidx]
+            starts = np.cumsum(lengths) - lengths
+        if starts.size:
+            maxima = np.maximum(np.maximum.reduceat(weights, starts), 0.0)
+        else:
+            maxima = np.empty(0, dtype=np.float64)
+        return segment_sum(maxima, grp_counts)
+
+    def _arena_greedy_order(self, scores):
+        """The reference greedy's global visit order over arena pairs.
+
+        An entry's weight and repr tie-break are functions of its arena
+        pair alone, so sorting the (much smaller) arena by
+        ``(-score, repr-rank)`` once per sweep totally orders the entries
+        of *every* matching problem.  Returns ``(order, rank)`` where
+        ``order`` lists the positive-score pair-ids in visit order and
+        ``rank`` maps pair-id -> position (sentinel ``num_feasible`` for
+        weight <= 0, which the reference greedy never visits).
+        """
+        if self._rank_cache is not None:
+            return self._rank_cache
+        compiled = self.compiled
+        order = np.lexsort((compiled.tie_rank, -scores))
+        num_positive = int(np.count_nonzero(scores > 0.0))
+        positive_order = order[:num_positive]
+        rank = np.full(
+            compiled.num_feasible, compiled.num_feasible, dtype=np.int64
+        )
+        rank[positive_order] = np.arange(num_positive, dtype=np.int64)
+        self._rank_cache = (positive_order, rank)
+        return self._rank_cache
+
+    def _match_totals(self, scores, upd, term: DirectionTerm) -> np.ndarray:
+        """Greedy max-weight matching sums, processed as rank rounds.
+
+        Arena pairs are visited in exact reference order; all entries of
+        one arena pair are conflict-free (at most one occurrence per
+        problem, globally disjoint slots), so each round runs vectorized:
+        mask already-stamped slots, stamp the survivors, log their
+        problems.  A problem leaves the active set once its matching
+        saturates the |M_chi| cap.  The final per-problem sums are one
+        ``bincount`` over the logged (problem, weight) pairs, which
+        accumulates in visit order -- bit-identical to the reference's
+        matched-weight summation.
+        """
+        (structure,) = term.structures
+        compiled = self.compiled
+        num_updatable = compiled.num_updatable
+        if structure.ba_prob.size == 0 or upd.size == 0:
+            return np.zeros(len(upd), dtype=np.float64)
+        visit_order, rank = self._arena_greedy_order(scores)
+        if structure.ba_prob.size <= self._FLAT_LIMIT:
+            return self._match_totals_flat(scores, upd, structure, rank)
+        full = upd.size == num_updatable
+        if full:
+            rounds = visit_order
+            active = np.ones(num_updatable, dtype=bool)
+            active_count = num_updatable
+        else:
+            counts = structure.ent_count[upd]
+            sub = ragged_indices(structure.ent_start[upd], counts)
+            pair_ids = np.unique(structure.ent_arena[sub])
+            pair_ranks = rank[pair_ids]
+            keep = pair_ranks < compiled.num_feasible
+            pair_ids = pair_ids[keep]
+            rounds = pair_ids[np.argsort(pair_ranks[keep])]
+            active = np.zeros(num_updatable, dtype=bool)
+            active[upd] = True
+            active_count = int(upd.size)
+        lstamp, rstamp = self._stamps[id(structure)]
+        self._stamp += 1
+        stamp = self._stamp
+        matched_counts = np.zeros(num_updatable, dtype=np.int64)
+        caps = structure.cap
+        prob_all = structure.ba_prob
+        l_all = structure.ba_lslot
+        r_all = structure.ba_rslot
+        starts = structure.ba_indptr[rounds].tolist()
+        ends = structure.ba_indptr[rounds + 1].tolist()
+        weights = scores[rounds].tolist()
+        parts_p = []
+        parts_w = []
+        for i in range(len(starts)):
+            if active_count == 0:
+                break
+            start = starts[i]
+            end = ends[i]
+            if start == end:
+                continue
+            probs = prob_all[start:end]
+            lslots = l_all[start:end]
+            rslots = r_all[start:end]
+            free = (
+                active[probs]
+                & (lstamp[lslots] != stamp)
+                & (rstamp[rslots] != stamp)
+            )
+            if not free.any():
+                continue
+            chosen = probs[free]
+            lstamp[lslots[free]] = stamp
+            rstamp[rslots[free]] = stamp
+            parts_p.append(chosen)
+            parts_w.append(np.full(chosen.size, weights[i]))
+            new_counts = matched_counts[chosen] + 1
+            matched_counts[chosen] = new_counts
+            saturated = chosen[new_counts == caps[chosen]]
+            if saturated.size:
+                active[saturated] = False
+                active_count -= int(saturated.size)
+        if parts_p:
+            totals = np.bincount(
+                np.concatenate(parts_p),
+                weights=np.concatenate(parts_w),
+                minlength=num_updatable,
+            )
+        else:
+            totals = np.zeros(num_updatable, dtype=np.float64)
+        return totals if full else totals[upd]
+
+    #: Below this many entries the per-round numpy dispatch overhead
+    #: dominates; a flat sorted pass in plain Python wins.
+    _FLAT_LIMIT = 1 << 17
+
+    def _match_totals_flat(self, scores, upd, structure, rank) -> np.ndarray:
+        """Small-problem variant of :meth:`_match_totals`: materialize the
+        positive entries sorted by ``(problem, rank)`` and run the greedy
+        as one tight Python loop with cap early-breaks."""
+        compiled = self.compiled
+        num_updatable = compiled.num_updatable
+        sentinel = compiled.num_feasible
+        lengths = np.diff(structure.ba_indptr)
+        ent_rank = np.repeat(rank, lengths)
+        keep = ent_rank < sentinel
+        if upd.size != num_updatable:
+            active = np.zeros(num_updatable, dtype=bool)
+            active[upd] = True
+            keep &= active[structure.ba_prob]
+        totals_global = [0.0] * num_updatable
+        if keep.any():
+            probs = structure.ba_prob[keep].astype(np.int64)
+            order = np.argsort(probs * (sentinel + 1) + ent_rank[keep])
+            probs_sorted = probs[order].tolist()
+            lefts = structure.ba_lslot[keep][order].tolist()
+            rights = structure.ba_rslot[keep][order].tolist()
+            weights = np.repeat(scores, lengths)[keep][order].tolist()
+            caps = structure.cap.tolist()
+            lstamp = [0] * structure.num_lslots
+            rstamp = [0] * structure.num_rslots
+            previous = -1
+            matched = 0
+            cap = 0
+            for k in range(len(probs_sorted)):
+                p = probs_sorted[k]
+                if p != previous:
+                    previous = p
+                    matched = 0
+                    cap = caps[p]
+                elif matched >= cap:
+                    continue
+                left = lefts[k]
+                if lstamp[left]:
+                    continue
+                right = rights[k]
+                if rstamp[right]:
+                    continue
+                lstamp[left] = 1
+                rstamp[right] = 1
+                totals_global[p] += weights[k]
+                matched += 1
+        totals = np.asarray(totals_global, dtype=np.float64)
+        return totals if upd.size == num_updatable else totals[upd]
+
+    # ------------------------------------------------------------------
+    # the fixed-point loop with the dirty-pair scheduler
+    # ------------------------------------------------------------------
+    def iterate(
+        self, sweep: Optional[SweepFn] = None
+    ) -> Tuple[np.ndarray, int, bool, List[float]]:
+        """Run Algorithm 1 to convergence; returns
+        ``(scores, iterations, converged, deltas)``."""
+        compiled = self.compiled
+        sweep = sweep or self.sweep
+        scores = compiled.scores0.copy()
+        upd = np.arange(len(compiled.upd_arena), dtype=np.int64)
+        deltas: List[float] = []
+        converged = False
+        iterations = 0
+        epsilon = compiled.config.epsilon
+        for _ in range(compiled.config.iteration_budget()):
+            iterations += 1
+            if upd.size:
+                new_values = sweep(scores, upd)
+                arena_ids = compiled.upd_arena[upd]
+                change = np.abs(new_values - scores[arena_ids])
+                delta = float(change.max())
+                scores[arena_ids] = new_values
+                dirty = arena_ids[change > self.dirty_tolerance]
+            else:
+                delta = 0.0
+                dirty = np.empty(0, dtype=np.int64)
+            deltas.append(delta)
+            if delta < epsilon:
+                converged = True
+                break
+            upd = compiled.dependents(dirty)
+        return scores, iterations, converged, deltas
+
+
+def run_vectorized(engine, workers: int = 1):
+    """Run ``engine``'s computation on the numpy backend.
+
+    ``engine`` is a :class:`repro.core.engine.FSimEngine`; the caller has
+    already checked :func:`repro.core.engine.vectorized_fallback_reason`.
+    Returns the same :class:`~repro.core.engine.FSimResult` the reference
+    engine would (scores within float tolerance, same iteration count).
+    """
+    from repro.core.engine import FSimResult
+
+    compiled = compile_fsim(engine.graph1, engine.graph2, engine.config)
+    vectorized = VectorizedFSimEngine(compiled)
+    if workers > 1:
+        from repro.core.parallel import iterate_vectorized_parallel
+
+        scores, iterations, converged, deltas = iterate_vectorized_parallel(
+            vectorized, workers
+        )
+    else:
+        scores, iterations, converged, deltas = vectorized.iterate()
+    return FSimResult(
+        scores=compiled.result_scores(scores),
+        config=engine.config,
+        iterations=iterations,
+        converged=converged,
+        deltas=deltas,
+        num_candidates=compiled.num_candidates,
+        fallback=engine.result_fallback(),
+    )
