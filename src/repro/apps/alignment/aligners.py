@@ -21,9 +21,9 @@ Baselines (author code unavailable; core ideas reimplemented):
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.core.api import fsim_matrix
+from repro.core.api import fsim_matrix, fsim_matrix_many
 from repro.core.config import FSimConfig
 from repro.graph.builders import union
 from repro.graph.digraph import LabeledDigraph, Node
@@ -66,6 +66,32 @@ class FSimAligner:
 
     def align(self, graph1: LabeledDigraph, graph2: LabeledDigraph) -> Alignment:
         result = fsim_matrix(graph1, graph2, config=self.config)
+        return self._project(graph1, result)
+
+    def align_many(
+        self,
+        graphs1: Sequence[LabeledDigraph],
+        graph2: LabeledDigraph,
+        workers: int = 1,
+    ) -> List[Alignment]:
+        """Align several graph versions against one shared target.
+
+        The paper's evolving-version workload (Table 9) repeatedly
+        aligns versions of the same RDF graph; batching through
+        :func:`~repro.core.api.fsim_matrix_many` lowers the shared
+        target once and optionally shards whole versions over a fork
+        pool.  Returns one alignment per input graph, in order.
+        """
+        results = fsim_matrix_many(
+            graphs1, graph2, config=self.config, workers=workers
+        )
+        return [
+            self._project(graph1, result)
+            for graph1, result in zip(graphs1, results)
+        ]
+
+    @staticmethod
+    def _project(graph1: LabeledDigraph, result) -> Alignment:
         return {
             u: result.argmax_partners(u, tolerance=1e-9) for u in graph1.nodes()
         }

@@ -8,7 +8,7 @@ and exposes the venue-by-venue projection behind Tables 7 and 8.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.core.api import fsim_matrix
 from repro.core.config import FSimConfig
@@ -44,6 +44,30 @@ class FSimVenueSimilarity:
             theta=1.0,
         )
         self._result = fsim_matrix(graph, graph, config=self.config)
+
+    @classmethod
+    def for_variants(
+        cls,
+        graph: LabeledDigraph,
+        variants: Iterable[Variant] = (Variant.B, Variant.BJ),
+        config: Optional[FSimConfig] = None,
+    ) -> Dict[Variant, "FSimVenueSimilarity"]:
+        """One measure per variant over the *same* bibliographic graph.
+
+        Tables 7 and 8 score both FSimb and FSimbj; computing them
+        through this constructor reuses the graph's cached lowering and
+        label table (:mod:`repro.core.plan`) across the variants, so the
+        second measure pays only its own iteration.
+        """
+        return {
+            Variant(variant): cls(
+                graph,
+                variant,
+                None if config is None
+                else config.with_options(variant=Variant(variant)),
+            )
+            for variant in variants
+        }
 
     def similarity(self, x: Node, y: Node) -> float:
         return self._result.score(x, y)

@@ -8,6 +8,10 @@ Commands
     Compute fractional chi-simulation scores between two graphs stored
     in the v/e text format of :mod:`repro.graph.io` and print the top
     pairs.
+``topk GRAPH1 GRAPH2 --query U [--query U2 ...]``
+    Certified top-k similarity search (Theorem-1 early termination).
+    All queries share one iteration loop -- and, on the numpy backend,
+    one compiled arena -- so a batch costs about one computation.
 ``experiment NAME``
     Run one experiment driver (table2, table5, table6, table7, table8,
     table9, fig4a, fig4b, fig5, fig6a, fig6b, fig7, fig8, fig9a, fig9b,
@@ -55,6 +59,33 @@ def _cmd_fsim(args) -> int:
     ranked = sorted(result.scores.items(), key=lambda kv: (-kv[1], repr(kv[0])))
     for (u, v), score in ranked[: args.top]:
         print(f"{u}\t{v}\t{score:.6f}")
+    return 0
+
+
+def _cmd_topk(args) -> int:
+    from repro.core.config import FSimConfig
+    from repro.core.topk import TopKSearch
+    from repro.graph.io import load_graph
+
+    graph1 = load_graph(args.graph1)
+    graph2 = load_graph(args.graph2)
+    config = FSimConfig(
+        variant=Variant(args.variant),
+        theta=args.theta,
+        label_function=args.label_function,
+        backend=args.backend,
+    )
+    results = TopKSearch(graph1, graph2, config).search_many(
+        args.query, args.k
+    )
+    for result in results:
+        status = "certified" if result.certified else "best-effort"
+        print(
+            f"# top-{args.k} for {result.query}: "
+            f"{status} after {result.iterations} iterations"
+        )
+        for partner, score in result.partners:
+            print(f"{result.query}\t{partner}\t{score:.6f}")
     return 0
 
 
@@ -148,6 +179,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fsim.add_argument("--top", type=int, default=20, help="pairs to print")
     fsim.set_defaults(handler=_cmd_fsim)
+
+    topk = commands.add_parser(
+        "topk", help="certified top-k search (batched across queries)"
+    )
+    topk.add_argument("graph1")
+    topk.add_argument("graph2")
+    topk.add_argument(
+        "--query", action="append", required=True,
+        help="query node in GRAPH1 (repeat for a batch)",
+    )
+    topk.add_argument("-k", type=int, default=5, help="partners per query")
+    topk.add_argument(
+        "--variant", choices=[v.value for v in Variant if v is not Variant.CROSS],
+        default="s",
+    )
+    topk.add_argument("--theta", type=float, default=0.0)
+    topk.add_argument("--label-function", default="jaro_winkler")
+    topk.add_argument(
+        "--backend", choices=["auto", "python", "numpy"], default="auto",
+        help="compute backend (auto = vectorized engine when expressible)",
+    )
+    topk.set_defaults(handler=_cmd_topk)
 
     experiment = commands.add_parser("experiment", help="run one paper experiment")
     experiment.add_argument("name", choices=sorted(_EXPERIMENTS))

@@ -9,7 +9,7 @@ this namespace so the package imports without numpy), selected through
 
 from repro.core.config import FSimConfig
 from repro.core.engine import FSimEngine, FSimResult, vectorized_fallback_reason
-from repro.core.api import fsim, fsim_matrix, fsim_single_graph
+from repro.core.api import fsim, fsim_matrix, fsim_matrix_many, fsim_single_graph
 from repro.core.operators import neighbor_term, term_upper_bound, omega
 from repro.core.simrank import simrank_reference, simrank_via_framework
 from repro.core.rolesim import rolesim_reference, rolesim_via_framework
@@ -22,6 +22,7 @@ __all__ = [
     "FSimResult",
     "fsim",
     "fsim_matrix",
+    "fsim_matrix_many",
     "fsim_single_graph",
     "vectorized_fallback_reason",
     "neighbor_term",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Hashable, Optional
+from typing import Hashable, List, Optional, Sequence
 
 from repro.core.config import FSimConfig
 from repro.core.engine import FSimEngine, FSimResult
@@ -59,6 +59,41 @@ def fsim(
     """
     result = fsim_matrix(graph1, graph2, variant, config, **overrides)
     return result.score(u, v)
+
+
+def fsim_matrix_many(
+    graphs1: Sequence[LabeledDigraph],
+    graph2: LabeledDigraph,
+    variant: Variant = Variant.S,
+    config: Optional[FSimConfig] = None,
+    workers: int = 1,
+    **overrides,
+) -> List[FSimResult]:
+    """FSim scores of many query graphs against one shared data graph.
+
+    The batched form of :func:`fsim_matrix` for multi-query workloads
+    (pattern matching of many queries, evolving-version alignment): the
+    data graph is lowered **once** through the plan cache of
+    :mod:`repro.core.plan` and every query's compilation reuses it, so
+    per-query cost collapses to the query-specific arena assembly plus
+    iteration.  ``workers > 1`` shards *whole queries* over a fork pool
+    (one process computes one query end to end -- contrast with
+    ``fsim_matrix(workers=...)``, which shards pair ranges of a single
+    query); the shared lowering is warmed in the parent first so every
+    worker inherits it through fork.
+
+    Returns one :class:`FSimResult` per query graph, in input order.
+    """
+    if config is None:
+        config = FSimConfig(variant=Variant(variant), **overrides)
+    engines = [FSimEngine(graph1, graph2, config) for graph1 in graphs1]
+    if workers > 1 and len(engines) > 1:
+        from repro.core.parallel import run_many_parallel
+
+        return run_many_parallel(engines, workers)
+    # Single query (or serial): keep the requested parallelism by
+    # sharding pair ranges within each run instead.
+    return [engine.run(workers=workers) for engine in engines]
 
 
 def fsim_single_graph(

@@ -7,7 +7,9 @@ caps every experiment at toy graph sizes.  This module compiles one
 that :mod:`repro.core.vectorized` can run Algorithm 1 as array programs:
 
 - CSR adjacency (``int32`` index + indptr) for both directions of both
-  graphs;
+  graphs -- taken from the per-graph :class:`~repro.core.plan.GraphPlan`
+  cache (:func:`~repro.core.plan.lower_graph`), so multi-query workloads
+  lower each graph once, not once per query;
 - a dense label-similarity table (label pairs, not node pairs) and the
   theta-feasibility table derived from it (Remark 2);
 - a flat *candidate-pair arena*: every theta-feasible node pair gets an
@@ -37,6 +39,12 @@ from typing import Dict, Hashable, List, Tuple
 import numpy as np
 
 from repro.core.config import FSimConfig
+from repro.core.plan import (
+    CsrAdjacency,
+    GraphPlan,
+    label_similarity_table,
+    lower_graph,
+)
 from repro.graph.digraph import LabeledDigraph
 from repro.simulation.base import Variant
 from repro.simulation.matching import hopcroft_karp
@@ -209,31 +217,9 @@ class DirectionTerm:
         self.structures = structures
 
 
-class _Csr:
-    """One adjacency direction of one graph in CSR form."""
-
-    __slots__ = ("indptr", "indices", "degrees")
-
-    def __init__(self, indptr, indices):
-        self.indptr = indptr
-        self.indices = indices
-        self.degrees = (indptr[1:] - indptr[:-1]).astype(np.int64)
-
-
-def _lower_csr(graph: LabeledDigraph, index: Dict[Node, int],
-               direction: str) -> _Csr:
-    nodes = graph.nodes()
-    indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
-    chunks: List[List[int]] = []
-    neighbors = (
-        graph.out_neighbors if direction == "out" else graph.in_neighbors
-    )
-    for i, node in enumerate(nodes):
-        row = [index[other] for other in neighbors(node)]
-        chunks.append(row)
-        indptr[i + 1] = indptr[i] + len(row)
-    flat = [j for row in chunks for j in row]
-    return _Csr(indptr, np.asarray(flat, dtype=np.int32))
+#: CSR lowering now lives in :mod:`repro.core.plan`; the alias keeps the
+#: historical name used throughout this module's signatures.
+_Csr = CsrAdjacency
 
 
 class CompiledFSim:
@@ -257,7 +243,9 @@ class CompiledFSim:
     def __init__(self, graph1: LabeledDigraph, graph2: LabeledDigraph,
                  config: FSimConfig):
         self.config = config
-        self._build_graphs(graph1, graph2)
+        # lower_graph is cached per graph, so self-similarity and
+        # repeated queries share one plan automatically.
+        self._attach_plans(lower_graph(graph1), lower_graph(graph2))
         self._build_label_tables()
         self._build_arena()
         self._apply_pinning()
@@ -265,40 +253,31 @@ class CompiledFSim:
         self._build_dependencies()
 
     # ------------------------------------------------------------------
-    # graph lowering
+    # graph lowering (cached per graph -- see repro.core.plan)
     # ------------------------------------------------------------------
-    def _build_graphs(self, graph1, graph2):
-        self.nodes1: List[Node] = list(graph1.nodes())
-        self.nodes2: List[Node] = list(graph2.nodes())
-        self.n1 = len(self.nodes1)
-        self.n2 = len(self.nodes2)
-        index1 = {node: i for i, node in enumerate(self.nodes1)}
-        index2 = {node: i for i, node in enumerate(self.nodes2)}
-        self.index1 = index1
-        self.index2 = index2
-        self.labels1: List[Hashable] = list(graph1.labels())
-        self.labels2: List[Hashable] = list(graph2.labels())
-        lab_index1 = {label: k for k, label in enumerate(self.labels1)}
-        lab_index2 = {label: k for k, label in enumerate(self.labels2)}
-        self.nlab1 = np.asarray(
-            [lab_index1[graph1.label(n)] for n in self.nodes1], dtype=np.int32
-        )
-        self.nlab2 = np.asarray(
-            [lab_index2[graph2.label(n)] for n in self.nodes2], dtype=np.int32
-        )
-        self.out1 = _lower_csr(graph1, index1, "out")
-        self.in1 = _lower_csr(graph1, index1, "in")
-        self.out2 = _lower_csr(graph2, index2, "out")
-        self.in2 = _lower_csr(graph2, index2, "in")
+    def _attach_plans(self, plan1: GraphPlan, plan2: GraphPlan):
+        self.plan1 = plan1
+        self.plan2 = plan2
+        self.nodes1: List[Node] = plan1.nodes
+        self.nodes2: List[Node] = plan2.nodes
+        self.n1 = plan1.n
+        self.n2 = plan2.n
+        self.index1 = plan1.index
+        self.index2 = plan2.index
+        self.labels1: List[Hashable] = plan1.labels
+        self.labels2: List[Hashable] = plan2.labels
+        self.nlab1 = plan1.nlab
+        self.nlab2 = plan2.nlab
+        self.out1 = plan1.out_csr
+        self.in1 = plan1.in_csr
+        self.out2 = plan2.out_csr
+        self.in2 = plan2.in_csr
 
     def _build_label_tables(self):
-        label_fn = self.config.resolved_label_function
-        table = np.empty((max(len(self.labels1), 1), max(len(self.labels2), 1)))
-        for i, label1 in enumerate(self.labels1):
-            for j, label2 in enumerate(self.labels2):
-                table[i, j] = float(label_fn(label1, label2))
-        self.lsim_table = table
-        self.feas = table >= self.config.theta
+        self.lsim_table = label_similarity_table(
+            self.config.resolved_label_function, self.labels1, self.labels2
+        )
+        self.feas = self.lsim_table >= self.config.theta
 
     # ------------------------------------------------------------------
     # arena construction (Line 1 of Algorithm 1, array form)
@@ -307,11 +286,10 @@ class CompiledFSim:
         cfg = self.config
         # Feasible G2 partners per G1 label, concatenated in the reference
         # candidate order (G2 labels in first-seen order, members in
-        # insertion order).
-        members2 = [
-            np.flatnonzero(self.nlab2 == k).astype(np.int32)
-            for k in range(len(self.labels2))
-        ]
+        # insertion order).  Concatenating the per-label lists once and
+        # assembling the arena with one ragged gather removes the old
+        # per-node Python loop.
+        members2 = self.plan2.members
         vlists: List[np.ndarray] = []
         for k1 in range(max(len(self.labels1), 1)):
             if self.labels1:
@@ -326,11 +304,19 @@ class CompiledFSim:
                 np.concatenate(feasible) if feasible
                 else np.empty(0, dtype=np.int32)
             )
-        per_u = [vlists[self.nlab1[i]] for i in range(self.n1)]
-        counts = np.asarray([len(block) for block in per_u], dtype=np.int64)
-        self.arena_v = (
-            np.concatenate(per_u) if per_u else np.empty(0, dtype=np.int32)
-        ).astype(np.int32)
+        vlen = np.asarray([len(block) for block in vlists], dtype=np.int64)
+        vstart = np.cumsum(vlen) - vlen
+        all_v = (
+            np.concatenate(vlists) if vlists else np.empty(0, dtype=np.int32)
+        )
+        if self.n1:
+            counts = vlen[self.nlab1]
+            self.arena_v = all_v[
+                ragged_indices(vstart[self.nlab1], counts)
+            ].astype(np.int32)
+        else:
+            counts = np.zeros(0, dtype=np.int64)
+            self.arena_v = np.empty(0, dtype=np.int32)
         self.arena_u = np.repeat(
             np.arange(self.n1, dtype=np.int32), counts
         )

@@ -45,7 +45,13 @@ def is_one(score: float) -> bool:
 
 #: Below this many candidate cells (|V1| * |V2|) the "auto" backend keeps
 #: the reference engine: compiling to arrays costs more than it saves.
-AUTO_BACKEND_MIN_CELLS = 2500
+#: Recalibrated after the plan-cache refactor (cached per-graph lowering
+#: plus vectorized arena assembly): the measured crossover sits between
+#: 16 cells (python ~1.3x faster) and 36 cells (numpy ~2.5x faster) --
+#: see the compile/iterate split recorded in BENCH_backends.json.  The
+#: old threshold of 2500 cost 26% on the smallest Fig-9 row and, worse,
+#: routed every small pattern-matching query to the python engine.
+AUTO_BACKEND_MIN_CELLS = 32
 
 
 def vectorized_fallback_reason(config) -> Optional[str]:

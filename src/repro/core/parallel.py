@@ -105,6 +105,82 @@ def run_parallel(engine, workers: int):
 
 
 # ----------------------------------------------------------------------
+# multi-query workloads: shard whole queries over the pool
+# ----------------------------------------------------------------------
+def _run_query_shard(shard_index: int) -> List[tuple]:
+    engines = _SHARED["engines"]
+    out = []
+    for position in _SHARED["query_shards"][shard_index]:
+        result = engines[position].run(workers=1)
+        # The fallback callable is a bound method of the worker's engine
+        # copy; the parent reattaches its own instead of pickling it.
+        out.append((
+            position, result.scores, result.iterations, result.converged,
+            result.deltas, result.num_candidates,
+        ))
+    return out
+
+
+def run_many_parallel(engines: List, workers: int) -> List:
+    """Run many independent FSim computations, one whole query per task.
+
+    The unit of parallelism is the *query* (an :class:`FSimEngine`), not
+    a pair range: each worker runs ``engine.run(workers=1)`` for its
+    shard and ships back the result fields.  Graphs shared by several
+    engines (the common data graph of a batch workload) are lowered in
+    the parent first, so the forked workers inherit the cached plan
+    instead of recompiling it per process.  Returns one
+    :class:`~repro.core.engine.FSimResult` per engine, in input order.
+    """
+    from repro.core.engine import FSimResult
+
+    context = _fork_context()
+    if context is None or workers < 2 or len(engines) < 2:
+        return [engine.run(workers=1) for engine in engines]
+
+    # Warm the plan cache for graphs referenced by more than one
+    # numpy-backed engine (typically the shared data graph).
+    shared_counts: Dict[int, int] = {}
+    for engine in engines:
+        for graph in (engine.graph1, engine.graph2):
+            shared_counts[id(graph)] = shared_counts.get(id(graph), 0) + 1
+    warmed = set()
+    for engine in engines:
+        if engine._resolve_backend() != "numpy":
+            continue
+        from repro.core.plan import lower_graph  # numpy-only dependency
+
+        for graph in (engine.graph1, engine.graph2):
+            if shared_counts[id(graph)] > 1 and id(graph) not in warmed:
+                warmed.add(id(graph))
+                lower_graph(graph)
+
+    workers = min(workers, len(engines))
+    shards = [list(range(len(engines)))[i::workers] for i in range(workers)]
+    _SHARED["engines"] = engines
+    _SHARED["query_shards"] = shards
+    try:
+        with context.Pool(processes=workers) as pool:
+            partials = pool.map(_run_query_shard, range(workers))
+    finally:
+        _SHARED.clear()
+    results: List = [None] * len(engines)
+    for partial in partials:
+        for position, scores, iterations, converged, deltas, count in partial:
+            engine = engines[position]
+            results[position] = FSimResult(
+                scores=scores,
+                config=engine.config,
+                iterations=iterations,
+                converged=converged,
+                deltas=deltas,
+                num_candidates=count,
+                fallback=engine.result_fallback(),
+            )
+    return results
+
+
+# ----------------------------------------------------------------------
 # numpy backend: shard the dirty pair-id positions as contiguous ranges
 # ----------------------------------------------------------------------
 def _sweep_shard(args):

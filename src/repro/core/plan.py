@@ -1,0 +1,189 @@
+"""Cached per-graph compilation artifacts (the amortized lowering layer).
+
+PR 1 made a single ``FSimEngine.run`` fast, but every call still lowered
+both graphs and the label tables from scratch.  The paper's headline
+workloads are *many-query* -- top-k search, pattern matching of many
+query graphs against one data graph, all-pairs venue similarity -- so
+compilation became the dominant repeated cost.  This module splits
+:func:`repro.core.compile.compile_fsim` into per-graph artifacts that
+are computed once and reused across queries:
+
+- :class:`GraphPlan` -- one graph lowered to integer form: node/label
+  index maps, dense label-id vectors, CSR adjacency for both directions,
+  and the per-label member lists that drive candidate enumeration.
+  :func:`lower_graph` caches plans keyed on *graph identity* plus the
+  graph's monotone :attr:`~repro.graph.digraph.LabeledDigraph.version`
+  counter, so any structural mutation invalidates the cached plan (the
+  cache holds graphs weakly and never keeps them alive).
+- label-similarity tables -- :func:`label_similarity_table` caches the
+  dense ``(label1, label2) -> L`` table per (label function, label
+  alphabets).  The theta-feasibility mask is derived from the table per
+  compile (a single vectorized compare), so theta changes never serve a
+  stale table.
+
+With both caches warm, compiling a ``(graph1, graph2, config)`` pair is
+cheap assembly: the arena, entry lists and upper bounds (which are
+genuinely pair-specific) are built vectorized from the cached arrays.
+See docs/PERF.md ("The plan cache").
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import LabeledDigraph
+
+Node = Hashable
+
+
+class CsrAdjacency:
+    """One adjacency direction of one graph in CSR form."""
+
+    __slots__ = ("indptr", "indices", "degrees")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees = (indptr[1:] - indptr[:-1]).astype(np.int64)
+
+
+def _lower_csr(graph: LabeledDigraph, index: Dict[Node, int],
+               direction: str) -> CsrAdjacency:
+    nodes = graph.nodes()
+    indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+    flat: List[int] = []
+    neighbors = (
+        graph.out_neighbors if direction == "out" else graph.in_neighbors
+    )
+    for i, node in enumerate(nodes):
+        row = neighbors(node)
+        flat.extend(index[other] for other in row)
+        indptr[i + 1] = indptr[i] + len(row)
+    return CsrAdjacency(indptr, np.asarray(flat, dtype=np.int32))
+
+
+class GraphPlan:
+    """One :class:`LabeledDigraph` lowered to the integer-indexed form.
+
+    Attributes
+    ----------
+    nodes / index:
+        Node list in insertion order and its inverse map.
+    labels / lab_index / nlab:
+        Label alphabet in first-seen order, its inverse map, and the
+        dense per-node label-id vector.
+    out_csr / in_csr:
+        CSR adjacency for both edge directions.
+    members:
+        Per label-id, the node-ids carrying that label (insertion
+        order) -- the unit of Remark-2 candidate enumeration.
+    """
+
+    __slots__ = (
+        "nodes", "index", "labels", "lab_index", "nlab",
+        "out_csr", "in_csr", "members", "n",
+    )
+
+    def __init__(self, graph: LabeledDigraph):
+        self.nodes: List[Node] = list(graph.nodes())
+        self.n = len(self.nodes)
+        self.index: Dict[Node, int] = {
+            node: i for i, node in enumerate(self.nodes)
+        }
+        self.labels: List[Hashable] = list(graph.labels())
+        self.lab_index: Dict[Hashable, int] = {
+            label: k for k, label in enumerate(self.labels)
+        }
+        self.nlab = np.asarray(
+            [self.lab_index[graph.label(n)] for n in self.nodes],
+            dtype=np.int32,
+        )
+        self.out_csr = _lower_csr(graph, self.index, "out")
+        self.in_csr = _lower_csr(graph, self.index, "in")
+        self.members: List[np.ndarray] = [
+            np.flatnonzero(self.nlab == k).astype(np.int32)
+            for k in range(len(self.labels))
+        ]
+
+
+# ----------------------------------------------------------------------
+# the plan cache
+# ----------------------------------------------------------------------
+#: graph -> (graph.version at lowering time, plan).  Keys are held weakly:
+#: dropping the last strong reference to a graph drops its plan.
+_PLAN_CACHE: "weakref.WeakKeyDictionary[LabeledDigraph, Tuple[int, GraphPlan]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+#: (label function, labels1, labels2) -> dense similarity table.
+_LABEL_TABLE_CACHE: Dict[tuple, np.ndarray] = {}
+
+#: Bound on the label-table cache (tables are small -- label alphabets,
+#: not node sets -- but callers may sweep many label functions).
+_LABEL_TABLE_CACHE_MAX = 256
+
+_STATS = {"plan_hits": 0, "plan_misses": 0,
+          "table_hits": 0, "table_misses": 0}
+
+
+def lower_graph(graph: LabeledDigraph) -> GraphPlan:
+    """The cached lowering of ``graph`` (recomputed after any mutation)."""
+    entry = _PLAN_CACHE.get(graph)
+    if entry is not None and entry[0] == graph.version:
+        _STATS["plan_hits"] += 1
+        return entry[1]
+    _STATS["plan_misses"] += 1
+    plan = GraphPlan(graph)
+    _PLAN_CACHE[graph] = (graph.version, plan)
+    return plan
+
+
+def label_similarity_table(label_fn, labels1, labels2) -> np.ndarray:
+    """Dense ``L(label1, label2)`` table, cached per (function, alphabets).
+
+    ``label_fn`` must be the *resolved* callable (registry names resolve
+    to module-level functions, so equal names share one cache entry).
+    The returned table is shared -- callers must treat it as read-only.
+    """
+    key = (label_fn, tuple(labels1), tuple(labels2))
+    try:
+        table = _LABEL_TABLE_CACHE.get(key)
+    except TypeError:  # unhashable labels: compute without caching
+        return _build_label_table(label_fn, labels1, labels2)
+    if table is not None:
+        _STATS["table_hits"] += 1
+        return table
+    _STATS["table_misses"] += 1
+    table = _build_label_table(label_fn, labels1, labels2)
+    if len(_LABEL_TABLE_CACHE) >= _LABEL_TABLE_CACHE_MAX:
+        _LABEL_TABLE_CACHE.pop(next(iter(_LABEL_TABLE_CACHE)))
+    _LABEL_TABLE_CACHE[key] = table
+    return table
+
+
+def _build_label_table(label_fn, labels1, labels2) -> np.ndarray:
+    table = np.empty((max(len(labels1), 1), max(len(labels2), 1)))
+    for i, label1 in enumerate(labels1):
+        for j, label2 in enumerate(labels2):
+            table[i, j] = float(label_fn(label1, label2))
+    table.setflags(write=False)
+    return table
+
+
+def clear_plan_caches() -> None:
+    """Drop every cached plan and label table (tests / memory pressure)."""
+    _PLAN_CACHE.clear()
+    _LABEL_TABLE_CACHE.clear()
+    for key in _STATS:
+        _STATS[key] = 0
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters plus current cache sizes (observability)."""
+    stats = dict(_STATS)
+    stats["plans_cached"] = len(_PLAN_CACHE)
+    stats["tables_cached"] = len(_LABEL_TABLE_CACHE)
+    return stats

@@ -25,8 +25,10 @@ def _build_scorers(graph, venues) -> Dict[str, object]:
         scorers[algorithm.name] = (
             lambda alg: lambda subject: score_all_venues(alg, subject, venues)
         )(algorithm)
-    for variant in (Variant.B, Variant.BJ):
-        fsim = FSimVenueSimilarity(graph, variant)
+    # Both FSim variants share the graph's cached lowering (plan cache).
+    for fsim in FSimVenueSimilarity.for_variants(
+        graph, (Variant.B, Variant.BJ)
+    ).values():
         scorers[fsim.name] = (
             lambda f: lambda subject: f.scores_for(subject, venues)
         )(fsim)

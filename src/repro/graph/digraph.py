@@ -44,7 +44,10 @@ class LabeledDigraph:
     'person'
     """
 
-    __slots__ = ("name", "_out", "_in", "_labels", "_label_index", "_num_edges")
+    __slots__ = (
+        "name", "_out", "_in", "_labels", "_label_index", "_num_edges",
+        "_version", "__weakref__",
+    )
 
     def __init__(self, name: str = ""):
         self.name = name
@@ -53,6 +56,18 @@ class LabeledDigraph:
         self._labels: Dict[Node, Label] = {}
         self._label_index: Dict[Label, List[Node]] = {}
         self._num_edges = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter.
+
+        Incremented by every structural mutation (nodes, edges, labels,
+        adjacency reordering).  Derived artifacts -- notably the cached
+        lowering of :mod:`repro.core.plan` -- key on ``(graph, version)``
+        so a mutated graph can never be served a stale compilation.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # construction
@@ -67,6 +82,7 @@ class LabeledDigraph:
         self._in[node] = []
         self._labels[node] = label
         self._label_index.setdefault(label, []).append(node)
+        self._version += 1
 
     def add_edge(self, source: Node, target: Node) -> None:
         """Add a directed edge; both endpoints must already exist."""
@@ -79,6 +95,7 @@ class LabeledDigraph:
         self._out[source].append(target)
         self._in[target].append(source)
         self._num_edges += 1
+        self._version += 1
 
     def add_edge_if_absent(self, source: Node, target: Node) -> bool:
         """Add the edge unless it already exists; return True if added."""
@@ -94,6 +111,7 @@ class LabeledDigraph:
         self._out[source].remove(target)
         self._in[target].remove(source)
         self._num_edges -= 1
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove a node together with all of its incident edges."""
@@ -109,6 +127,7 @@ class LabeledDigraph:
             del self._label_index[label]
         del self._out[node]
         del self._in[node]
+        self._version += 1
 
     def set_label(self, node: Node, label: Label) -> None:
         """Change the label of an existing node, keeping the index in sync."""
@@ -122,6 +141,7 @@ class LabeledDigraph:
             del self._label_index[old]
         self._labels[node] = label
         self._label_index.setdefault(label, []).append(node)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -277,6 +297,7 @@ class LabeledDigraph:
             targets.sort(key=key)
         for sources in self._in.values():
             sources.sort(key=key)
+        self._version += 1
 
     def validate(self) -> None:
         """Check internal invariants; raises :class:`GraphError` on corruption.

@@ -39,6 +39,30 @@ class TestFsim:
             main(["fsim", "a", "b", "--variant", "cross"])
 
 
+class TestTopK:
+    def test_batched_queries(self, tmp_path, capsys):
+        pattern, data = figure1_graphs()
+        path1 = tmp_path / "p.tsv"
+        path2 = tmp_path / "d.tsv"
+        save_graph(pattern, path1)
+        save_graph(data, path2)
+        code = main(
+            [
+                "topk", str(path1), str(path2),
+                "--query", "u", "--query", "h1",
+                "-k", "2", "--label-function", "indicator",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-2 for u:" in out
+        assert "top-2 for h1:" in out
+
+    def test_query_required(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["topk", "a", "b"])
+
+
 class TestExperiment:
     def test_table2(self, capsys):
         assert main(["experiment", "table2"]) == 0

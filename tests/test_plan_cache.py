@@ -1,0 +1,214 @@
+"""Cache correctness of the amortized compilation layer.
+
+The invariant under test: mutating a graph or varying the configuration
+can **never** serve a stale plan -- every cached artifact is keyed on
+the graph's mutation counter (plans) or derived per compile from the
+cached table (theta feasibility), so batched and cached runs are
+bitwise identical to cold runs.
+"""
+
+import gc
+
+import pytest
+
+from repro.core import (
+    FSimConfig,
+    FSimEngine,
+    fsim_matrix,
+    fsim_matrix_many,
+)
+from repro.core.plan import (
+    clear_plan_caches,
+    label_similarity_table,
+    lower_graph,
+    plan_cache_stats,
+)
+from repro.graph.generators import random_graph, uniform_labels
+from repro.labels.similarity import get_label_function
+from repro.simulation import Variant
+
+
+@pytest.fixture
+def graph():
+    return random_graph(14, 30, uniform_labels(14, 3, seed=41), seed=42)
+
+
+@pytest.fixture
+def other():
+    return random_graph(16, 36, uniform_labels(16, 3, seed=43), seed=44)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_plan_caches()
+    yield
+    clear_plan_caches()
+
+
+class TestPlanCache:
+    def test_plan_reused_until_mutation(self, graph):
+        plan1 = lower_graph(graph)
+        plan2 = lower_graph(graph)
+        assert plan1 is plan2
+        graph.add_edge(graph.nodes()[0], graph.nodes()[5])
+        plan3 = lower_graph(graph)
+        assert plan3 is not plan1
+        assert plan_cache_stats()["plan_misses"] == 2
+
+    def test_every_mutator_invalidates(self, graph):
+        mutations = [
+            lambda g: g.add_node("fresh", label="L0"),
+            lambda g: g.add_edge("fresh", g.nodes()[0]),
+            lambda g: g.set_label("fresh", "L1"),
+            lambda g: g.remove_edge("fresh", g.nodes()[0]),
+            lambda g: g.remove_node("fresh"),
+            lambda g: g.sort_adjacency(),
+        ]
+        for mutate in mutations:
+            before = lower_graph(graph)
+            mutate(graph)
+            assert lower_graph(graph) is not before
+
+    def test_mutation_never_serves_stale_scores(self, graph):
+        config = FSimConfig(variant=Variant.BJ, backend="numpy")
+        fsim_matrix(graph, graph, config=config)  # warm the caches
+        graph.add_edge(graph.nodes()[2], graph.nodes()[9])
+        cached = fsim_matrix(graph, graph, config=config)
+        clear_plan_caches()
+        cold = fsim_matrix(graph, graph, config=config)
+        assert cached.scores == cold.scores
+        assert cached.iterations == cold.iterations
+
+    def test_cache_entry_dropped_with_graph(self):
+        graph = random_graph(8, 14, uniform_labels(8, 2, seed=45), seed=46)
+        lower_graph(graph)
+        assert plan_cache_stats()["plans_cached"] == 1
+        del graph
+        gc.collect()
+        assert plan_cache_stats()["plans_cached"] == 0
+
+    def test_plans_shared_across_queries(self, graph, other):
+        config = FSimConfig(variant=Variant.S, backend="numpy")
+        fsim_matrix(graph, other, config=config)
+        misses = plan_cache_stats()["plan_misses"]
+        fsim_matrix(graph, other, config=config)
+        stats = plan_cache_stats()
+        assert stats["plan_misses"] == misses  # second query: hits only
+        assert stats["plan_hits"] >= 2
+
+
+class TestLabelTableCache:
+    def test_table_cached_per_function_and_alphabets(self):
+        fn = get_label_function("jaro_winkler")
+        table1 = label_similarity_table(fn, ["L0", "L1"], ["L0", "L2"])
+        table2 = label_similarity_table(fn, ["L0", "L1"], ["L0", "L2"])
+        assert table1 is table2
+        other_fn = get_label_function("indicator")
+        table3 = label_similarity_table(other_fn, ["L0", "L1"], ["L0", "L2"])
+        assert table3 is not table1
+
+    def test_theta_change_never_stales(self, graph):
+        """Feasibility is derived per compile; theta sweeps stay exact."""
+        for theta in (0.0, 0.6, 1.0):
+            config = FSimConfig(variant=Variant.S, theta=theta,
+                                backend="numpy")
+            warm = fsim_matrix(graph, graph, config=config)
+            clear_plan_caches()
+            cold = fsim_matrix(graph, graph, config=config)
+            assert warm.scores == cold.scores
+
+    def test_cached_table_is_readonly(self):
+        fn = get_label_function("indicator")
+        table = label_similarity_table(fn, ["L0"], ["L0", "L1"])
+        with pytest.raises(ValueError):
+            table[0, 0] = 0.5
+
+
+class TestBatchApis:
+    def test_fsim_matrix_many_matches_per_query(self, graph, other):
+        config = FSimConfig(variant=Variant.B, label_function="indicator")
+        queries = [
+            random_graph(6, 10, uniform_labels(6, 3, seed=s), seed=s + 1)
+            for s in (51, 53, 55)
+        ]
+        batched = fsim_matrix_many(queries, other, config=config)
+        for query, result in zip(queries, batched):
+            solo = fsim_matrix(query, other, config=config)
+            assert result.scores == solo.scores
+            assert result.iterations == solo.iterations
+            assert result.num_candidates == solo.num_candidates
+
+    def test_fsim_matrix_many_parallel_matches_serial(self, other):
+        config = FSimConfig(
+            variant=Variant.BJ, label_function="indicator", backend="numpy",
+        )
+        queries = [
+            random_graph(6, 10, uniform_labels(6, 3, seed=s), seed=s + 1)
+            for s in (61, 63, 65, 67)
+        ]
+        serial = fsim_matrix_many(queries, other, config=config)
+        parallel = fsim_matrix_many(queries, other, config=config, workers=2)
+        for one, two in zip(serial, parallel):
+            assert one.scores == two.scores
+            assert one.iterations == two.iterations
+        # The parallel results must still answer pruned pairs (fallback
+        # reattached in the parent after crossing the process boundary).
+        assert parallel[0].score("nope", "nope") == 0.0
+
+    def test_engine_parity_after_cache_warm(self, graph, other):
+        """A warm cache changes nothing observable vs the reference."""
+        config = FSimConfig(variant=Variant.DP)
+        fsim_matrix(graph, other, config=config.with_options(backend="numpy"))
+        warm = fsim_matrix(
+            graph, other, config=config.with_options(backend="numpy")
+        )
+        reference = FSimEngine(
+            graph, other, config.with_options(backend="python")
+        ).run()
+        assert warm.scores.keys() == reference.scores.keys()
+        for pair, value in reference.scores.items():
+            assert abs(warm.scores[pair] - value) <= 1e-9
+
+
+class TestAppBatchApis:
+    def test_match_many_matches_per_query(self, other):
+        from repro.apps.pattern_matching.matcher import FSimMatcher
+        from repro.apps.pattern_matching.queries import (
+            Scenario,
+            generate_workload,
+        )
+
+        workload = generate_workload(
+            other, Scenario.EXACT, num_queries=4,
+            min_size=3, max_size=6, seed=7,
+        )
+        matcher = FSimMatcher(Variant.S)
+        queries = [query.graph for query in workload]
+        batched = matcher.match_many(queries, other)
+        assert batched == [matcher.match(query, other) for query in queries]
+
+    def test_align_many_matches_per_pair(self, graph):
+        from repro.apps.alignment.aligners import FSimAligner
+        from repro.apps.alignment.evolving import evolve_graph
+
+        versions = [
+            evolve_graph(graph, seed=71, name="v2"),
+            evolve_graph(graph, seed=72, name="v3"),
+        ]
+        aligner = FSimAligner(Variant.B)
+        batched = aligner.align_many(versions, graph)
+        assert batched == [
+            aligner.align(version, graph) for version in versions
+        ]
+
+    def test_venue_variants_share_one_graph(self, graph):
+        from repro.apps.similarity.fsim_venues import FSimVenueSimilarity
+
+        measures = FSimVenueSimilarity.for_variants(
+            graph, (Variant.B, Variant.BJ)
+        )
+        assert set(measures) == {Variant.B, Variant.BJ}
+        assert measures[Variant.B].name == "FSimb"
+        assert measures[Variant.BJ].name == "FSimbj"
+        # Both variants lower the graph once through the shared cache.
+        assert plan_cache_stats()["plan_misses"] <= 1
