@@ -15,6 +15,11 @@ Graph Data" (ICDE 2021).  It provides:
   the dict-based reference engine and a vectorized integer-indexed
   numpy engine with incremental (dirty-pair) iteration, selected via
   ``FSimConfig(backend="auto"|"python"|"numpy")`` (see docs/PERF.md);
+- :mod:`repro.streaming` -- incremental score maintenance under graph
+  mutations: structured delta capture (``DeltaLog``), plan/compiled
+  patching, and ``IncrementalFSim`` sessions that resume the fixed
+  point instead of restarting it (bitwise-exact replay or epsilon-
+  accurate warm starts; see docs/ARCHITECTURE.md);
 - :mod:`repro.apps` -- the paper's three case-study applications
   (pattern matching, node similarity, graph alignment);
 - :mod:`repro.datasets` -- scaled-down synthetic emulators of the paper's

@@ -101,6 +101,12 @@ def segment_sum(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
     ``values`` must be the concatenation of the segments in order.  Small
     segments are accumulated left-to-right so the result is bit-identical
     to the reference engine's sequential Python sums.
+
+    The sequential-vs-reduceat choice is made **per segment**, never per
+    batch: a segment's float must be a function of its own content alone,
+    because the same pair is re-summed inside different sweep subsets
+    (the dirty scheduler, the streaming replay of :mod:`repro.streaming`)
+    and its value must not depend on which other pairs share the batch.
     """
     if counts.size == 0:
         return np.zeros(0, dtype=np.float64)
@@ -112,10 +118,15 @@ def segment_sum(values: np.ndarray, counts: np.ndarray) -> np.ndarray:
             sel = counts > j
             out[sel] += values[starts[sel] + j]
         return out
-    nonempty = counts > 0
-    if not nonempty.any():
-        return out
-    out[nonempty] = np.add.reduceat(values, starts[nonempty])
+    big = counts > _SEQUENTIAL_SUM_CUTOFF
+    small_counts = np.where(big, 0, counts)
+    for j in range(int(small_counts.max())):
+        sel = small_counts > j
+        out[sel] += values[starts[sel] + j]
+    big_idx = np.flatnonzero(big)
+    big_values = values[ragged_indices(starts[big_idx], counts[big_idx])]
+    big_starts = np.cumsum(counts[big_idx]) - counts[big_idx]
+    out[big_idx] = np.add.reduceat(big_values, big_starts)
     return out
 
 
@@ -158,11 +169,13 @@ class MatchStructure:
     so each rank step processes its whole entry list vectorized -- that
     is what the ``ba_*`` (by-arena CSR) layout is for.  The by-problem
     ``ent_arena`` remains for the dirty-subset round selection and the
-    dependency counts.
+    dependency counts; the by-problem slot arrays (``ent_lslot`` /
+    ``ent_rslot``) are kept so the streaming patcher can splice rebuilt
+    rows without reconstructing them from the by-arena layout.
     """
 
     __slots__ = (
-        "ent_arena", "ent_count", "ent_start",
+        "ent_arena", "ent_count", "ent_start", "ent_lslot", "ent_rslot",
         "ba_indptr", "ba_prob", "ba_lslot", "ba_rslot",
         "cap", "num_lslots", "num_rslots",
     )
@@ -170,9 +183,13 @@ class MatchStructure:
     def __init__(self, ent_arena, ent_lslot, ent_rslot, ent_pair, ent_count,
                  cap, num_lslots, num_rslots, num_arena):
         ent_arena = ent_arena.astype(np.int32, copy=False)
+        ent_lslot = ent_lslot.astype(np.int32, copy=False)
+        ent_rslot = ent_rslot.astype(np.int32, copy=False)
         self.ent_arena = ent_arena
         self.ent_count = ent_count
         self.ent_start = np.cumsum(ent_count) - ent_count
+        self.ent_lslot = ent_lslot
+        self.ent_rslot = ent_rslot
         # by-arena CSR (stable radix argsort keeps rank-step entries in
         # deterministic problem order, though any order is correct).
         order = np.argsort(ent_arena, kind="stable")
@@ -180,8 +197,8 @@ class MatchStructure:
         self.ba_indptr = np.zeros(num_arena + 1, dtype=np.int64)
         np.cumsum(counts, out=self.ba_indptr[1:])
         self.ba_prob = ent_pair.astype(np.int32, copy=False)[order]
-        self.ba_lslot = ent_lslot.astype(np.int32, copy=False)[order]
-        self.ba_rslot = ent_rslot.astype(np.int32, copy=False)[order]
+        self.ba_lslot = ent_lslot[order]
+        self.ba_rslot = ent_rslot[order]
         #: Greedy saturation bound per problem: the maximum matching size
         #: |M_chi| -- once this many pairs are matched the problem is done.
         self.cap = cap
@@ -582,16 +599,22 @@ class CompiledFSim:
             yield start, end
             start = end
 
-    def _cross_feasible(self, csr1: _Csr, csr2: _Csr, outer: str):
+    def _cross_feasible(self, csr1: _Csr, csr2: _Csr, outer: str,
+                        us: "np.ndarray | None" = None,
+                        vs: "np.ndarray | None" = None):
         """Feasible neighbor pairs of every maintained pair, chunked.
 
         Yields ``(pair_pos, a_local, b_local, arena_id)`` blocks in the
         reference iteration order for the requested nesting (``left``:
         G1 neighbor outer loop; ``right``: G2 neighbor outer loop, used
-        by the backward leg of the b operator).
+        by the backward leg of the b operator).  ``us`` / ``vs`` select
+        an explicit row subset (default: every updatable pair); the
+        streaming patcher uses this to rebuild only the rows a graph
+        delta touched.
         """
-        us = self.upd_u
-        vs = self.upd_v
+        if us is None:
+            us = self.upd_u
+            vs = self.upd_v
         d1 = csr1.degrees[us]
         d2 = csr2.degrees[vs]
         cells = d1 * d2
@@ -637,13 +660,15 @@ class CompiledFSim:
             yield pair_pos[mask], a_local[mask], b_local[mask], arena
 
     def _cross_entries(self, csr1: _Csr, csr2: _Csr, outer: str,
-                       grouped: bool = True):
-        num_pairs = len(self.upd_arena)
+                       grouped: bool = True,
+                       us: "np.ndarray | None" = None,
+                       vs: "np.ndarray | None" = None):
+        num_pairs = len(self.upd_arena) if us is None else len(us)
         parts_pair: List[np.ndarray] = []
         parts_outer: List[np.ndarray] = []
         parts_arena: List[np.ndarray] = []
         for pair_pos, a_local, b_local, arena in self._cross_feasible(
-            csr1, csr2, outer
+            csr1, csr2, outer, us, vs
         ):
             parts_pair.append(pair_pos)
             parts_outer.append(a_local if outer == "left" else b_local)
@@ -676,15 +701,14 @@ class CompiledFSim:
             grp_count = np.zeros(num_pairs, dtype=np.int64)
         return SBStructure(ent_arena, ent_count, grp_len, grp_count)
 
-    def _match_entries(self, csr1: _Csr, csr2: _Csr) -> MatchStructure:
-        num_pairs = len(self.upd_arena)
-        d1 = csr1.degrees[self.upd_u]
-        d2 = csr2.degrees[self.upd_v]
-        lbase = np.cumsum(d1) - d1
-        rbase = np.cumsum(d2) - d2
+    def _match_raw(self, csr1: _Csr, csr2: _Csr, us: np.ndarray,
+                   vs: np.ndarray, lbase: np.ndarray, rbase: np.ndarray):
+        """Flat matching entries for the rows ``(us, vs)`` in reference
+        order, with the given per-row slot base offsets.  Returns
+        ``(ent_pair, ent_lslot, ent_rslot, ent_arena, ent_count)``."""
         parts: List[Tuple[np.ndarray, ...]] = []
         for pair_pos, a_local, b_local, arena in self._cross_feasible(
-            csr1, csr2, outer="left"
+            csr1, csr2, outer="left", us=us, vs=vs
         ):
             parts.append((
                 pair_pos,
@@ -702,7 +726,17 @@ class CompiledFSim:
             ent_lslot = np.empty(0, dtype=np.int64)
             ent_rslot = np.empty(0, dtype=np.int64)
             ent_arena = np.empty(0, dtype=np.int64)
-        ent_count = np.bincount(ent_pair, minlength=num_pairs).astype(np.int64)
+        ent_count = np.bincount(ent_pair, minlength=len(us)).astype(np.int64)
+        return ent_pair, ent_lslot, ent_rslot, ent_arena, ent_count
+
+    def _match_entries(self, csr1: _Csr, csr2: _Csr) -> MatchStructure:
+        d1 = csr1.degrees[self.upd_u]
+        d2 = csr2.degrees[self.upd_v]
+        lbase = np.cumsum(d1) - d1
+        rbase = np.cumsum(d2) - d2
+        ent_pair, ent_lslot, ent_rslot, ent_arena, ent_count = self._match_raw(
+            csr1, csr2, self.upd_u, self.upd_v, lbase, rbase
+        )
         caps = self._mapping_sizes(
             self.config.variant, csr1, csr2, self.upd_u, self.upd_v
         ).astype(np.int64)
@@ -747,6 +781,12 @@ class CompiledFSim:
         np.cumsum(counts, out=indptr[1:])
         self.dep_indptr = indptr
         self._dep_targets: "np.ndarray | None" = None
+        #: Updatable positions whose entry lists changed since the CSR
+        #: was built (streaming patches).  The CSR then under-reports
+        #: exactly these rows' new dependencies, so they are unioned
+        #: into every dependents() answer -- a sound superset -- until
+        #: the patcher decides to rebuild.  None = CSR is exact.
+        self._dep_stale_rows: "np.ndarray | None" = None
 
     @property
     def dep_targets(self) -> np.ndarray:
@@ -774,7 +814,12 @@ class CompiledFSim:
 
     def dependents(self, arena_ids: np.ndarray) -> np.ndarray:
         """Positions in ``upd_arena`` whose Equation-3 inputs include any
-        of the given arena pair-ids (the next dirty sweep)."""
+        of the given arena pair-ids (the next dirty sweep).
+
+        May over-approximate after a streaming patch (stale rows are
+        always included); over-approximation is sound, because
+        recomputing a pair from unchanged inputs reproduces its value.
+        """
         if arena_ids.size == 0:
             return np.empty(0, dtype=np.int64)
         starts = self.dep_indptr[arena_ids]
@@ -785,22 +830,36 @@ class CompiledFSim:
         if total >= 4 * self.num_updatable:
             return np.arange(self.num_updatable, dtype=np.int64)
         gathered = self.dep_targets[ragged_indices(starts, counts)]
-        return np.unique(gathered).astype(np.int64)
+        result = np.unique(gathered).astype(np.int64)
+        if self._dep_stale_rows is not None:
+            result = np.union1d(result, self._dep_stale_rows)
+        return result
 
     # ------------------------------------------------------------------
     # result assembly
     # ------------------------------------------------------------------
     def result_scores(self, scores: np.ndarray) -> Dict[Pair, float]:
-        """Maintained scores as the reference-ordered ``{pair: value}``."""
-        out: Dict[Pair, float] = {}
-        ids = np.flatnonzero(self.maintained)
-        us = self.arena_u[ids].tolist()
-        vs = self.arena_v[ids].tolist()
-        values = scores[ids].tolist()
-        nodes1 = self.nodes1
-        nodes2 = self.nodes2
-        for i, j, value in zip(us, vs, values):
-            out[(nodes1[i], nodes2[j])] = value
+        """Maintained scores as the reference-ordered ``{pair: value}``.
+
+        The node-pair tuples are a pure function of the arena, so they
+        are materialized once and reused -- repeated result assembly
+        (the streaming session re-wraps after every delta) reduces to
+        one ``dict(zip(...))`` over the cached tuple list.
+        """
+        pairs = getattr(self, "_result_pairs", None)
+        if pairs is None:
+            ids = np.flatnonzero(self.maintained)
+            nodes1 = self.nodes1
+            nodes2 = self.nodes2
+            pairs = [
+                (nodes1[i], nodes2[j])
+                for i, j in zip(
+                    self.arena_u[ids].tolist(), self.arena_v[ids].tolist()
+                )
+            ]
+            self._result_pairs = pairs
+            self._result_ids = ids
+        out = dict(zip(pairs, scores[self._result_ids].tolist()))
         for pair, value in self.pinned_extra:
             out[pair] = value
         return out

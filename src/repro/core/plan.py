@@ -25,12 +25,25 @@ With both caches warm, compiling a ``(graph1, graph2, config)`` pair is
 cheap assembly: the arena, entry lists and upper bounds (which are
 genuinely pair-specific) are built vectorized from the cached arrays.
 See docs/PERF.md ("The plan cache").
+
+Streaming extension (:mod:`repro.streaming`): when a graph mutates, its
+cached plan need not be thrown away.  :func:`patch_plan` applies a
+recorded mutation sequence to an existing :class:`GraphPlan` with numpy
+array surgery, producing the plan a fresh lowering of the mutated graph
+would build -- field for field, dtype for dtype -- without re-running
+the per-node Python loops.  :func:`patch_cached_plan` wires that into
+the cache: given the delta between the cached version and the live
+graph, it patches and re-registers the plan so the next
+:func:`lower_graph` call hits.  Deltas larger than
+:func:`plan_patch_budget` fall back to a full relowering (splicing k
+times costs k array copies; past a fraction of the graph size the fresh
+build is cheaper).
 """
 
 from __future__ import annotations
 
 import weakref
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -125,7 +138,7 @@ _LABEL_TABLE_CACHE: Dict[tuple, np.ndarray] = {}
 #: not node sets -- but callers may sweep many label functions).
 _LABEL_TABLE_CACHE_MAX = 256
 
-_STATS = {"plan_hits": 0, "plan_misses": 0,
+_STATS = {"plan_hits": 0, "plan_misses": 0, "plan_patches": 0,
           "table_hits": 0, "table_misses": 0}
 
 
@@ -171,6 +184,236 @@ def _build_label_table(label_fn, labels1, labels2) -> np.ndarray:
             table[i, j] = float(label_fn(label1, label2))
     table.setflags(write=False)
     return table
+
+
+# ----------------------------------------------------------------------
+# plan patching (the streaming layer's alternative to relowering: one
+# memcpy-bound array splice per op, no per-node Python loops)
+# ----------------------------------------------------------------------
+#: A delta with more ops than ``max(PATCH_MIN_OPS, size // PATCH_DIVISOR)``
+#: is relowered instead of patched (each op splices O(V + E) arrays, so a
+#: long script approaches the cost of a fresh build without its benefit).
+PATCH_MIN_OPS = 16
+PATCH_DIVISOR = 8
+
+
+class PlanPatchError(Exception):
+    """The op sequence cannot be applied to the base plan (corrupt log)."""
+
+
+def plan_patch_budget(graph: LabeledDigraph) -> int:
+    """Largest delta (op count) worth patching rather than relowering."""
+    return max(PATCH_MIN_OPS, (graph.num_nodes + graph.num_edges) // PATCH_DIVISOR)
+
+
+def _append_int(array: np.ndarray, value: int) -> np.ndarray:
+    return np.concatenate([array, np.asarray([value], dtype=array.dtype)])
+
+
+class _PlanPatcher:
+    """Mutable intermediate state of one plan-patching pass.
+
+    Mirrors the :class:`~repro.graph.digraph.LabeledDigraph` mutator
+    semantics op by op -- in particular the label-alphabet churn (a label
+    whose last member disappears is dropped; re-adding it appends it at
+    the *end* of the first-seen order) -- so the final state is exactly
+    what ``GraphPlan(graph)`` would build from the mutated graph.
+    ``members`` stays sorted by node id throughout (the fresh build uses
+    ``flatnonzero``, which is node order, not label-index order).
+    """
+
+    def __init__(self, plan: GraphPlan):
+        self.nodes = list(plan.nodes)
+        self.index = dict(plan.index)
+        self.labels = list(plan.labels)
+        self.lab_index = dict(plan.lab_index)
+        self.nlab = plan.nlab.copy()
+        self.out_indptr = plan.out_csr.indptr.copy()
+        self.out_indices = plan.out_csr.indices.copy()
+        self.in_indptr = plan.in_csr.indptr.copy()
+        self.in_indices = plan.in_csr.indices.copy()
+        self.members = list(plan.members)
+
+    # -- op handlers ----------------------------------------------------
+    def add_node(self, node, label) -> None:
+        if node in self.index:
+            raise PlanPatchError(f"add_node of existing node {node!r}")
+        nid = len(self.nodes)
+        self.nodes.append(node)
+        self.index[node] = nid
+        k = self._label_id(label)
+        self.nlab = _append_int(self.nlab, k)
+        self.members[k] = _append_int(self.members[k], nid)
+        self.out_indptr = _append_int(self.out_indptr, int(self.out_indptr[-1]))
+        self.in_indptr = _append_int(self.in_indptr, int(self.in_indptr[-1]))
+
+    def add_edge(self, source, target) -> None:
+        i = self._node_id(source)
+        j = self._node_id(target)
+        # The digraph appends to the adjacency list, so the new entry
+        # lands at the end of the source's CSR row.
+        self.out_indices = np.insert(self.out_indices, int(self.out_indptr[i + 1]), j)
+        self.out_indptr[i + 1:] += 1
+        self.in_indices = np.insert(self.in_indices, int(self.in_indptr[j + 1]), i)
+        self.in_indptr[j + 1:] += 1
+
+    def remove_edge(self, source, target) -> None:
+        i = self._node_id(source)
+        j = self._node_id(target)
+        self.out_indices, self.out_indptr = self._delete_entry(
+            self.out_indices, self.out_indptr, i, j
+        )
+        self.in_indices, self.in_indptr = self._delete_entry(
+            self.in_indices, self.in_indptr, j, i
+        )
+
+    def remove_node(self, node) -> None:
+        nid = self._node_id(node)
+        if (self.out_indptr[nid + 1] != self.out_indptr[nid]
+                or self.in_indptr[nid + 1] != self.in_indptr[nid]):
+            # DeltaLog expands remove_node into its incident edge
+            # removals first; a non-isolated removal means a corrupt log.
+            raise PlanPatchError(f"remove_node of non-isolated node {node!r}")
+        self.out_indptr = np.delete(self.out_indptr, nid)
+        self.in_indptr = np.delete(self.in_indptr, nid)
+        self.out_indices = self.out_indices - (self.out_indices > nid)
+        self.in_indices = self.in_indices - (self.in_indices > nid)
+        self.nodes.pop(nid)
+        del self.index[node]
+        for other in self.nodes[nid:]:
+            self.index[other] -= 1
+        k = int(self.nlab[nid])
+        self.nlab = np.delete(self.nlab, nid)
+        block = self.members[k]
+        self.members[k] = np.delete(block, int(np.searchsorted(block, nid)))
+        for kk in range(len(self.members)):
+            shifted = self.members[kk]
+            self.members[kk] = shifted - (shifted > nid)
+        if len(self.members[k]) == 0:
+            self._drop_label(k)
+
+    def set_label(self, node, label) -> None:
+        nid = self._node_id(node)
+        old_k = int(self.nlab[nid])
+        new_k = self._label_id(label)
+        if new_k == old_k:
+            raise PlanPatchError(f"set_label no-op on {node!r}")
+        block = self.members[old_k]
+        self.members[old_k] = np.delete(block, int(np.searchsorted(block, nid)))
+        target = self.members[new_k]
+        self.members[new_k] = np.insert(
+            target, int(np.searchsorted(target, nid)), nid
+        )
+        self.nlab[nid] = new_k
+        if len(self.members[old_k]) == 0:
+            self._drop_label(old_k)
+
+    # -- helpers --------------------------------------------------------
+    def _node_id(self, node) -> int:
+        try:
+            return self.index[node]
+        except KeyError:
+            raise PlanPatchError(f"unknown node {node!r}") from None
+
+    def _label_id(self, label) -> int:
+        k = self.lab_index.get(label)
+        if k is None:
+            k = len(self.labels)
+            self.labels.append(label)
+            self.lab_index[label] = k
+            self.members.append(np.empty(0, dtype=np.int32))
+        return k
+
+    def _drop_label(self, k: int) -> None:
+        label = self.labels.pop(k)
+        del self.lab_index[label]
+        for other, kk in self.lab_index.items():
+            if kk > k:
+                self.lab_index[other] = kk - 1
+        self.nlab = self.nlab - (self.nlab > k)
+        self.members.pop(k)
+
+    @staticmethod
+    def _delete_entry(indices: np.ndarray, indptr: np.ndarray,
+                      row: int, value: int) -> Tuple[np.ndarray, np.ndarray]:
+        start = int(indptr[row])
+        end = int(indptr[row + 1])
+        offsets = np.flatnonzero(indices[start:end] == value)
+        if len(offsets) == 0:
+            raise PlanPatchError(f"missing edge entry {value} in row {row}")
+        indices = np.delete(indices, start + int(offsets[0]))
+        indptr[row + 1:] -= 1
+        return indices, indptr
+
+    def build(self) -> GraphPlan:
+        plan = GraphPlan.__new__(GraphPlan)
+        plan.nodes = self.nodes
+        plan.n = len(self.nodes)
+        plan.index = self.index
+        plan.labels = self.labels
+        plan.lab_index = self.lab_index
+        plan.nlab = self.nlab
+        plan.out_csr = CsrAdjacency(self.out_indptr, self.out_indices)
+        plan.in_csr = CsrAdjacency(self.in_indptr, self.in_indices)
+        plan.members = self.members
+        return plan
+
+
+def patch_plan(plan: GraphPlan, ops: Sequence) -> GraphPlan:
+    """Apply a recorded mutation sequence to ``plan``; return a new plan.
+
+    ``ops`` is a sequence of :class:`repro.streaming.delta.DeltaOp`-shaped
+    records (``kind`` plus operands ``a`` / ``b``); each op corresponds
+    to exactly one successful mutator call on the underlying graph, with
+    ``remove_node`` already expanded into its incident edge removals.
+    The result is field-for-field identical to ``GraphPlan(graph)`` on
+    the mutated graph.  Raises :class:`PlanPatchError` when the ops do
+    not fit the base plan (out-of-band mutation, corrupt log).
+    """
+    patcher = _PlanPatcher(plan)
+    for op in ops:
+        kind = op.kind
+        if kind == "add_edge":
+            patcher.add_edge(op.a, op.b)
+        elif kind == "remove_edge":
+            patcher.remove_edge(op.a, op.b)
+        elif kind == "add_node":
+            patcher.add_node(op.a, op.b)
+        elif kind == "remove_node":
+            patcher.remove_node(op.a)
+        elif kind == "set_label":
+            patcher.set_label(op.a, op.b)
+        else:
+            raise PlanPatchError(f"unknown delta op kind {kind!r}")
+    return patcher.build()
+
+
+def patch_cached_plan(graph: LabeledDigraph, ops: Sequence,
+                      base_version: int) -> Optional[GraphPlan]:
+    """Patch ``graph``'s cached plan from ``base_version`` to the present.
+
+    Returns the patched plan (re-registered in the cache, so the next
+    :func:`lower_graph` hits) or ``None`` when patching does not apply:
+    no cached plan at ``base_version``, the live version does not equal
+    ``base_version + len(ops)`` (out-of-band mutation), the delta
+    exceeds :func:`plan_patch_budget`, or the ops are inconsistent with
+    the base plan.  ``None`` simply means the caller should let
+    :func:`lower_graph` relower from scratch.
+    """
+    entry = _PLAN_CACHE.get(graph)
+    if entry is None or entry[0] != base_version:
+        return None
+    if graph.version != base_version + len(ops):
+        return None
+    if len(ops) > plan_patch_budget(graph):
+        return None
+    try:
+        plan = patch_plan(entry[1], ops)
+    except PlanPatchError:
+        return None
+    _PLAN_CACHE[graph] = (graph.version, plan)
+    _STATS["plan_patches"] += 1
+    return plan
 
 
 def clear_plan_caches() -> None:

@@ -313,14 +313,42 @@ class VectorizedFSimEngine:
     # the fixed-point loop with the dirty-pair scheduler
     # ------------------------------------------------------------------
     def iterate(
-        self, sweep: Optional[SweepFn] = None
+        self,
+        sweep: Optional[SweepFn] = None,
+        scores_init: Optional[np.ndarray] = None,
+        upd0: Optional[np.ndarray] = None,
+        trajectory: Optional[List[np.ndarray]] = None,
     ) -> Tuple[np.ndarray, int, bool, List[float]]:
         """Run Algorithm 1 to convergence; returns
-        ``(scores, iterations, converged, deltas)``."""
+        ``(scores, iterations, converged, deltas)``.
+
+        ``scores_init`` / ``upd0`` warm-start the fixed point (Theorem 1
+        guarantees convergence from any starting vector): iteration
+        begins from the given arena score array with only the given
+        ``upd_arena`` positions scheduled, instead of the
+        L-initialization with everything scheduled.  The streaming layer
+        (:mod:`repro.streaming`) uses this to resume from a previous
+        result after a graph delta, seeding the scheduler with the
+        delta's frontier.
+
+        When ``trajectory`` is a list, a copy of the full arena score
+        array is appended before the first sweep and after every sweep
+        (the per-iteration Jacobi trajectory) -- the state
+        :meth:`iterate_incremental` replays.  Memory is
+        ``(iterations + 1) * num_feasible`` floats.
+        """
         compiled = self.compiled
         sweep = sweep or self.sweep
-        scores = compiled.scores0.copy()
-        upd = np.arange(len(compiled.upd_arena), dtype=np.int64)
+        if scores_init is None:
+            scores = compiled.scores0.copy()
+        else:
+            scores = np.array(scores_init, dtype=np.float64, copy=True)
+        if upd0 is None:
+            upd = np.arange(len(compiled.upd_arena), dtype=np.int64)
+        else:
+            upd = np.unique(np.asarray(upd0, dtype=np.int64))
+        if trajectory is not None:
+            trajectory.append(scores.copy())
         deltas: List[float] = []
         converged = False
         iterations = 0
@@ -338,11 +366,95 @@ class VectorizedFSimEngine:
                 delta = 0.0
                 dirty = np.empty(0, dtype=np.int64)
             deltas.append(delta)
+            if trajectory is not None:
+                trajectory.append(scores.copy())
             if delta < epsilon:
                 converged = True
                 break
             upd = compiled.dependents(dirty)
         return scores, iterations, converged, deltas
+
+    def iterate_incremental(
+        self,
+        trajectory: List[np.ndarray],
+        touched: np.ndarray,
+        dirty0: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, int, bool, List[float]]:
+        """Replay the cold Jacobi trajectory after a structural delta.
+
+        With ``dirty_tolerance == 0.0`` the scheduled iteration of
+        :meth:`iterate` follows the full Jacobi trajectory bit for bit
+        (a pair none of whose inputs changed recomputes to the same
+        float), so the cold run after a graph delta is a deterministic
+        function of the compiled instance.  This method computes that
+        *exact* trajectory incrementally from the previous run's:
+
+        - ``trajectory`` holds the previous run's per-iteration arena
+          score arrays (``trajectory[0]`` must already hold the *new*
+          initial scores; later levels hold the previous run's values,
+          with NaN in any slot that has no usable history).  It is
+          mutated in place into the new run's trajectory.
+        - ``touched`` are the ``upd_arena`` positions whose update rule
+          changed (entry lists, denominators, label term) -- they are
+          re-swept every iteration.  Positions with NaN history must be
+          included.
+        - ``dirty0`` are arena pair-ids whose level-0 scores differ from
+          the previous run's (label-driven initial changes).
+
+        Every other pair is re-swept only once its Equation-3 inputs
+        diverge from the previous trajectory, and the divergence
+        frontier is tracked *bitwise*: a pair that recomputes to its
+        previous-run value (common under clamping) re-converges and
+        stops propagating.  The returned ``(scores, iterations,
+        converged, deltas)`` is bitwise identical to a cold
+        :meth:`iterate` on the same compiled instance.
+        """
+        compiled = self.compiled
+        epsilon = compiled.config.epsilon
+        num_updatable = compiled.num_updatable
+        touched = np.unique(np.asarray(touched, dtype=np.int64))
+        if dirty0 is None:
+            dirty_arena = np.empty(0, dtype=np.int64)
+        else:
+            dirty_arena = np.unique(np.asarray(dirty0, dtype=np.int64))
+        deltas: List[float] = []
+        converged = False
+        iterations = 0
+        for level in range(1, compiled.config.iteration_budget() + 1):
+            iterations += 1
+            prev = trajectory[level - 1]
+            if level >= len(trajectory):
+                # Beyond the previous run's horizon: no history to
+                # replay against, fall back to full sweeps.
+                cur = prev.copy()
+                trajectory.append(cur)
+                upd = np.arange(num_updatable, dtype=np.int64)
+            else:
+                cur = trajectory[level]
+                deps = compiled.dependents(dirty_arena)
+                if deps.size >= num_updatable:
+                    upd = deps  # full sweep; touched is a subset
+                else:
+                    upd = np.union1d(touched, deps)
+            if upd.size:
+                new_values = self.sweep(prev, upd)
+                arena_ids = compiled.upd_arena[upd]
+                previous_run = cur[arena_ids]
+                cur[arena_ids] = new_values
+                # NaN history compares unequal to everything, so pairs
+                # without usable history always propagate.
+                with np.errstate(invalid="ignore"):
+                    changed = new_values != previous_run
+                dirty_arena = arena_ids[changed]
+            else:
+                dirty_arena = np.empty(0, dtype=np.int64)
+            delta = float(np.abs(cur - prev).max()) if cur.size else 0.0
+            deltas.append(delta)
+            if delta < epsilon:
+                converged = True
+                break
+        del trajectory[iterations + 1:]
+        return trajectory[iterations], iterations, converged, deltas
 
 
 def run_vectorized(engine, workers: int = 1):

@@ -62,10 +62,18 @@ class LabeledDigraph:
     def version(self) -> int:
         """Monotone mutation counter.
 
-        Incremented by every structural mutation (nodes, edges, labels,
-        adjacency reordering).  Derived artifacts -- notably the cached
+        Incremented **exactly once** by every mutator call that changes
+        the graph (nodes, edges, labels, adjacency reordering), and
+        never by a no-op call (``add_edge_if_absent`` of an existing
+        edge, ``set_label`` to the current label, ``add_node`` re-adding
+        a node with its label).  Derived artifacts -- notably the cached
         lowering of :mod:`repro.core.plan` -- key on ``(graph, version)``
-        so a mutated graph can never be served a stale compilation.
+        so a mutated graph can never be served a stale compilation, and
+        no-op calls never evict a warm one.  The streaming layer
+        (:mod:`repro.streaming`) additionally relies on the
+        one-bump-per-mutation contract to detect out-of-band edits;
+        ``tests/test_digraph.py::TestVersionCounter`` enforces both
+        directions for every public mutator.
         """
         return self._version
 
@@ -98,7 +106,13 @@ class LabeledDigraph:
         self._version += 1
 
     def add_edge_if_absent(self, source: Node, target: Node) -> bool:
-        """Add the edge unless it already exists; return True if added."""
+        """Add the edge unless it already exists; return True if added.
+
+        The no-op path must not bump :attr:`version`: bulk loaders and
+        the evolution workloads call this in tight loops, and a spurious
+        bump would evict the cached :class:`~repro.core.plan.GraphPlan`
+        on every duplicate.
+        """
         if self.has_edge(source, target):
             return False
         self.add_edge(source, target)

@@ -1,0 +1,268 @@
+"""Structured mutation capture for :class:`~repro.graph.digraph.LabeledDigraph`.
+
+The streaming subsystem maintains FSim scores *across* graph edits
+instead of recomputing from scratch, which requires knowing what
+changed.  A :class:`DeltaLog` wraps a graph and mirrors its mutator API;
+every successful mutation goes through to the graph **and** is recorded
+as a :class:`DeltaOp`.  :meth:`DeltaLog.drain` hands the accumulated ops
+to a consumer (the :class:`~repro.streaming.session.IncrementalFSim`
+session, the plan patcher of :mod:`repro.core.plan`) as an immutable
+:class:`Delta` bracketed by the graph's version counter.
+
+Invariants the log maintains:
+
+- one op corresponds to exactly one version bump of the graph, so a
+  consumer can detect *out-of-band* mutations (anything that touched the
+  graph without going through the log) by comparing
+  ``delta.end_version - delta.base_version`` with ``len(delta.ops)`` --
+  :attr:`Delta.out_of_band` does exactly that;
+- ``remove_node`` is expanded into its incident ``remove_edge`` ops (in
+  the digraph's own removal order) followed by the removal of the then
+  isolated node, so downstream patchers never see an implicit edge
+  deletion;
+- no-op calls (re-adding a node with its label, ``set_label`` to the
+  current label, ``add_edge_if_absent`` of an existing edge) are neither
+  applied nor recorded, mirroring the digraph's no-bump guarantee.
+
+Reads (``nodes``, ``has_edge``, ``label``, ...) delegate to the wrapped
+graph, so a ``DeltaLog`` can stand in for the graph in read/mutate code
+such as :func:`repro.apps.alignment.evolving.evolve_inplace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.exceptions import GraphError, NodeNotFoundError
+from repro.graph.digraph import LabeledDigraph
+
+Node = Hashable
+Label = Hashable
+
+#: Kinds a DeltaOp can carry, in the vocabulary of the digraph mutators.
+OP_KINDS = ("add_node", "add_edge", "remove_edge", "remove_node", "set_label")
+
+#: Mutators that must not bypass the log (delegating them silently would
+#: desynchronize every consumer of the delta stream).
+_BLOCKED_PASSTHROUGH = frozenset({"sort_adjacency"})
+
+
+class DeltaOp(NamedTuple):
+    """One recorded mutation.
+
+    ``a`` / ``b`` are kind-specific operands:
+
+    - ``add_node``: ``a`` = node, ``b`` = label;
+    - ``add_edge`` / ``remove_edge``: ``a`` = source, ``b`` = target;
+    - ``remove_node``: ``a`` = node (``b`` unused; incident edges appear
+      as preceding ``remove_edge`` ops);
+    - ``set_label``: ``a`` = node, ``b`` = new label.
+    """
+
+    kind: str
+    a: Node
+    b: Optional[Hashable] = None
+
+
+@dataclass(frozen=True)
+class Delta:
+    """An immutable batch of ops bracketed by graph versions."""
+
+    ops: Tuple[DeltaOp, ...]
+    base_version: int
+    end_version: int
+
+    @property
+    def out_of_band(self) -> bool:
+        """True when the graph mutated outside the log in this window."""
+        return self.end_version - self.base_version != len(self.ops)
+
+    @property
+    def edges_only(self) -> bool:
+        """True when every op is an edge insertion or deletion."""
+        return all(op.kind in ("add_edge", "remove_edge") for op in self.ops)
+
+    def touched_nodes(self) -> set:
+        """Every node an op mentions (endpoints, relabeled, added/removed)."""
+        nodes = set()
+        for op in self.ops:
+            nodes.add(op.a)
+            if op.kind in ("add_edge", "remove_edge"):
+                nodes.add(op.b)
+        return nodes
+
+    def adjacency_changes(self) -> Tuple[set, set]:
+        """``(out_changed, in_changed)`` node sets: whose out-adjacency /
+        in-adjacency an edge op altered."""
+        out_changed: set = set()
+        in_changed: set = set()
+        for op in self.ops:
+            if op.kind in ("add_edge", "remove_edge"):
+                out_changed.add(op.a)
+                in_changed.add(op.b)
+        return out_changed, in_changed
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class DeltaLog:
+    """Mutation recorder for one graph (see the module docstring)."""
+
+    def __init__(self, graph: LabeledDigraph):
+        self.graph = graph
+        self._ops: List[DeltaOp] = []
+        self._base_version = graph.version
+
+    # ------------------------------------------------------------------
+    # recorded mutators (mirror LabeledDigraph's API)
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, a: Node, b: Optional[Hashable] = None) -> None:
+        self._ops.append(DeltaOp(kind, a, b))
+
+    def add_node(self, node: Node, label: Label) -> None:
+        """Add ``node``; re-adding with a different label records a
+        ``set_label`` (mirroring the digraph), same label is a no-op."""
+        graph = self.graph
+        if graph.has_node(node):
+            if graph.label(node) != label:
+                self.set_label(node, label)
+            return
+        graph.add_node(node, label)
+        self._record("add_node", node, label)
+
+    def add_edge(self, source: Node, target: Node) -> None:
+        self.graph.add_edge(source, target)  # raises before mutating
+        self._record("add_edge", source, target)
+
+    def add_edge_if_absent(self, source: Node, target: Node) -> bool:
+        if self.graph.has_edge(source, target):
+            return False
+        self.add_edge(source, target)
+        return True
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        self.graph.remove_edge(source, target)
+        self._record("remove_edge", source, target)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node``, logging its incident edge removals first (in
+        the digraph's own order: out-edges, then remaining in-edges)."""
+        graph = self.graph
+        if not graph.has_node(node):
+            raise NodeNotFoundError(node)
+        for target in graph.out_neighbors(node):
+            self.remove_edge(node, target)
+        for source in graph.in_neighbors(node):
+            self.remove_edge(source, node)
+        graph.remove_node(node)
+        self._record("remove_node", node)
+
+    def set_label(self, node: Node, label: Label) -> None:
+        if self.graph.label(node) == label:  # raises if node is missing
+            return
+        self.graph.set_label(node, label)
+        self._record("set_label", node, label)
+
+    # ------------------------------------------------------------------
+    # consumption
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of ops recorded since the last :meth:`drain`."""
+        return len(self._ops)
+
+    def drain(self) -> Delta:
+        """Return the pending ops and reset the window to the present.
+
+        The returned delta's version bracket exposes out-of-band
+        mutations (see :attr:`Delta.out_of_band`); draining always
+        resynchronizes the log with the live graph version.
+        """
+        delta = Delta(tuple(self._ops), self._base_version, self.graph.version)
+        self._ops = []
+        self._base_version = self.graph.version
+        return delta
+
+    # ------------------------------------------------------------------
+    # read-through
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str):
+        if name in _BLOCKED_PASSTHROUGH:
+            raise GraphError(
+                f"{name} is not supported through a DeltaLog: it would "
+                "mutate the graph without a recordable delta"
+            )
+        return getattr(self.graph, name)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.graph
+
+    def __len__(self) -> int:
+        return len(self.graph)
+
+    def __iter__(self):
+        return iter(self.graph)
+
+    def __repr__(self) -> str:
+        return (
+            f"<DeltaLog: {self.pending} pending ops over {self.graph!r}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# edit scripts (the CLI `stream` subcommand's replay format)
+# ----------------------------------------------------------------------
+def parse_edit_script(lines: Iterable[str]) -> List[Tuple[int, DeltaOp]]:
+    """Parse a textual edit script into ``(graph_number, op)`` records.
+
+    One op per line, whitespace separated; an optional leading ``g1`` /
+    ``g2`` selects the target graph (default ``g1``); blank lines and
+    ``#`` comments are skipped::
+
+        add_edge u v
+        g2 remove_edge x y
+        add_node w person
+        set_label w company
+        remove_node w
+    """
+    script: List[Tuple[int, DeltaOp]] = []
+    for line_no, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        target = 1
+        if parts[0] in ("g1", "g2"):
+            target = int(parts[0][1])
+            parts = parts[1:]
+        if not parts or parts[0] not in OP_KINDS:
+            raise GraphError(f"edit script line {line_no}: malformed {raw!r}")
+        kind = parts[0]
+        operands = parts[1:]
+        expected = 1 if kind == "remove_node" else 2
+        if len(operands) != expected:
+            raise GraphError(
+                f"edit script line {line_no}: {kind} takes {expected} "
+                f"operand(s), got {len(operands)}"
+            )
+        op = DeltaOp(kind, operands[0], operands[1] if expected == 2 else None)
+        script.append((target, op))
+    return script
+
+
+def apply_script_op(log: DeltaLog, op: DeltaOp) -> None:
+    """Apply one parsed edit-script op through a :class:`DeltaLog`."""
+    if op.kind == "add_node":
+        log.add_node(op.a, op.b)
+    elif op.kind == "add_edge":
+        log.add_edge(op.a, op.b)
+    elif op.kind == "remove_edge":
+        log.remove_edge(op.a, op.b)
+    elif op.kind == "remove_node":
+        log.remove_node(op.a)
+    elif op.kind == "set_label":
+        log.set_label(op.a, op.b)
+    else:  # pragma: no cover - parse_edit_script validates kinds
+        raise GraphError(f"unknown op kind {op.kind!r}")

@@ -1,0 +1,383 @@
+"""Incremental FSim sessions: scores maintained across graph mutations.
+
+The fixed point of Equation 3 is a contraction (Theorem 1), so it
+converges from *any* starting vector -- yet before this subsystem every
+mutation threw the whole computation away: the version bump evicted the
+cached plan and the next query recompiled and re-iterated from the
+L-initialization.  :class:`IncrementalFSim` keeps the computation alive
+instead:
+
+- mutations are recorded through per-graph :class:`~repro.streaming.delta.DeltaLog`
+  wrappers (``session.log1`` / ``session.log2``);
+- on :meth:`IncrementalFSim.compute`, the drained delta is pushed down
+  the stack: the cached :class:`~repro.core.plan.GraphPlan` is patched
+  by array surgery -- one memcpy-bound splice per op
+  (:func:`repro.core.plan.patch_cached_plan`) --,
+  the compiled instance is patched row-wise for edge-only deltas
+  (:func:`repro.streaming.patch.patch_compiled_edges`), and the fixed
+  point is resumed rather than restarted.
+
+Two resumption modes:
+
+``replay`` (default)
+    Replays the previous run's Jacobi trajectory through
+    :meth:`~repro.core.vectorized.VectorizedFSimEngine.iterate_incremental`,
+    re-sweeping only the frontier of pairs the delta touched (directly,
+    or transitively through the dependency CSR).  The result --
+    scores, iteration count, per-iteration deltas -- is **bitwise
+    identical** to a cold recomputation.  Costs
+    ``(iterations + 1) * num_feasible`` floats of trajectory state.
+
+``warm``
+    Classic warm start: iterate from the previous *converged* scores
+    with the delta frontier seeded into the dirty-pair scheduler.
+    Typically converges in a couple of sweeps and needs no trajectory
+    memory, but the scores agree with a cold run only up to the epsilon
+    convergence band (both are valid epsilon-fixed-points).
+
+Out-of-band mutations (anything bypassing the logs, detected through
+the version bracket) trigger a transparent cold resynchronization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.compile import CompiledFSim, compile_fsim
+from repro.core.config import FSimConfig
+from repro.core.engine import FSimEngine, FSimResult, vectorized_fallback_reason
+from repro.core.plan import lower_graph, patch_cached_plan
+from repro.core.vectorized import VectorizedFSimEngine
+from repro.exceptions import ConfigError
+from repro.graph.digraph import LabeledDigraph
+from repro.streaming.delta import Delta, DeltaLog
+from repro.streaming.patch import CompiledPatchError, patch_compiled_edges
+
+MODES = ("replay", "warm")
+
+
+class IncrementalFSim:
+    """One live FSim computation over a mutating graph pair.
+
+    Parameters
+    ----------
+    graph1, graph2:
+        The compared graphs (``graph1 is graph2`` means all-pairs
+        self-similarity; the shared log is then exposed as both ``log1``
+        and ``log2``).
+    config:
+        A :class:`~repro.core.config.FSimConfig`; must be expressible on
+        the vectorized backend (custom init functions / candidate
+        filters / exact matching raise :class:`ConfigError`).
+    mode:
+        ``"replay"`` (bitwise-exact, default) or ``"warm"`` -- see the
+        module docstring.
+    max_trajectory_mb:
+        Upper bound on replay-trajectory memory; a session whose
+        worst-case trajectory would exceed it refuses to start in
+        replay mode (use ``warm`` or raise the bound).
+    """
+
+    def __init__(
+        self,
+        graph1: LabeledDigraph,
+        graph2: LabeledDigraph,
+        config: Optional[FSimConfig] = None,
+        mode: str = "replay",
+        max_trajectory_mb: float = 1024.0,
+    ):
+        config = config or FSimConfig()
+        reason = vectorized_fallback_reason(config)
+        if reason is None and config.backend == "python":
+            reason = "backend='python' requested"
+        if reason is not None:
+            raise ConfigError(
+                f"streaming sessions require the vectorized backend ({reason})"
+            )
+        if mode not in MODES:
+            raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
+        self.graph1 = graph1
+        self.graph2 = graph2
+        self.config = config
+        self.mode = mode
+        self.max_trajectory_mb = float(max_trajectory_mb)
+        self.log1 = DeltaLog(graph1)
+        self.log2 = self.log1 if graph2 is graph1 else DeltaLog(graph2)
+        self._compiled: Optional[CompiledFSim] = None
+        self._trajectory: Optional[List[np.ndarray]] = None  # replay mode
+        self._final: Optional[np.ndarray] = None  # warm mode
+        self._result: Optional[FSimResult] = None
+        self.stats: Dict[str, int] = {
+            "cold_runs": 0,
+            "incremental_runs": 0,
+            "plan_patches": 0,
+            "compiled_patches": 0,
+            "full_recompiles": 0,
+            "out_of_band_resyncs": 0,
+            "iterations": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def compute(self) -> FSimResult:
+        """Bring the scores up to date with the graphs and return them.
+
+        Cold on the first call; incremental afterwards (the cheapest
+        sound path for the drained delta: compiled patch > plan patch +
+        recompile > cold resync).  With no pending mutations the cached
+        result is returned as-is.
+
+        A failure mid-update (e.g. the trajectory memory guard) drops
+        every cached artifact before propagating: the delta was already
+        drained, so serving the pre-delta result on the next call would
+        be silently stale -- instead the next call resynchronizes cold.
+        """
+        try:
+            return self._compute()
+        except Exception:
+            self._compiled = None
+            self._trajectory = None
+            self._final = None
+            self._result = None
+            raise
+
+    def _compute(self) -> FSimResult:
+        delta1 = self.log1.drain()
+        delta2 = delta1 if self.log2 is self.log1 else self.log2.drain()
+        if self._compiled is None:
+            return self._cold()
+        if delta1.out_of_band or delta2.out_of_band:
+            self.stats["out_of_band_resyncs"] += 1
+            return self._cold()
+        if not delta1.ops and not delta2.ops and self._result is not None:
+            return self._result
+        return self._incremental(delta1, delta2)
+
+    @property
+    def result(self) -> Optional[FSimResult]:
+        """The most recent result (None before the first compute)."""
+        return self._result
+
+    @property
+    def trajectory_bytes(self) -> int:
+        """Current replay-state footprint (0 in warm mode)."""
+        if not self._trajectory:
+            return 0
+        return sum(level.nbytes for level in self._trajectory)
+
+    # ------------------------------------------------------------------
+    # cold path
+    # ------------------------------------------------------------------
+    def _check_trajectory_budget(self, num_feasible: int) -> None:
+        worst = (self.config.iteration_budget() + 1) * max(num_feasible, 1) * 8
+        if worst > self.max_trajectory_mb * (1 << 20):
+            raise ConfigError(
+                f"replay trajectory may need {worst / (1 << 20):.0f} MiB "
+                f"(> max_trajectory_mb={self.max_trajectory_mb:g}); "
+                "use mode='warm' or raise the bound"
+            )
+
+    def _cold(self) -> FSimResult:
+        self.stats["cold_runs"] += 1
+        compiled = compile_fsim(self.graph1, self.graph2, self.config)
+        if self.mode == "replay":
+            self._check_trajectory_budget(compiled.num_feasible)
+        engine = VectorizedFSimEngine(compiled)
+        trajectory: Optional[List[np.ndarray]] = (
+            [] if self.mode == "replay" else None
+        )
+        scores, iterations, converged, deltas = engine.iterate(
+            trajectory=trajectory
+        )
+        self._compiled = compiled
+        self._trajectory = trajectory
+        self._final = None if self.mode == "replay" else scores
+        self.stats["iterations"] += iterations
+        return self._wrap(scores, iterations, converged, deltas)
+
+    # ------------------------------------------------------------------
+    # incremental path
+    # ------------------------------------------------------------------
+    def _incremental(self, delta1: Delta, delta2: Delta) -> FSimResult:
+        self.stats["incremental_runs"] += 1
+        self._refresh_plans(delta1, delta2)
+        compiled = self._compiled
+        touched: Optional[np.ndarray] = None
+        dirty0: Optional[np.ndarray] = None
+        try:
+            plan1 = lower_graph(self.graph1)
+            plan2 = lower_graph(self.graph2)
+            touched = patch_compiled_edges(compiled, plan1, plan2,
+                                           delta1, delta2)
+            self.stats["compiled_patches"] += 1
+        except CompiledPatchError:
+            compiled, touched, dirty0 = self._recompile(delta1, delta2)
+        engine = VectorizedFSimEngine(compiled)
+        if self.mode == "replay":
+            scores, iterations, converged, deltas = engine.iterate_incremental(
+                self._trajectory, touched, dirty0
+            )
+        else:
+            seed = touched
+            if dirty0 is not None and dirty0.size:
+                seed = np.union1d(seed, compiled.dependents(dirty0))
+            scores, iterations, converged, deltas = engine.iterate(
+                scores_init=self._final, upd0=seed
+            )
+            self._final = scores
+        self._compiled = compiled
+        self.stats["iterations"] += iterations
+        return self._wrap(scores, iterations, converged, deltas)
+
+    def _refresh_plans(self, delta1: Delta, delta2: Delta) -> None:
+        if delta1.ops and patch_cached_plan(
+            self.graph1, delta1.ops, delta1.base_version
+        ) is not None:
+            self.stats["plan_patches"] += 1
+        if self.graph2 is not self.graph1 and delta2.ops:
+            if patch_cached_plan(
+                self.graph2, delta2.ops, delta2.base_version
+            ) is not None:
+                self.stats["plan_patches"] += 1
+
+    def _recompile(
+        self, delta1: Delta, delta2: Delta
+    ) -> Tuple[CompiledFSim, np.ndarray, Optional[np.ndarray]]:
+        """Full recompile (node/label churn, pruning configs) with the
+        previous state remapped into the new arena."""
+        self.stats["full_recompiles"] += 1
+        old = self._compiled
+        new = compile_fsim(self.graph1, self.graph2, self.config)
+        if self.mode == "replay":
+            # Node churn can grow the arena past the budget the cold
+            # run was admitted under -- recheck before remapping.
+            self._check_trajectory_budget(new.num_feasible)
+        old_ids, new_ids = _arena_mapping(old, new)
+        new_upd_slots = new.maintained & ~new.frozen
+        mapped_slot = np.zeros(new.num_feasible, dtype=bool)
+        mapped_slot[new_ids] = True
+        unmapped = np.flatnonzero(~mapped_slot[new.upd_arena])
+        touched = np.union1d(
+            unmapped, self._affected_positions(new, delta1, delta2)
+        )
+        if self.mode == "replay":
+            base = np.where(new_upd_slots, np.nan, new.scores0)
+            levels = []
+            for level in self._trajectory:
+                remapped = base.copy()
+                remapped[new_ids] = level[old_ids]
+                levels.append(remapped)
+            with np.errstate(invalid="ignore"):
+                dirty0 = np.flatnonzero(levels[0] != new.scores0)
+            levels[0] = new.scores0.copy()
+            self._trajectory = levels
+        else:
+            warm = new.scores0.copy()
+            warm[new_ids] = self._final[old_ids]
+            dirty0 = new.upd_arena[unmapped]
+            self._final = warm
+        return new, touched, dirty0
+
+    def _affected_positions(self, compiled: CompiledFSim, delta1: Delta,
+                            delta2: Delta) -> np.ndarray:
+        """Updatable rows whose update rule a general delta may have
+        changed: rows whose endpoint is a touched node or adjacent to
+        one (a relabeled node changes the entry lists of every pair
+        whose neighborhood contains it, without any edge op naming the
+        pair's own endpoints)."""
+
+        def closure(delta: Delta, graph: LabeledDigraph, index) -> set:
+            nodes = set()
+            for node in delta.touched_nodes():
+                if graph.has_node(node):
+                    nodes.add(node)
+                    nodes.update(graph.neighbors(node))
+            return {index[node] for node in nodes}
+
+        aff1 = closure(delta1, self.graph1, compiled.index1)
+        aff2 = closure(delta2, self.graph2, compiled.index2)
+        mask = np.zeros(compiled.num_updatable, dtype=bool)
+        if aff1:
+            sel = np.zeros(compiled.n1, dtype=bool)
+            sel[list(aff1)] = True
+            mask |= sel[compiled.upd_u]
+        if aff2:
+            sel = np.zeros(compiled.n2, dtype=bool)
+            sel[list(aff2)] = True
+            mask |= sel[compiled.upd_v]
+        return np.flatnonzero(mask)
+
+    # ------------------------------------------------------------------
+    # result assembly
+    # ------------------------------------------------------------------
+    def _wrap(self, scores: np.ndarray, iterations: int, converged: bool,
+              deltas: List[float]) -> FSimResult:
+        cfg = self.config
+        fallback = None
+        if cfg.use_upper_bound and cfg.alpha > 0.0:
+            # A fresh engine per compute is deliberate: the alpha
+            # fallback must answer pruned pairs from the graph state
+            # *this* result was computed on, and the engine snapshots
+            # adjacency at construction.  Upper-bound configs take the
+            # full-recompile path anyway, so the O(V+E) snapshot is not
+            # on the patched fast path.
+            fallback = FSimEngine(
+                self.graph1, self.graph2, cfg
+            ).result_fallback()
+        result = FSimResult(
+            scores=self._compiled.result_scores(scores),
+            config=cfg,
+            iterations=iterations,
+            converged=converged,
+            deltas=list(deltas),
+            num_candidates=self._compiled.num_candidates,
+            fallback=fallback,
+        )
+        self._result = result
+        return result
+
+
+def _arena_mapping(
+    old: CompiledFSim, new: CompiledFSim
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Arena ids of the pairs present -- and updatable -- in both
+    compilations, as parallel ``(old_ids, new_ids)`` arrays."""
+    map1 = np.full(max(old.n1, 1), -1, dtype=np.int64)
+    for i, node in enumerate(old.nodes1):
+        j = new.index1.get(node)
+        if j is not None:
+            map1[i] = j
+    map2 = np.full(max(old.n2, 1), -1, dtype=np.int64)
+    for i, node in enumerate(old.nodes2):
+        j = new.index2.get(node)
+        if j is not None:
+            map2[i] = j
+    if old.num_feasible == 0 or new.num_feasible == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    new_u = map1[old.arena_u.astype(np.int64)]
+    new_v = map2[old.arena_v.astype(np.int64)]
+    valid = (new_u >= 0) & (new_v >= 0)
+    old_ids = np.flatnonzero(valid)
+    if old_ids.size == 0:
+        return old_ids, old_ids
+    if new._pair_id_dense is not None:
+        ids = new._pair_id_dense[new_u[valid], new_v[valid]].astype(np.int64)
+        exists = ids >= 0
+    else:
+        keys = new_u[valid] * max(new.n2, 1) + new_v[valid]
+        pos = np.searchsorted(new._sorted_keys, keys)
+        pos = np.minimum(pos, max(len(new._sorted_keys) - 1, 0))
+        exists = (len(new._sorted_keys) > 0) & (
+            new._sorted_keys[pos] == keys
+        )
+        ids = np.where(exists, new._key_order[pos], -1).astype(np.int64)
+    old_ids = old_ids[exists]
+    new_ids = ids[exists]
+    old_upd = old.maintained & ~old.frozen
+    new_upd = new.maintained & ~new.frozen
+    keep = old_upd[old_ids] & new_upd[new_ids]
+    return old_ids[keep], new_ids[keep]

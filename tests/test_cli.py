@@ -63,6 +63,43 @@ class TestTopK:
             main(["topk", "a", "b"])
 
 
+class TestStream:
+    def test_replays_edit_script(self, tmp_path, capsys):
+        pattern, data = figure1_graphs()
+        path1 = tmp_path / "p.tsv"
+        path2 = tmp_path / "d.tsv"
+        save_graph(pattern, path1)
+        save_graph(data, path2)
+        script = tmp_path / "edits.txt"
+        nodes = [str(node) for node in pattern.nodes()]
+        script.write_text(
+            "# churn on the pattern side\n"
+            f"add_node w {pattern.label(pattern.nodes()[0])}\n"
+            f"add_edge w {nodes[0]}\n"
+            f"remove_edge w {nodes[0]}\n"
+            "remove_node w\n",
+            encoding="utf-8",
+        )
+        code = main(
+            [
+                "stream", str(path1), str(path2),
+                "--script", str(script),
+                "--variant", "bj", "--label-function", "indicator",
+                "--batch", "2", "--top", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# initial:" in out
+        assert "# batch 1:" in out
+        assert "# batch 2:" in out
+        assert "incremental runs" in out
+
+    def test_script_required(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["stream", "a", "b"])
+
+
 class TestExperiment:
     def test_table2(self, capsys):
         assert main(["experiment", "table2"]) == 0

@@ -213,3 +213,130 @@ class TestHelpers:
 
     def test_validate_passes_on_consistent_graph(self):
         build_triangle().validate()
+
+
+class TestVersionCounter:
+    """The plan cache and the streaming layer both key on ``version``:
+    a mutator that forgets to bump serves stale compilations; a no-op
+    that bumps evicts warm ones.  Both directions are enforced here for
+    *every* public mutator (the meta-test below fails when a new public
+    method is neither classified as a mutator nor as read-only)."""
+
+    #: name -> (build fixture graph, invoke mutator once, expected bumps)
+    MUTATORS = {
+        "add_node": lambda g: g.add_node("z", "X"),
+        "add_edge": lambda g: g.add_edge("a", "c"),
+        "add_edge_if_absent": lambda g: g.add_edge_if_absent("a", "c"),
+        "remove_edge": lambda g: g.remove_edge("a", "b"),
+        "remove_node": lambda g: g.remove_node("b"),
+        "set_label": lambda g: g.set_label("a", "Z"),
+        "sort_adjacency": lambda g: g.sort_adjacency(),
+    }
+
+    READ_ONLY = {
+        "has_node", "has_edge", "label", "out_neighbors", "in_neighbors",
+        "neighbors", "out_degree", "in_degree", "nodes", "edges", "labels",
+        "nodes_with_label", "label_histogram", "copy", "reverse",
+        "to_undirected", "same_structure", "validate",
+    }
+
+    NO_OPS = {
+        "add_node (same label)": lambda g: g.add_node("a", "X"),
+        "add_edge_if_absent (existing)": lambda g: g.add_edge_if_absent("a", "b"),
+        "set_label (same label)": lambda g: g.set_label("a", "X"),
+    }
+
+    def test_every_public_mutator_bumps_version(self):
+        for name, mutate in self.MUTATORS.items():
+            g = build_triangle()
+            before = g.version
+            mutate(g)
+            assert g.version > before, f"{name} did not bump version"
+
+    def test_mutators_bump_exactly_once_per_call(self):
+        """One mutator call = one bump (remove_node counts its internal
+        edge removals), the contract the streaming DeltaLog relies on to
+        detect out-of-band edits."""
+        g = build_triangle()
+        before = g.version
+        g.add_edge("a", "c")
+        assert g.version == before + 1
+        before = g.version
+        g.remove_node("b")  # two incident edges + the node itself
+        assert g.version == before + 3
+
+    def test_no_op_calls_do_not_bump(self):
+        for name, invoke in self.NO_OPS.items():
+            g = build_triangle()
+            before = g.version
+            invoke(g)
+            assert g.version == before, f"{name} bumped version"
+
+    def test_failed_mutations_do_not_bump(self):
+        g = build_triangle()
+        before = g.version
+        with pytest.raises(GraphError):
+            g.add_edge("a", "b")  # duplicate
+        with pytest.raises(NodeNotFoundError):
+            g.add_edge("a", "missing")
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge("a", "c")
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node("missing")
+        with pytest.raises(NodeNotFoundError):
+            g.set_label("missing", "Z")
+        assert g.version == before
+
+    def test_every_public_method_is_classified(self):
+        """Fails when a new public method appears without being listed as
+        a mutator (with a bump test above) or as read-only."""
+        public = {
+            name
+            for name in dir(LabeledDigraph)
+            if not name.startswith("_")
+            and callable(getattr(LabeledDigraph, name))
+        }
+        unclassified = public - set(self.MUTATORS) - self.READ_ONLY
+        assert not unclassified, (
+            f"classify new public methods in TestVersionCounter: "
+            f"{sorted(unclassified)}"
+        )
+
+    def test_version_strictly_increases_under_random_scripts(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=30, deadline=None)
+        @given(st.lists(st.integers(min_value=0, max_value=6),
+                        min_size=1, max_size=25),
+               st.randoms(use_true_random=False))
+        def run(choices, rng):
+            g = build_triangle()
+            for choice in choices:
+                nodes = list(g.nodes())
+                before = g.version
+                changed = True
+                if choice == 0:
+                    g.add_node(f"n{g.version}", "X")
+                elif choice == 1 and len(nodes) >= 2:
+                    s, t = rng.sample(nodes, 2)
+                    changed = g.add_edge_if_absent(s, t)
+                elif choice == 2 and g.num_edges:
+                    g.remove_edge(*rng.choice(list(g.edges())))
+                elif choice == 3 and len(nodes) > 1:
+                    g.remove_node(rng.choice(nodes))
+                elif choice == 4 and nodes:
+                    node = rng.choice(nodes)
+                    changed = g.label(node) != "W"
+                    g.set_label(node, "W")
+                elif choice == 5:
+                    g.sort_adjacency()
+                else:
+                    changed = False
+                if changed:
+                    assert g.version > before
+                else:
+                    assert g.version == before
+                g.validate()
+
+        run()
