@@ -72,18 +72,21 @@ class FSimAligner:
         self,
         graphs1: Sequence[LabeledDigraph],
         graph2: LabeledDigraph,
-        workers: int = 1,
+        workers: Optional[int] = None,
+        executor=None,
     ) -> List[Alignment]:
         """Align several graph versions against one shared target.
 
         The paper's evolving-version workload (Table 9) repeatedly
         aligns versions of the same RDF graph; batching through
         :func:`~repro.core.api.fsim_matrix_many` lowers the shared
-        target once and optionally shards whole versions over a fork
-        pool.  Returns one alignment per input graph, in order.
+        target once and optionally shards whole versions over the
+        :mod:`repro.runtime` executor.  Returns one alignment per input
+        graph, in order.
         """
         results = fsim_matrix_many(
-            graphs1, graph2, config=self.config, workers=workers
+            graphs1, graph2, config=self.config, workers=workers,
+            executor=executor,
         )
         return [
             self._project(graph1, result)

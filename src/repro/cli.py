@@ -34,6 +34,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.core.config import EXECUTOR_KINDS
 from repro.simulation.base import Variant
 
 
@@ -57,6 +58,7 @@ def _cmd_fsim(args) -> int:
         theta=args.theta,
         label_function=args.label_function,
         workers=args.workers,
+        executor=args.executor,
         backend=args.backend,
     )
     print(
@@ -84,7 +86,7 @@ def _cmd_topk(args) -> int:
         backend=args.backend,
     )
     results = TopKSearch(graph1, graph2, config).search_many(
-        args.query, args.k
+        args.query, args.k, workers=args.workers, executor=args.executor
     )
     for result in results:
         status = "certified" if result.certified else "best-effort"
@@ -118,7 +120,10 @@ def _cmd_stream(args) -> int:
     )
     with open(args.script, "r", encoding="utf-8") as handle:
         script = parse_edit_script(handle)
-    session = IncrementalFSim(graph1, graph2, config, mode=args.mode)
+    session = IncrementalFSim(
+        graph1, graph2, config, mode=args.mode,
+        workers=args.workers, executor=args.executor,
+    )
     start = time.perf_counter()
     result = session.compute()
     print(
@@ -236,7 +241,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fsim.add_argument("--theta", type=float, default=0.0)
     fsim.add_argument("--label-function", default="jaro_winkler")
-    fsim.add_argument("--workers", type=int, default=1)
+    fsim.add_argument("--workers", type=int, default=None)
+    fsim.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_KINDS), default=None,
+        help="parallel runtime (auto = shared-memory executor for sweeps)",
+    )
     fsim.add_argument(
         "--backend", choices=["auto", "python", "numpy"], default="auto",
         help="compute backend (auto = vectorized engine when expressible)",
@@ -264,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["auto", "python", "numpy"], default="auto",
         help="compute backend (auto = vectorized engine when expressible)",
     )
+    topk.add_argument("--workers", type=int, default=None)
+    topk.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_KINDS), default=None,
+        help="parallel runtime (auto = shared-memory executor for sweeps)",
+    )
     topk.set_defaults(handler=_cmd_topk)
 
     stream = commands.add_parser(
@@ -290,6 +306,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--theta", type=float, default=0.0)
     stream.add_argument("--label-function", default="jaro_winkler")
+    stream.add_argument("--workers", type=int, default=None)
+    stream.add_argument(
+        "--executor",
+        choices=list(EXECUTOR_KINDS), default=None,
+        help="parallel runtime (auto = shared-memory executor for sweeps)",
+    )
     stream.add_argument("--top", type=int, default=10, help="pairs to print")
     stream.set_defaults(handler=_cmd_stream)
 

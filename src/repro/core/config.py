@@ -19,7 +19,10 @@ Mirrors the paper's knobs:
   (the dict-based reference engine), "numpy" (the vectorized
   integer-indexed engine of :mod:`repro.core.vectorized`), or "auto"
   (numpy when the configuration is expressible and the problem is large
-  enough to amortize compilation; see docs/PERF.md).
+  enough to amortize compilation; see docs/PERF.md);
+- ``workers`` / ``executor`` -- the parallel runtime (Section 3.4 /
+  Figure 9a): how many worker processes share each iteration's pair
+  updates and which :mod:`repro.runtime` executor runs them.
 """
 
 from __future__ import annotations
@@ -33,6 +36,9 @@ from repro.labels.similarity import LabelSimilarity, get_label_function
 from repro.simulation.base import Variant
 
 Pair = Tuple[Hashable, Hashable]
+
+#: Recognised parallel-runtime executor kinds (see :mod:`repro.runtime`).
+EXECUTOR_KINDS = ("auto", "serial", "fork", "shared_memory")
 
 
 @dataclass(frozen=True)
@@ -65,6 +71,15 @@ class FSimConfig:
     #: configuration supports it (falling back to the reference Python
     #: engine otherwise), "python"/"numpy" force a specific backend.
     backend: str = "auto"
+    #: Worker processes for the parallel runtime (Section 3.4 /
+    #: Figure 9a): 1 = in-process serial.  Per-call ``workers=``
+    #: arguments override this default.
+    workers: int = 1
+    #: Which :mod:`repro.runtime` executor runs parallel work: "auto"
+    #: (shared-memory runtime for vectorized sweeps, fork inheritance
+    #: for dict engines where the platform forks), "serial", "fork" or
+    #: "shared_memory".  Results are bitwise identical across executors.
+    executor: str = "auto"
 
     def __post_init__(self):
         variant = Variant(self.variant)
@@ -100,6 +115,13 @@ class FSimConfig:
             )
         if self.max_iterations is not None and self.max_iterations < 1:
             raise ConfigError("max_iterations must be positive when given")
+        if int(self.workers) < 1:
+            raise ConfigError(f"workers must be positive, got {self.workers}")
+        if self.executor not in EXECUTOR_KINDS:
+            raise ConfigError(
+                f"executor must be one of {EXECUTOR_KINDS}, "
+                f"got {self.executor!r}"
+            )
 
     @property
     def w_label(self) -> float:

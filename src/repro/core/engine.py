@@ -218,6 +218,26 @@ def load_scores(path) -> Dict[Pair, float]:
     return scores
 
 
+def update_pairs(engine: "FSimEngine", pairs, prev) -> Tuple[Dict[Pair, float], float]:
+    """One Jacobi step of the reference engine over ``pairs``.
+
+    Returns the new scores of exactly those pairs plus their max
+    absolute change vs ``prev`` -- the primitive the serial loop runs
+    whole and every :mod:`repro.runtime` executor runs shard-wise, so
+    the bitwise-parity contract between serial and sharded iteration
+    has one source of truth.
+    """
+    partial: Dict[Pair, float] = {}
+    delta = 0.0
+    for pair in pairs:
+        value = engine.update_pair(pair[0], pair[1], prev)
+        partial[pair] = value
+        change = abs(value - prev[pair])
+        if change > delta:
+            delta = change
+    return partial, delta
+
+
 class FSimEngine:
     """Computes fractional chi-simulation scores between two graphs.
 
@@ -427,59 +447,36 @@ class FSimEngine:
         )
         return min(max(score, 0.0), 1.0)
 
-    def run(self, workers: int = 1) -> FSimResult:
+    def run(self, workers: Optional[int] = None,
+            executor=None) -> FSimResult:
         """Run Algorithm 1 to convergence and return the scores.
 
         The computation is dispatched to the backend selected by
         ``config.backend``: the vectorized numpy engine
         (:mod:`repro.core.vectorized`) where expressible, the reference
         loop below otherwise.  ``workers > 1`` distributes each
-        iteration's pair updates over a process pool (see
-        :mod:`repro.core.parallel`).
+        iteration's pair updates over the :mod:`repro.runtime` executor
+        (``executor`` -- a kind name or an
+        :class:`~repro.runtime.executor.Executor` instance -- overrides
+        ``config.executor``); parallel results are bitwise identical to
+        serial iteration on both backends.
         """
-        if workers < 1:
+        from repro.runtime import resolve_executor
+
+        if workers is not None and workers < 1:
             raise ConfigError(f"workers must be positive, got {workers}")
         if self._resolve_backend() == "numpy":
             from repro.core.vectorized import run_vectorized
 
-            return run_vectorized(self, workers=workers)
-        if workers > 1:
-            from repro.core.parallel import run_parallel
+            return run_vectorized(
+                self,
+                executor=resolve_executor(
+                    self.config, workers, executor, workload="sweep"
+                ),
+            )
+        from repro.runtime.driver import run_reference_engine
 
-            return run_parallel(self, workers)
-        cfg = self.config
-        pinned = cfg.pinned_pairs or {}
-        candidates = self.candidates()
-        prev = self.initial_scores()
-        deltas: List[float] = []
-        converged = False
-        iterations = 0
-        for _ in range(cfg.iteration_budget()):
-            iterations += 1
-            current: Dict[Pair, float] = {}
-            delta = 0.0
-            for pair in candidates:
-                if pair in pinned:
-                    current[pair] = pinned[pair]
-                    continue
-                value = self.update_pair(pair[0], pair[1], prev)
-                current[pair] = value
-                change = abs(value - prev[pair])
-                if change > delta:
-                    delta = change
-            for pair, value in pinned.items():
-                current[pair] = value
-            prev = current
-            deltas.append(delta)
-            if delta < cfg.epsilon:
-                converged = True
-                break
-        return FSimResult(
-            scores=prev,
-            config=cfg,
-            iterations=iterations,
-            converged=converged,
-            deltas=deltas,
-            num_candidates=len(candidates),
-            fallback=self.result_fallback(),
+        resolved = resolve_executor(
+            self.config, workers, executor, workload="pairs"
         )
+        return run_reference_engine(self, resolved)

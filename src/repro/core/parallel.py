@@ -1,223 +1,63 @@
-"""Process-parallel execution of Algorithm 1 (Section 3.4, Figure 9a).
+"""Deprecated shims over the unified executor runtime.
 
-The k-th iteration reads only iteration k-1 scores, so pair updates are
-independent ("can be completed in parallel without any conflicts").  The
-paper round-robins pairs over threads; pure-Python is GIL-bound, so this
-module shards the candidate pairs over *processes* instead.
-
-Both backends share the same shape: the pool is forked **once** per run
-with the immutable state (engine / compiled arrays) already in memory,
-and only the per-iteration mutable state crosses the process boundary --
-the previous-iteration scores.  For the reference engine that is the
-score dict; for the numpy backend it is one contiguous ``float64`` array,
-and the dirty pair-id positions are sharded as contiguous ranges (each
-worker sweeps one pair-id range and returns one value array).
+The three fork-pool entry points that used to live here --
+``run_parallel``, ``run_many_parallel`` and
+``iterate_vectorized_parallel`` -- are now one layer,
+:mod:`repro.runtime`: an :class:`~repro.runtime.executor.Executor`
+protocol with serial, fork-inheritance and persistent shared-memory
+implementations shared by the engine, the batched top-k search and the
+streaming sessions.  These wrappers keep the old call signatures alive
+for external callers; new code should pass ``workers=`` /
+``executor=`` to the public APIs or resolve an executor directly via
+:func:`repro.runtime.resolve_executor`.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import warnings
-from typing import Dict, Hashable, List, Tuple
-
-Pair = Tuple[Hashable, Hashable]
-
-# Worker state inherited through fork (set immediately before Pool creation).
-_SHARED: dict = {}
+from typing import List
 
 
-def _fork_context():
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return None
-
-
-# ----------------------------------------------------------------------
-# reference (dict) backend
-# ----------------------------------------------------------------------
-def _update_shard(args) -> Dict[Pair, float]:
-    shard_index, prev = args
-    engine = _SHARED["engine"]
-    shard = _SHARED["shards"][shard_index]
-    return {pair: engine.update_pair(pair[0], pair[1], prev) for pair in shard}
-
-
-def run_parallel(engine, workers: int):
-    """Run ``engine`` with pair updates sharded over ``workers`` processes.
-
-    Falls back to the serial path when the platform cannot fork.  The
-    pool is created once and reused across iterations (fork cost is paid
-    once per run, not once per iteration); each iteration ships only the
-    previous-iteration score map to the workers.  Returns the same
-    :class:`~repro.core.engine.FSimResult` as ``engine.run()``.
-    """
-    from repro.core.engine import FSimResult
-
-    context = _fork_context()
-    if context is None:  # pragma: no cover - non-POSIX platforms
-        warnings.warn("fork unavailable; running serially", RuntimeWarning)
-        return engine.run(workers=1)
-
-    cfg = engine.config
-    pinned = cfg.pinned_pairs or {}
-    candidates = [pair for pair in engine.candidates() if pair not in pinned]
-    shards: List[List[Pair]] = [candidates[i::workers] for i in range(workers)]
-    prev = engine.initial_scores()
-    deltas: List[float] = []
-    converged = False
-    iterations = 0
-    _SHARED["engine"] = engine
-    _SHARED["shards"] = shards
-    try:
-        with context.Pool(processes=workers) as pool:
-            for _ in range(cfg.iteration_budget()):
-                iterations += 1
-                partials = pool.map(
-                    _update_shard, [(i, prev) for i in range(workers)]
-                )
-                current: Dict[Pair, float] = {}
-                for partial in partials:
-                    current.update(partial)
-                for pair, value in pinned.items():
-                    current[pair] = value
-                delta = 0.0
-                for pair, value in current.items():
-                    change = abs(value - prev.get(pair, 0.0))
-                    if change > delta:
-                        delta = change
-                prev = current
-                deltas.append(delta)
-                if delta < cfg.epsilon:
-                    converged = True
-                    break
-    finally:
-        _SHARED.clear()
-    return FSimResult(
-        scores=prev,
-        config=cfg,
-        iterations=iterations,
-        converged=converged,
-        deltas=deltas,
-        num_candidates=len(candidates) + len(pinned),
-        fallback=engine.result_fallback(),
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.core.parallel.{name} is deprecated; use the "
+        "repro.runtime executor layer instead",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
-# ----------------------------------------------------------------------
-# multi-query workloads: shard whole queries over the pool
-# ----------------------------------------------------------------------
-def _run_query_shard(shard_index: int) -> List[tuple]:
-    engines = _SHARED["engines"]
-    out = []
-    for position in _SHARED["query_shards"][shard_index]:
-        result = engines[position].run(workers=1)
-        # The fallback callable is a bound method of the worker's engine
-        # copy; the parent reattaches its own instead of pickling it.
-        out.append((
-            position, result.scores, result.iterations, result.converged,
-            result.deltas, result.num_candidates,
-        ))
-    return out
+def run_parallel(engine, workers: int):
+    """Deprecated: ``engine.run(workers=...)`` routes through
+    :mod:`repro.runtime`.  Like the legacy entry point, this always
+    runs the reference (dict) engine's iteration -- pair updates
+    sharded over worker processes, bitwise identical to its serial
+    loop -- regardless of what ``config.backend`` would resolve."""
+    _deprecated("run_parallel")
+    from repro.runtime import resolve_executor
+    from repro.runtime.driver import run_reference_engine
+
+    executor = resolve_executor(None, workers, None, workload="pairs")
+    return run_reference_engine(engine, executor)
 
 
 def run_many_parallel(engines: List, workers: int) -> List:
-    """Run many independent FSim computations, one whole query per task.
+    """Deprecated: whole-query sharding now lives in
+    :func:`repro.runtime.driver.run_engines`."""
+    _deprecated("run_many_parallel")
+    from repro.runtime import resolve_executor
+    from repro.runtime.driver import run_engines
 
-    The unit of parallelism is the *query* (an :class:`FSimEngine`), not
-    a pair range: each worker runs ``engine.run(workers=1)`` for its
-    shard and ships back the result fields.  Graphs shared by several
-    engines (the common data graph of a batch workload) are lowered in
-    the parent first, so the forked workers inherit the cached plan
-    instead of recompiling it per process.  Returns one
-    :class:`~repro.core.engine.FSimResult` per engine, in input order.
-    """
-    from repro.core.engine import FSimResult
-
-    context = _fork_context()
-    if context is None or workers < 2 or len(engines) < 2:
-        return [engine.run(workers=1) for engine in engines]
-
-    # Warm the plan cache for graphs referenced by more than one
-    # numpy-backed engine (typically the shared data graph).
-    shared_counts: Dict[int, int] = {}
-    for engine in engines:
-        for graph in (engine.graph1, engine.graph2):
-            shared_counts[id(graph)] = shared_counts.get(id(graph), 0) + 1
-    warmed = set()
-    for engine in engines:
-        if engine._resolve_backend() != "numpy":
-            continue
-        from repro.core.plan import lower_graph  # numpy-only dependency
-
-        for graph in (engine.graph1, engine.graph2):
-            if shared_counts[id(graph)] > 1 and id(graph) not in warmed:
-                warmed.add(id(graph))
-                lower_graph(graph)
-
-    workers = min(workers, len(engines))
-    shards = [list(range(len(engines)))[i::workers] for i in range(workers)]
-    _SHARED["engines"] = engines
-    _SHARED["query_shards"] = shards
-    try:
-        with context.Pool(processes=workers) as pool:
-            partials = pool.map(_run_query_shard, range(workers))
-    finally:
-        _SHARED.clear()
-    results: List = [None] * len(engines)
-    for partial in partials:
-        for position, scores, iterations, converged, deltas, count in partial:
-            engine = engines[position]
-            results[position] = FSimResult(
-                scores=scores,
-                config=engine.config,
-                iterations=iterations,
-                converged=converged,
-                deltas=deltas,
-                num_candidates=count,
-                fallback=engine.result_fallback(),
-            )
-    return results
-
-
-# ----------------------------------------------------------------------
-# numpy backend: shard the dirty pair-id positions as contiguous ranges
-# ----------------------------------------------------------------------
-def _sweep_shard(args):
-    scores, upd_range = args
-    return _SHARED["vectorized"].sweep(scores, upd_range)
+    executor = resolve_executor(None, workers, None, workload="queries")
+    return run_engines(engines, executor)
 
 
 def iterate_vectorized_parallel(vectorized, workers: int):
-    """The vectorized fixed-point loop with sweeps sharded over processes.
+    """Deprecated: the vectorized loop takes an executor sweep session
+    (see :meth:`repro.runtime.executor.Executor.sweep_session`)."""
+    _deprecated("iterate_vectorized_parallel")
+    from repro.runtime import resolve_executor
 
-    The compiled arrays are inherited through fork once; every iteration
-    splits the dirty pair positions into ``workers`` contiguous pair-id
-    ranges and ships only ``(scores array, range)`` per task.  Returns
-    the ``(scores, iterations, converged, deltas)`` tuple of
-    :meth:`~repro.core.vectorized.VectorizedFSimEngine.iterate`.
-    """
-    import numpy as np
-
-    context = _fork_context()
-    if context is None:  # pragma: no cover - non-POSIX platforms
-        warnings.warn("fork unavailable; running serially", RuntimeWarning)
-        return vectorized.iterate()
-
-    _SHARED["vectorized"] = vectorized
-    try:
-        with context.Pool(processes=workers) as pool:
-
-            def sweep(scores, upd):
-                if upd.size < workers:
-                    return vectorized.sweep(scores, upd)
-                shards = np.array_split(upd, workers)
-                parts = pool.map(
-                    _sweep_shard,
-                    [(scores, shard) for shard in shards if shard.size],
-                )
-                return np.concatenate(parts)
-
-            return vectorized.iterate(sweep=sweep)
-    finally:
-        _SHARED.clear()
+    executor = resolve_executor(None, workers, None, workload="sweep")
+    with executor.sweep_session(vectorized) as sweep:
+        return vectorized.iterate(sweep=sweep)

@@ -118,19 +118,29 @@ class TopKSearch:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def search(self, query: Node, k: int) -> TopKResult:
+    def search(self, query: Node, k: int,
+               workers: Optional[int] = None,
+               executor=None) -> TopKResult:
         """Return the certified top-k partners of ``query``."""
-        return self.search_many([query], k)[0]
+        return self.search_many([query], k, workers=workers,
+                                executor=executor)[0]
 
-    def search_many(self, queries: Sequence[Node], k: int) -> List[TopKResult]:
+    def search_many(self, queries: Sequence[Node], k: int,
+                    workers: Optional[int] = None,
+                    executor=None) -> List[TopKResult]:
         """Certified top-k for every query node, from one shared run.
 
         Returns one :class:`TopKResult` per query, in input order.  Each
         result is identical to what a solo :meth:`search` would return:
         the score trajectory does not depend on the query set, and each
         query retires the first iteration its certification criterion
-        holds.
+        holds.  ``workers > 1`` runs the shared iteration loop on the
+        :mod:`repro.runtime` executor (the batch shares one sweep
+        session -- and, with the shared-memory executor, one persistent
+        pool); results are bitwise identical to the serial loop.
         """
+        from repro.runtime import resolve_executor
+
         if k < 1:
             raise ConfigError(f"k must be positive, got {k}")
         queries = list(queries)
@@ -139,9 +149,14 @@ class TopKSearch:
                 raise ConfigError(f"query node {query!r} not in graph1")
         if not queries:
             return []
+        config = self.engine.config
         if self.engine._resolve_backend() == "numpy":
-            return self._search_many_numpy(queries, k)
-        return self._search_many_python(queries, k)
+            resolved = resolve_executor(config, workers, executor,
+                                        workload="sweep")
+            return self._search_many_numpy(queries, k, resolved)
+        resolved = resolve_executor(config, workers, executor,
+                                    workload="pairs")
+        return self._search_many_python(queries, k, resolved)
 
     # ------------------------------------------------------------------
     # the certification rule (shared by both backends)
@@ -163,7 +178,11 @@ class TopKSearch:
     # ------------------------------------------------------------------
     # reference (dict) backend
     # ------------------------------------------------------------------
-    def _search_many_python(self, queries, k):
+    def _search_many_python(self, queries, k, executor):
+        from repro.runtime.executor import round_robin_shards
+
+        from repro.core.engine import update_pairs
+
         engine = self.engine
         cfg = engine.config
         pinned = cfg.pinned_pairs or {}
@@ -180,34 +199,34 @@ class TopKSearch:
         results: List[Optional[TopKResult]] = [None] * len(queries)
         active = list(range(len(queries)))
         iterations = 0
-        for _ in range(cfg.iteration_budget()):
-            iterations += 1
-            current: Dict[tuple, float] = {}
-            delta = 0.0
-            for pair in updatable:
-                value = engine.update_pair(pair[0], pair[1], prev)
-                current[pair] = value
-                change = abs(value - prev[pair])
-                if change > delta:
-                    delta = change
-            for pair, value in pinned.items():
-                current[pair] = value
-            prev = current
-            bound = delta * self._decay / (1.0 - self._decay)
-            converged = delta < cfg.epsilon
-            remaining = []
-            for position in active:
-                row = rows[queries[position]].ranked(prev)
-                if self._retire(row, k, bound, converged):
-                    results[position] = TopKResult(
-                        query=queries[position], partners=row[:k],
-                        iterations=iterations, certified=True,
-                    )
+        shards = round_robin_shards(updatable, executor.workers)
+        with executor.pair_session(engine, shards) as step:
+            for _ in range(cfg.iteration_budget()):
+                iterations += 1
+                if step is not None:
+                    current, delta = step(prev)
                 else:
-                    remaining.append(position)
-            active = remaining
-            if not active:
-                break
+                    # The in-process form of the same Jacobi step the
+                    # executors run shard-wise.
+                    current, delta = update_pairs(engine, updatable, prev)
+                for pair, value in pinned.items():
+                    current[pair] = value
+                prev = current
+                bound = delta * self._decay / (1.0 - self._decay)
+                converged = delta < cfg.epsilon
+                remaining = []
+                for position in active:
+                    row = rows[queries[position]].ranked(prev)
+                    if self._retire(row, k, bound, converged):
+                        results[position] = TopKResult(
+                            query=queries[position], partners=row[:k],
+                            iterations=iterations, certified=True,
+                        )
+                    else:
+                        remaining.append(position)
+                active = remaining
+                if not active:
+                    break
         for position in active:  # iteration budget exhausted: best effort
             row = rows[queries[position]].ranked(prev)
             results[position] = TopKResult(
@@ -219,7 +238,7 @@ class TopKSearch:
     # ------------------------------------------------------------------
     # compiled (numpy) backend
     # ------------------------------------------------------------------
-    def _search_many_numpy(self, queries, k):
+    def _search_many_numpy(self, queries, k, executor):
         import numpy as np
 
         from repro.core.compile import compile_fsim
@@ -283,52 +302,58 @@ class TopKSearch:
         results: List[Optional[TopKResult]] = [None] * len(queries)
         active = list(range(len(queries)))
         iterations = 0
-        for _ in range(cfg.iteration_budget()):
-            iterations += 1
-            if upd.size:
-                new_values = vectorized.sweep(scores, upd)
-                arena_ids = compiled.upd_arena[upd]
-                change = np.abs(new_values - scores[arena_ids])
-                delta = float(change.max())
-                scores[arena_ids] = new_values
-                dirty = arena_ids[change > vectorized.dirty_tolerance]
-            else:
-                delta = 0.0
-                dirty = np.empty(0, dtype=np.int64)
-            bound = delta * self._decay / (1.0 - self._decay)
-            converged = delta < cfg.epsilon
-            remaining = []
-            for position in active:
-                query = queries[position]
-                values = row_values(query, scores)
-                # The array form of _retire: the separation test reads
-                # the k-th and (k+1)-th largest *values*, which the repr
-                # tie-break (a permutation of equal values) cannot
-                # affect -- an O(n) partition answers it, and the row is
-                # only sorted/materialized when the query retires.
-                if converged:
-                    retire = True
-                elif values.size <= k:
-                    retire = False
+        with executor.sweep_session(vectorized) as sweep:
+            sweep = sweep or vectorized.sweep
+            for _ in range(cfg.iteration_budget()):
+                iterations += 1
+                if upd.size:
+                    new_values = sweep(scores, upd)
+                    arena_ids = compiled.upd_arena[upd]
+                    change = np.abs(new_values - scores[arena_ids])
+                    delta = float(change.max())
+                    scores[arena_ids] = new_values
+                    dirty = arena_ids[change > vectorized.dirty_tolerance]
                 else:
-                    split = values.size - k - 1
-                    part = np.partition(values, split)
-                    kth_best = part[split + 1:].min()
-                    next_best = part[split]
-                    retire = bool(kth_best - bound >= next_best + bound)
-                if retire:
-                    order = row_order(query, values)
-                    results[position] = TopKResult(
-                        query=query,
-                        partners=top_partners(query, values, order, k),
-                        iterations=iterations, certified=True,
-                    )
-                else:
-                    remaining.append(position)
-            active = remaining
-            if not active:
-                break
-            upd = compiled.dependents(dirty)
+                    delta = 0.0
+                    dirty = np.empty(0, dtype=np.int64)
+                bound = delta * self._decay / (1.0 - self._decay)
+                converged = delta < cfg.epsilon
+                remaining = []
+                for position in active:
+                    query = queries[position]
+                    values = row_values(query, scores)
+                    # The array form of _retire: the separation test
+                    # reads the k-th and (k+1)-th largest *values*,
+                    # which the repr tie-break (a permutation of equal
+                    # values) cannot affect -- an O(n) partition answers
+                    # it, and the row is only sorted/materialized when
+                    # the query retires.
+                    if converged:
+                        retire = True
+                    elif values.size <= k:
+                        retire = False
+                    else:
+                        split = values.size - k - 1
+                        part = np.partition(values, split)
+                        kth_best = part[split + 1:].min()
+                        next_best = part[split]
+                        retire = bool(kth_best - bound >= next_best + bound)
+                    if retire:
+                        order = row_order(query, values)
+                        results[position] = TopKResult(
+                            query=query,
+                            partners=top_partners(query, values, order, k),
+                            iterations=iterations, certified=True,
+                        )
+                    else:
+                        remaining.append(position)
+                active = remaining
+                if not active:
+                    break
+                upd = compiled.dependents(dirty)
+            # Release the last sweep's zero-copy out-buffer view before
+            # the session closes its shared-memory blocks.
+            new_values = None  # noqa: F841
         for position in active:  # iteration budget exhausted: best effort
             query = queries[position]
             values = row_values(query, scores)

@@ -71,9 +71,18 @@ class VectorizedFSimEngine:
     # ------------------------------------------------------------------
     # one synchronous sweep over the dirty pairs
     # ------------------------------------------------------------------
-    def sweep(self, scores: np.ndarray, upd: np.ndarray) -> np.ndarray:
+    def sweep(self, scores: np.ndarray, upd: np.ndarray,
+              out: Optional[np.ndarray] = None) -> np.ndarray:
         """Equation-3 values of the pairs at positions ``upd`` (reading
-        the pre-sweep ``scores`` only, Jacobi style)."""
+        the pre-sweep ``scores`` only, Jacobi style).
+
+        ``out``, when given, receives the values in place (the
+        shared-memory executor points it at a worker's range of the
+        shared output buffer, so results never cross the process
+        boundary by pickling).  The clamping operations are identical
+        either way -- the out-form is bitwise equal to the returned
+        array.
+        """
         compiled = self.compiled
         cfg = compiled.config
         self._rank_cache = None
@@ -88,7 +97,12 @@ class VectorizedFSimEngine:
             + cfg.w_in * in_vals
             + cfg.w_label * compiled.upd_label[upd]
         )
-        return np.minimum(np.maximum(raw, 0.0), 1.0)
+        if out is None:
+            return np.minimum(np.maximum(raw, 0.0), 1.0)
+        raw = np.asarray(raw, dtype=np.float64)
+        np.maximum(raw, 0.0, out=raw)
+        np.minimum(raw, 1.0, out=out)
+        return out
 
     def _term(self, scores: np.ndarray, upd: np.ndarray,
               term: DirectionTerm) -> np.ndarray:
@@ -379,6 +393,7 @@ class VectorizedFSimEngine:
         trajectory: List[np.ndarray],
         touched: np.ndarray,
         dirty0: Optional[np.ndarray] = None,
+        sweep: Optional[SweepFn] = None,
     ) -> Tuple[np.ndarray, int, bool, List[float]]:
         """Replay the cold Jacobi trajectory after a structural delta.
 
@@ -410,6 +425,7 @@ class VectorizedFSimEngine:
         :meth:`iterate` on the same compiled instance.
         """
         compiled = self.compiled
+        sweep = sweep or self.sweep
         epsilon = compiled.config.epsilon
         num_updatable = compiled.num_updatable
         touched = np.unique(np.asarray(touched, dtype=np.int64))
@@ -437,7 +453,7 @@ class VectorizedFSimEngine:
                 else:
                     upd = np.union1d(touched, deps)
             if upd.size:
-                new_values = self.sweep(prev, upd)
+                new_values = sweep(prev, upd)
                 arena_ids = compiled.upd_arena[upd]
                 previous_run = cur[arena_ids]
                 cur[arena_ids] = new_values
@@ -457,26 +473,28 @@ class VectorizedFSimEngine:
         return trajectory[iterations], iterations, converged, deltas
 
 
-def run_vectorized(engine, workers: int = 1):
+def run_vectorized(engine, workers: Optional[int] = None, executor=None):
     """Run ``engine``'s computation on the numpy backend.
 
     ``engine`` is a :class:`repro.core.engine.FSimEngine`; the caller has
     already checked :func:`repro.core.engine.vectorized_fallback_reason`.
-    Returns the same :class:`~repro.core.engine.FSimResult` the reference
-    engine would (scores within float tolerance, same iteration count).
+    ``executor`` (an :class:`repro.runtime.executor.Executor`, a kind
+    name, or ``None`` to resolve from the config / ``workers``) runs the
+    sweeps; every executor returns the same
+    :class:`~repro.core.engine.FSimResult` bit for bit.
     """
     from repro.core.engine import FSimResult
+    from repro.runtime import resolve_executor
 
     compiled = compile_fsim(engine.graph1, engine.graph2, engine.config)
     vectorized = VectorizedFSimEngine(compiled)
-    if workers > 1:
-        from repro.core.parallel import iterate_vectorized_parallel
-
-        scores, iterations, converged, deltas = iterate_vectorized_parallel(
-            vectorized, workers
+    resolved = resolve_executor(
+        engine.config, workers, executor, workload="sweep"
+    )
+    with resolved.sweep_session(vectorized) as sweep:
+        scores, iterations, converged, deltas = vectorized.iterate(
+            sweep=sweep
         )
-    else:
-        scores, iterations, converged, deltas = vectorized.iterate()
     return FSimResult(
         scores=compiled.result_scores(scores),
         config=engine.config,

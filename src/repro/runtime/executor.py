@@ -1,0 +1,889 @@
+"""Executor implementations for the unified parallel runtime.
+
+An :class:`Executor` exposes three workload shapes, each a superset of
+one legacy ``repro.core.parallel`` entry point:
+
+``sweep_session(vectorized)``
+    Context manager yielding a drop-in ``sweep(scores, upd)`` for the
+    vectorized fixed-point loop (or ``None`` to keep the caller's own
+    serial sweep).  The parallel form shards the dirty pair positions
+    into contiguous ranges.
+
+``pair_session(engine, shards)``
+    Context manager yielding ``step(prev) -> (scores, max_delta)`` for
+    the reference (dict) engine: one synchronous Jacobi iteration over
+    the pre-sharded candidate pairs, with the max-delta reduction done
+    shard-locally in the workers (or ``None`` for serial).
+
+``run_queries(engines)``
+    Whole-query sharding for multi-query batches.  Returns a list of
+    ``(position, scores, iterations, converged, deltas, num_candidates)``
+    tuples, or ``None`` to make the caller run serially.
+
+Pools are created **lazily**: a session that never crosses the parallel
+threshold (every sweep's dirty set is tiny) never spawns a process --
+the old ``iterate_vectorized_parallel`` forked a pool up front even
+when all sweeps ran serially anyway.
+
+The :class:`SharedMemoryExecutor` is the production runtime: one
+persistent pool (reused across queries, top-k batches and streaming
+updates) plus a parent-owned shared-memory arena double-buffering the
+sweep state (scores in, Equation-3 values out).  Per sweep, the only
+task payload is a pair-id range descriptor; workers write results
+directly into the output buffer, so no per-iteration array crosses the
+process boundary in either direction.  Session state (the compiled
+arrays) is broadcast once per session through a pickled shared-memory
+block, which also makes the executor start-method agnostic: it runs
+under ``spawn`` where fork is unavailable.
+"""
+
+from __future__ import annotations
+
+import atexit
+import copy
+import itertools
+import multiprocessing
+import threading
+import os
+import pickle
+import struct
+import warnings
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import EXECUTOR_KINDS
+from repro.core.engine import update_pairs
+from repro.exceptions import ConfigError
+
+#: Sweeps with fewer dirty positions than this never leave the parent
+#: process: per-task dispatch overhead (hundreds of microseconds per
+#: worker) dwarfs the vectorized sweep arithmetic below it.  Also the
+#: pool-spawn gate -- a session whose sweeps all stay below it never
+#: creates a pool at all (the legacy runner forked one up front even
+#: when every sweep then ran serially).
+MIN_PARALLEL_UPD = 1024
+
+#: Same gate for the reference (dict) engine's pair updates.  A python
+#: ``update_pair`` costs orders of magnitude more than one vectorized
+#: lane, so its break-even sits far lower than MIN_PARALLEL_UPD.
+MIN_PARALLEL_PAIRS = 64
+
+#: Environment override for the pool start method ("fork" / "spawn" /
+#: "forkserver").  CI uses it to exercise the spawn path on Linux.
+START_METHOD_ENV = "REPRO_RUNTIME_START_METHOD"
+
+_HEADER = struct.Struct("<Q")
+
+
+def preferred_start_method() -> str:
+    """The multiprocessing start method the runtime will use."""
+    forced = os.environ.get(START_METHOD_ENV)
+    methods = multiprocessing.get_all_start_methods()
+    if forced:
+        if forced not in methods:
+            raise ConfigError(
+                f"{START_METHOD_ENV}={forced!r} is not a start method on "
+                f"this platform (available: {methods})"
+            )
+        return forced
+    return "fork" if "fork" in methods else "spawn"
+
+
+def fork_available() -> bool:
+    """Whether fork-inheritance executors can run on this platform."""
+    return preferred_start_method() == "fork"
+
+
+def _dumps(payload) -> bytes:
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# ----------------------------------------------------------------------
+# shared-memory plumbing (parent side)
+# ----------------------------------------------------------------------
+class _ParentBuffer:
+    """One parent-owned shared-memory block with a typed flat view."""
+
+    def __init__(self, dtype, capacity: int):
+        import numpy as np
+        from multiprocessing import shared_memory
+
+        self.dtype = np.dtype(dtype)
+        self.capacity = int(capacity)
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=max(self.capacity * self.dtype.itemsize, 1)
+        )
+        self.view = np.frombuffer(
+            self.shm.buf, dtype=self.dtype, count=self.capacity
+        )
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def close(self) -> None:
+        self.view = None  # release the exported memoryview first
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - stray external view
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class _PayloadBlock:
+    """A pickled session payload published through shared memory.
+
+    Workers attach by name and unpickle once per session; the parent
+    pays one pickle per session instead of one per task (and none per
+    iteration).
+    """
+
+    def __init__(self, payload: bytes, session_id: int):
+        from multiprocessing import shared_memory
+
+        self.session_id = session_id
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=_HEADER.size + len(payload)
+        )
+        self.shm.buf[:_HEADER.size] = _HEADER.pack(len(payload))
+        self.shm.buf[_HEADER.size:_HEADER.size + len(payload)] = payload
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+
+def round_robin_shards(items: Sequence, workers: int) -> List[list]:
+    """Round-robin shards of ``items``, one per worker (input order kept
+    within each shard).  The single sharding policy of the runtime:
+    the dict-engine pair shards and the whole-query shards both use it,
+    so parent loops and workers agree on ordering by construction.
+    """
+    items = list(items)
+    workers = max(int(workers), 1)
+    return [items[index::workers] for index in range(workers)]
+
+
+def _shard_bounds(total: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[start, stop)`` ranges like ``np.array_split``."""
+    shards = max(min(shards, total), 1)
+    base, extra = divmod(total, shards)
+    bounds = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        if stop > start:
+            bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _pairs_below_threshold(shards, executor) -> bool:
+    """Whether a dict-engine workload is too small to leave the parent.
+
+    The pair-session analogue of the sweep threshold: per-iteration
+    dispatch plus pickling the previous-iteration score dict dwarfs a
+    handful of ``update_pair`` calls, and staying serial also keeps the
+    pool from ever spawning.
+    """
+    total = sum(len(shard) for shard in shards)
+    return total < max(executor.workers, executor.min_parallel_pairs)
+
+
+def _transportable_vectorized(vectorized) -> Optional[bytes]:
+    """The pickled sweep-session payload, or ``None`` when unpicklable.
+
+    Workers never call the label / init / filter callables (those are
+    lowered into the compiled arrays), so an unpicklable callable in the
+    config is replaced with a registered name before giving up.
+    """
+    compiled = vectorized.compiled
+    tolerance = float(vectorized.dirty_tolerance)
+    try:
+        return _dumps({"sweep": (compiled, tolerance)})
+    except Exception:
+        pass
+    try:
+        from dataclasses import replace
+
+        clone = copy.copy(compiled)
+        clone.config = replace(
+            compiled.config,
+            label_function="indicator",
+            init_function=None,
+            candidate_filter=None,
+        )
+        return _dumps({"sweep": (clone, tolerance)})
+    except Exception:
+        return None
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+#: State inherited through fork by ForkExecutor pools, keyed by a
+#: per-session token (set immediately before the lazy pool creation, so
+#: concurrent sessions from different threads never clobber each other;
+#: every task names its token).
+_FORK_SHARED: Dict[int, dict] = {}
+
+_FORK_TOKENS = itertools.count(1)
+
+#: Per-worker cache of the current shared-memory session:
+#: (payload name, session id) -> unpickled state.
+_WORKER_SESSION: dict = {"key": None, "state": None}
+
+#: Per-worker cache of attached data buffers, keyed by block name.
+_WORKER_BUFFERS: Dict[str, object] = {}
+
+#: Bound on stale buffer attachments kept per worker (growth is rare;
+#: eviction only reclaims fds, correctness never depends on it).
+_WORKER_BUFFER_LIMIT = 12
+
+
+def _attach_block(name: str):
+    shm = _WORKER_BUFFERS.get(name)
+    if shm is None:
+        from multiprocessing import shared_memory
+
+        if len(_WORKER_BUFFERS) >= _WORKER_BUFFER_LIMIT:
+            for stale_name, stale in list(_WORKER_BUFFERS.items()):
+                try:
+                    stale.close()
+                except BufferError:  # pragma: no cover
+                    continue
+                del _WORKER_BUFFERS[stale_name]
+        # Worker-side attachments re-register with the (shared) resource
+        # tracker; that is idempotent -- the parent's unlink at close
+        # time unregisters the name exactly once.
+        shm = shared_memory.SharedMemory(name=name)
+        _WORKER_BUFFERS[name] = shm
+    return shm
+
+
+def _read_payload(payload_name: str):
+    """Unpickle one published payload block (uncached)."""
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=payload_name)
+    try:
+        (length,) = _HEADER.unpack_from(shm.buf, 0)
+        return pickle.loads(
+            bytes(shm.buf[_HEADER.size:_HEADER.size + length])
+        )
+    finally:
+        shm.close()
+
+
+def _load_session(payload_name: str, session_id: int):
+    """The unpickled session state, cached per worker per session."""
+    key = (payload_name, session_id)
+    if _WORKER_SESSION["key"] != key:
+        state = _read_payload(payload_name)
+        _WORKER_SESSION["key"] = key
+        _WORKER_SESSION["state"] = state
+    return _WORKER_SESSION["state"]
+
+
+def _shm_sweep_worker(task) -> None:
+    """Sweep one pair-id range, writing into the shared output buffer."""
+    (payload_name, session_id, scores_name, scores_cap, upd_name, upd_cap,
+     out_name, out_cap, scores_len, upd_len, start, stop) = task
+    import numpy as np
+
+    state = _load_session(payload_name, session_id)
+    engine = state.get("engine")
+    if engine is None:
+        from repro.core.vectorized import VectorizedFSimEngine
+
+        compiled, tolerance = state["sweep"]
+        engine = VectorizedFSimEngine(compiled, tolerance)
+        state["engine"] = engine
+    scores = np.frombuffer(
+        _attach_block(scores_name).buf, dtype=np.float64, count=scores_cap
+    )[:scores_len]
+    upd = np.frombuffer(
+        _attach_block(upd_name).buf, dtype=np.int64, count=upd_cap
+    )[:upd_len]
+    out = np.frombuffer(
+        _attach_block(out_name).buf, dtype=np.float64, count=out_cap
+    )
+    engine.sweep(scores, upd[start:stop], out=out[start:stop])
+
+
+def _shm_pair_worker(task) -> Tuple[dict, float]:
+    payload_name, session_id, shard_index, prev_name = task
+    state = _load_session(payload_name, session_id)
+    engine, shards = state["pairs"]
+    # prev travels through its own per-iteration block (pickled once by
+    # the parent, not once per task); read uncached so it never evicts
+    # the session state above.
+    prev = _read_payload(prev_name)
+    return update_pairs(engine, shards[shard_index], prev)
+
+
+def _query_result_row(engine, position: int) -> tuple:
+    result = engine.run(workers=1)
+    # The fallback callable is a bound method of the worker's engine
+    # copy; the parent reattaches its own instead of pickling it.
+    return (
+        position, result.scores, result.iterations, result.converged,
+        result.deltas, result.num_candidates,
+    )
+
+
+def _run_query_positions(engines, positions) -> List[tuple]:
+    return [_query_result_row(engines[position], position)
+            for position in positions]
+
+
+def _shm_query_worker(task) -> List[tuple]:
+    payload_name, session_id = task
+    state = _load_session(payload_name, session_id)
+    shard_engines, positions = state["query_shard"]
+    return [_query_result_row(engine, position)
+            for engine, position in zip(shard_engines, positions)]
+
+
+def _drop_worker_session(_=None) -> None:
+    """Release this worker's cached session state (see
+    ``SharedMemoryExecutor._release_worker_state``)."""
+    _WORKER_SESSION["key"] = None
+    _WORKER_SESSION["state"] = None
+
+
+def _fork_sweep_worker(args):
+    token, scores, upd = args
+    return _FORK_SHARED[token]["vectorized"].sweep(scores, upd)
+
+
+def _fork_pair_worker(args) -> Tuple[dict, float]:
+    token, shard_index, prev = args
+    state = _FORK_SHARED[token]
+    return update_pairs(state["engine"], state["shards"][shard_index], prev)
+
+
+def _fork_query_worker(args) -> List[tuple]:
+    token, shard_index = args
+    state = _FORK_SHARED[token]
+    return _run_query_positions(
+        state["engines"], state["query_shards"][shard_index]
+    )
+
+
+# ----------------------------------------------------------------------
+# executors
+# ----------------------------------------------------------------------
+class Executor:
+    """Serial base protocol; parallel executors override the sessions.
+
+    Every session degrades to ``None`` (= caller runs its own serial
+    path) rather than failing: unpicklable state, empty workloads and
+    platform limitations all fall back gracefully.
+    """
+
+    kind = "serial"
+    workers = 1
+
+    @contextmanager
+    def sweep_session(self, vectorized):
+        """Yield a parallel ``sweep(scores, upd)`` or ``None``."""
+        yield None
+
+    @contextmanager
+    def pair_session(self, engine, shards: Sequence[list]):
+        """Yield a parallel ``step(prev) -> (scores, delta)`` or ``None``."""
+        yield None
+
+    def run_queries(self, engines: Sequence) -> Optional[List[tuple]]:
+        """Whole-query sharding; ``None`` = caller runs serially."""
+        return None
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} workers={self.workers}>"
+
+
+class SerialExecutor(Executor):
+    """The in-process path: every session yields ``None``."""
+
+
+class ForkExecutor(Executor):
+    """A pool forked per session, state inherited copy-on-write.
+
+    Nothing is pickled on the way in (engines and compiled arrays reach
+    the workers through fork), which also makes this the only parallel
+    path for configs holding unpicklable callables.  The pool is forked
+    lazily on first use and torn down when the session ends; POSIX only.
+    """
+
+    kind = "fork"
+
+    def __init__(self, workers: int, min_parallel_upd: int = MIN_PARALLEL_UPD,
+                 min_parallel_pairs: int = MIN_PARALLEL_PAIRS):
+        self.workers = max(int(workers), 1)
+        self.min_parallel_upd = int(min_parallel_upd)
+        self.min_parallel_pairs = int(min_parallel_pairs)
+        #: Pools forked over this executor's lifetime (observability for
+        #: the no-spawn-for-tiny-workloads regression test).
+        self.pools_created = 0
+
+    @contextmanager
+    def _forked_pool(self, state: dict):
+        if not fork_available():
+            warnings.warn(
+                "fork start method unavailable; running serially "
+                "(use the shared_memory executor on this platform)",
+                RuntimeWarning,
+            )
+            yield None, None
+            return
+        context = multiprocessing.get_context("fork")
+        holder: dict = {"pool": None}
+        token = next(_FORK_TOKENS)
+
+        def ensure_pool():
+            if holder["pool"] is None:
+                holder["pool"] = context.Pool(processes=self.workers)
+                self.pools_created += 1
+            return holder["pool"]
+
+        _FORK_SHARED[token] = state
+        try:
+            yield ensure_pool, token
+        finally:
+            pool = holder["pool"]
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+            _FORK_SHARED.pop(token, None)
+
+    @contextmanager
+    def sweep_session(self, vectorized):
+        import numpy as np
+
+        with self._forked_pool(
+            {"vectorized": vectorized}
+        ) as (ensure_pool, token):
+            if ensure_pool is None:
+                yield None
+                return
+            threshold = max(self.workers, self.min_parallel_upd)
+
+            def sweep(scores, upd):
+                if upd.size < threshold:
+                    return vectorized.sweep(scores, upd)
+                shards = np.array_split(upd, self.workers)
+                parts = ensure_pool().map(
+                    _fork_sweep_worker,
+                    [(token, scores, shard)
+                     for shard in shards if shard.size],
+                )
+                return np.concatenate(parts)
+
+            yield sweep
+
+    @contextmanager
+    def pair_session(self, engine, shards):
+        shards = list(shards)
+        if _pairs_below_threshold(shards, self):
+            yield None
+            return
+        with self._forked_pool(
+            {"engine": engine, "shards": shards}
+        ) as (ensure_pool, token):
+            if ensure_pool is None:
+                yield None
+                return
+            indices = [i for i, shard in enumerate(shards) if shard]
+
+            def step(prev):
+                if not indices:
+                    return {}, 0.0
+                parts = ensure_pool().map(
+                    _fork_pair_worker, [(token, i, prev) for i in indices]
+                )
+                merged: dict = {}
+                delta = 0.0
+                for partial, local in parts:
+                    merged.update(partial)
+                    if local > delta:
+                        delta = local
+                return merged, delta
+
+            yield step
+
+    def run_queries(self, engines):
+        if not fork_available() or len(engines) < 2 or self.workers < 2:
+            return None
+        _warm_shared_plans(engines)
+        workers = min(self.workers, len(engines))
+        shards = round_robin_shards(range(len(engines)), workers)
+        context = multiprocessing.get_context("fork")
+        token = next(_FORK_TOKENS)
+        _FORK_SHARED[token] = {
+            "engines": list(engines), "query_shards": shards,
+        }
+        try:
+            with context.Pool(processes=workers) as pool:
+                self.pools_created += 1
+                partials = pool.map(
+                    _fork_query_worker,
+                    [(token, i) for i in range(workers)],
+                )
+        finally:
+            _FORK_SHARED.pop(token, None)
+        return [row for partial in partials for row in partial]
+
+
+class SharedMemoryExecutor(Executor):
+    """The persistent zero-copy runtime (see the module docstring).
+
+    One pool serves every session for the executor's lifetime.  Each
+    sweep session owns its shared-memory arena (scores in / values out,
+    plus the dirty-position index), sized once from the compiled
+    instance, reused across that session's iterations and torn down
+    with the session -- per-session ownership is what makes concurrent
+    sessions on one cached executor safe.
+    """
+
+    kind = "shared_memory"
+
+    def __init__(self, workers: int, min_parallel_upd: int = MIN_PARALLEL_UPD,
+                 start_method: Optional[str] = None,
+                 min_parallel_pairs: int = MIN_PARALLEL_PAIRS):
+        self.workers = max(int(workers), 1)
+        self.min_parallel_upd = int(min_parallel_upd)
+        self.min_parallel_pairs = int(min_parallel_pairs)
+        self._start_method = start_method
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._sessions = 0
+        self.pools_created = 0
+
+    # -- pool / arena lifecycle ---------------------------------------
+    @property
+    def pool_started(self) -> bool:
+        return self._pool is not None
+
+    def _ensure_pool(self):
+        # Serialized so concurrent sessions share one pool instead of
+        # racing to create two.  NOTE the usual POSIX caveat: creating
+        # a fork-context pool while other threads are running can
+        # inherit held locks into the children.  A multi-threaded
+        # service should warm the pool before spinning up request
+        # threads (any first query does it), or use a spawn/forkserver
+        # start method; once the pool exists, concurrent sessions are
+        # safe (Pool.map is thread-safe, all session state is
+        # per-session).
+        with self._pool_lock:
+            if self._pool is None:
+                method = self._start_method or preferred_start_method()
+                context = multiprocessing.get_context(method)
+                self._pool = context.Pool(processes=self.workers)
+                self.pools_created += 1
+            return self._pool
+
+    def _publish(self, payload: bytes) -> _PayloadBlock:
+        self._sessions += 1
+        return _PayloadBlock(payload, self._sessions)
+
+    def _release_worker_state(self) -> None:
+        """Best-effort reclamation of worker-side session state.
+
+        Workers cache the last unpickled payload (compiled arrays or an
+        engine shard) so repeat tasks of one session unpickle once; at
+        session end that state would otherwise stay resident in every
+        worker until a future session replaces it.  One no-op task per
+        worker usually reaches each idle worker (chunksize=1), but the
+        pool does not guarantee distribution -- this bounds idle memory
+        in the common case, never correctness.
+        """
+        if self._pool is None:
+            return
+        try:
+            self._pool.map(
+                _drop_worker_session, range(self.workers), chunksize=1
+            )
+        except Exception:  # pragma: no cover - pool already broken
+            pass
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # -- sessions ------------------------------------------------------
+    @contextmanager
+    def sweep_session(self, vectorized):
+        import numpy as np
+
+        compiled = vectorized.compiled
+        num_feasible = int(compiled.num_feasible)
+        num_updatable = int(compiled.num_updatable)
+        threshold = max(self.workers, self.min_parallel_upd)
+        if num_updatable < threshold:
+            # Every sweep is a subset of upd_arena: nothing to gain.
+            yield None
+            return
+        # The session broadcast (one pickle of the compiled arrays) and
+        # the session's arena buffers are deferred until a sweep
+        # actually crosses the threshold: a session whose sweeps all
+        # stay small -- the usual shape of streaming updates, whose
+        # dirty frontier is delta-sized -- pays neither pickle, buffers
+        # nor pool.  Buffers are per session (never shared through the
+        # executor), so concurrent sessions on one cached executor
+        # cannot clobber each other's sweep state; the pool itself is
+        # safe to share (Pool.map is thread-safe, payloads are
+        # session-keyed).
+        state: dict = {"block": None, "serial_only": False, "buffers": None}
+        try:
+
+            def sweep(scores, upd):
+                length = int(upd.size)
+                if length < threshold or state["serial_only"]:
+                    return vectorized.sweep(scores, upd)
+                block = state["block"]
+                if block is None:
+                    payload = _transportable_vectorized(vectorized)
+                    if payload is None:
+                        warnings.warn(
+                            "compiled sweep state is not picklable; "
+                            "sweeps stay serial",
+                            RuntimeWarning,
+                        )
+                        state["serial_only"] = True
+                        return vectorized.sweep(scores, upd)
+                    block = state["block"] = self._publish(payload)
+                if state["buffers"] is None:
+                    state["buffers"] = (
+                        _ParentBuffer(np.float64, num_feasible),
+                        _ParentBuffer(np.int64, num_updatable),
+                        _ParentBuffer(np.float64, num_updatable),
+                    )
+                scores_buf, upd_buf, out_buf = state["buffers"]
+                scores_len = int(scores.size)
+                scores_buf.view[:scores_len] = scores
+                upd_buf.view[:length] = upd
+                pool = self._ensure_pool()
+                pool.map(
+                    _shm_sweep_worker,
+                    [
+                        (block.name, block.session_id,
+                         scores_buf.name, scores_buf.capacity,
+                         upd_buf.name, upd_buf.capacity,
+                         out_buf.name, out_buf.capacity,
+                         scores_len, length, start, stop)
+                        for start, stop in _shard_bounds(length, self.workers)
+                    ],
+                )
+                # A zero-copy view into the output buffer -- valid
+                # until this session's next parallel sweep (callers
+                # consume the values before re-entering sweep).
+                return out_buf.view[:length]
+
+            yield sweep
+        finally:
+            if state["buffers"] is not None:
+                for buffer in state["buffers"]:
+                    buffer.close()
+            if state["block"] is not None:
+                state["block"].close()
+                self._release_worker_state()
+
+    @contextmanager
+    def pair_session(self, engine, shards):
+        shards = list(shards)
+        if _pairs_below_threshold(shards, self):
+            yield None
+            return
+        try:
+            payload = _dumps({"pairs": (engine, shards)})
+        except Exception:
+            warnings.warn(
+                "engine state is not picklable; pair updates stay serial",
+                RuntimeWarning,
+            )
+            yield None
+            return
+        indices = [i for i, shard in enumerate(shards) if shard]
+        block = self._publish(payload)
+        try:
+
+            def step(prev):
+                if not indices:
+                    return {}, 0.0
+                pool = self._ensure_pool()
+                prev_block = _PayloadBlock(_dumps(prev), block.session_id)
+                try:
+                    parts = pool.map(
+                        _shm_pair_worker,
+                        [(block.name, block.session_id, i, prev_block.name)
+                         for i in indices],
+                    )
+                finally:
+                    prev_block.close()
+                merged: dict = {}
+                delta = 0.0
+                for partial, local in parts:
+                    merged.update(partial)
+                    if local > delta:
+                        delta = local
+                return merged, delta
+
+            yield step
+        finally:
+            block.close()
+            self._release_worker_state()
+
+    def run_queries(self, engines):
+        if len(engines) < 2 or self.workers < 2:
+            return None
+        # No plan warming here: the plan cache keys on graph identity,
+        # and these engines travel by pickle -- workers' unpickled
+        # graph copies could never hit a parent-warmed entry.  (The
+        # fork executor warms because it passes the original objects
+        # through fork inheritance.)  Each shard is published as its
+        # own payload so a worker unpickles only the engines it will
+        # run, not the whole batch; pickle deduplicates a shared data
+        # graph within a shard, so each worker lowers it once.
+        workers = min(self.workers, len(engines))
+        blocks: List[_PayloadBlock] = []
+        try:
+            tasks = []
+            for positions in round_robin_shards(range(len(engines)), workers):
+                if not positions:
+                    continue
+                payload = _dumps({"query_shard": (
+                    [engines[position] for position in positions], positions,
+                )})
+                block = self._publish(payload)
+                blocks.append(block)
+                tasks.append((block.name, block.session_id))
+        except Exception:
+            for block in blocks:
+                block.close()
+            warnings.warn(
+                "engine state is not picklable; queries run serially",
+                RuntimeWarning,
+            )
+            return None
+        try:
+            pool = self._ensure_pool()
+            partials = pool.map(_shm_query_worker, tasks)
+        finally:
+            for block in blocks:
+                block.close()
+            self._release_worker_state()
+        return [row for partial in partials for row in partial]
+
+
+def _warm_shared_plans(engines) -> None:
+    """Pre-lower graphs shared by several numpy-backed engines so forked
+    workers inherit the cached plan instead of recompiling it each."""
+    shared_counts: Dict[int, int] = {}
+    for engine in engines:
+        for graph in (engine.graph1, engine.graph2):
+            shared_counts[id(graph)] = shared_counts.get(id(graph), 0) + 1
+    warmed = set()
+    for engine in engines:
+        if engine._resolve_backend() != "numpy":
+            continue
+        from repro.core.plan import lower_graph  # numpy-only dependency
+
+        for graph in (engine.graph1, engine.graph2):
+            if shared_counts[id(graph)] > 1 and id(graph) not in warmed:
+                warmed.add(id(graph))
+                lower_graph(graph)
+
+
+# ----------------------------------------------------------------------
+# registry and resolution
+# ----------------------------------------------------------------------
+_SERIAL = SerialExecutor()
+_CACHE: Dict[Tuple[str, int], Executor] = {}
+
+
+def get_executor(kind: str, workers: int) -> Executor:
+    """A process-wide cached executor (pool reuse across queries)."""
+    workers = int(workers)
+    if kind == "serial" or workers <= 1:
+        return _SERIAL
+    key = (kind, workers)
+    cached = _CACHE.get(key)
+    if cached is None:
+        if kind == "fork":
+            cached = ForkExecutor(workers)
+        elif kind == "shared_memory":
+            cached = SharedMemoryExecutor(workers)
+        else:
+            raise ConfigError(f"unknown executor kind {kind!r}")
+        _CACHE[key] = cached
+    return cached
+
+
+def shutdown_executors() -> None:
+    """Close every cached executor (pools, shared-memory arenas)."""
+    for cached in _CACHE.values():
+        cached.close()
+    _CACHE.clear()
+
+
+atexit.register(shutdown_executors)
+
+
+def resolve_executor(config=None, workers: Optional[int] = None,
+                     executor=None, workload: str = "sweep") -> Executor:
+    """Map ``(config, overrides)`` to an executor instance.
+
+    ``executor`` may be an :class:`Executor` instance (used as-is), an
+    executor kind, or ``None`` (use ``config.executor``).  ``workers``
+    overrides ``config.workers``.  ``workload`` steers the ``"auto"``
+    choice: vectorized ``"sweep"`` workloads get the shared-memory
+    runtime; ``"pairs"`` / ``"queries"`` (dict engines, whole-query
+    sharding) prefer fork inheritance where the platform has it, since
+    their state crosses the boundary cheapest by copy-on-write.
+
+    A ``"fork"`` request on a platform without fork degrades to the
+    (spawn-capable) shared-memory executor instead of running serially.
+    """
+    if isinstance(executor, Executor):
+        return executor
+    kind = executor if executor is not None else getattr(
+        config, "executor", "auto"
+    )
+    if kind not in EXECUTOR_KINDS:
+        raise ConfigError(
+            f"executor must be one of {EXECUTOR_KINDS}, got {kind!r}"
+        )
+    if workers is None:
+        workers = getattr(config, "workers", 1)
+    workers = int(workers)
+    if workers < 1:
+        raise ConfigError(f"workers must be positive, got {workers}")
+    if workers == 1 or kind == "serial":
+        return _SERIAL
+    if kind == "auto":
+        if workload in ("pairs", "queries") and fork_available():
+            kind = "fork"
+        else:
+            kind = "shared_memory"
+    if kind == "fork" and not fork_available():
+        kind = "shared_memory"
+    return get_executor(kind, workers)

@@ -78,6 +78,12 @@ class IncrementalFSim:
         Upper bound on replay-trajectory memory; a session whose
         worst-case trajectory would exceed it refuses to start in
         replay mode (use ``warm`` or raise the bound).
+    workers / executor:
+        The :mod:`repro.runtime` parallel runtime for the re-sweeps
+        (defaults to ``config.workers`` / ``config.executor``).  With
+        the shared-memory executor the session's sweeps run over one
+        persistent worker pool, reused across every :meth:`compute` --
+        results stay bitwise identical to the serial session.
     """
 
     def __init__(
@@ -87,7 +93,11 @@ class IncrementalFSim:
         config: Optional[FSimConfig] = None,
         mode: str = "replay",
         max_trajectory_mb: float = 1024.0,
+        workers: Optional[int] = None,
+        executor=None,
     ):
+        from repro.runtime import resolve_executor
+
         config = config or FSimConfig()
         reason = vectorized_fallback_reason(config)
         if reason is None and config.backend == "python":
@@ -103,6 +113,8 @@ class IncrementalFSim:
         self.config = config
         self.mode = mode
         self.max_trajectory_mb = float(max_trajectory_mb)
+        self.executor = resolve_executor(config, workers, executor,
+                                         workload="sweep")
         self.log1 = DeltaLog(graph1)
         self.log2 = self.log1 if graph2 is graph1 else DeltaLog(graph2)
         self._compiled: Optional[CompiledFSim] = None
@@ -189,9 +201,10 @@ class IncrementalFSim:
         trajectory: Optional[List[np.ndarray]] = (
             [] if self.mode == "replay" else None
         )
-        scores, iterations, converged, deltas = engine.iterate(
-            trajectory=trajectory
-        )
+        with self.executor.sweep_session(engine) as sweep:
+            scores, iterations, converged, deltas = engine.iterate(
+                sweep=sweep, trajectory=trajectory
+            )
         self._compiled = compiled
         self._trajectory = trajectory
         self._final = None if self.mode == "replay" else scores
@@ -216,18 +229,21 @@ class IncrementalFSim:
         except CompiledPatchError:
             compiled, touched, dirty0 = self._recompile(delta1, delta2)
         engine = VectorizedFSimEngine(compiled)
-        if self.mode == "replay":
-            scores, iterations, converged, deltas = engine.iterate_incremental(
-                self._trajectory, touched, dirty0
-            )
-        else:
-            seed = touched
-            if dirty0 is not None and dirty0.size:
-                seed = np.union1d(seed, compiled.dependents(dirty0))
-            scores, iterations, converged, deltas = engine.iterate(
-                scores_init=self._final, upd0=seed
-            )
-            self._final = scores
+        with self.executor.sweep_session(engine) as sweep:
+            if self.mode == "replay":
+                scores, iterations, converged, deltas = (
+                    engine.iterate_incremental(
+                        self._trajectory, touched, dirty0, sweep=sweep
+                    )
+                )
+            else:
+                seed = touched
+                if dirty0 is not None and dirty0.size:
+                    seed = np.union1d(seed, compiled.dependents(dirty0))
+                scores, iterations, converged, deltas = engine.iterate(
+                    sweep=sweep, scores_init=self._final, upd0=seed
+                )
+                self._final = scores
         self._compiled = compiled
         self.stats["iterations"] += iterations
         return self._wrap(scores, iterations, converged, deltas)

@@ -1,0 +1,432 @@
+"""Tests for the unified executor runtime (repro.runtime).
+
+The load-bearing contract: every executor -- serial, fork-inheritance,
+persistent shared-memory -- produces **bitwise identical**
+``FSimResult``s (scores, iterations, per-iteration deltas) on both
+compute backends.  Plus the runtime's resource behavior: lazy pool
+creation (tiny workloads never spawn a process), pool reuse across
+queries, and graceful degradation where fork is unavailable.
+"""
+
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import FSimConfig, FSimEngine, fsim_matrix
+from repro.core.api import fsim_matrix_many
+from repro.core.topk import TopKSearch
+from repro.exceptions import ConfigError
+from repro.graph.generators import random_graph, uniform_labels
+from repro.runtime import (
+    ForkExecutor,
+    SerialExecutor,
+    SharedMemoryExecutor,
+    get_executor,
+    resolve_executor,
+    shutdown_executors,
+)
+from repro.runtime import executor as executor_module
+from repro.simulation import Variant
+
+
+@pytest.fixture(scope="module")
+def shm_executor():
+    """One persistent shared-memory executor shared by the module
+    (threshold lowered so small test graphs actually hit the pool)."""
+    ex = SharedMemoryExecutor(2, min_parallel_upd=1, min_parallel_pairs=1)
+    yield ex
+    ex.close()
+
+
+@pytest.fixture(scope="module")
+def fork_executor():
+    ex = ForkExecutor(2, min_parallel_upd=1, min_parallel_pairs=1)
+    yield ex
+    ex.close()
+
+
+def assert_identical(serial, parallel):
+    """Bitwise result equality: scores, trajectory and metadata."""
+    assert serial.scores == parallel.scores
+    assert serial.iterations == parallel.iterations
+    assert serial.converged == parallel.converged
+    assert serial.deltas == parallel.deltas
+    assert serial.num_candidates == parallel.num_candidates
+
+
+# ----------------------------------------------------------------------
+# bitwise parity across executors (property test, both backends)
+# ----------------------------------------------------------------------
+class TestExecutorParity:
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        num_nodes=st.integers(min_value=8, max_value=24),
+        num_labels=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+        backend=st.sampled_from(["python", "numpy"]),
+        variant=st.sampled_from([Variant.S, Variant.B, Variant.BJ]),
+    )
+    def test_bitwise_identical_results(
+        self, shm_executor, fork_executor,
+        num_nodes, num_labels, seed, backend, variant,
+    ):
+        graph = random_graph(
+            num_nodes, 2 * num_nodes,
+            uniform_labels(num_nodes, num_labels, seed=seed), seed=seed + 1,
+        )
+        cfg = FSimConfig(
+            variant=variant, label_function="indicator", backend=backend,
+        )
+        serial = FSimEngine(graph, graph, cfg).run()
+        for executor in (shm_executor, fork_executor):
+            parallel = FSimEngine(graph, graph, cfg).run(executor=executor)
+            assert_identical(serial, parallel)
+
+    def test_parity_with_pruning(self, medium_random_graph, shm_executor):
+        cfg = FSimConfig(
+            variant=Variant.BJ, label_function="indicator",
+            theta=1.0, use_upper_bound=True, alpha=0.4, backend="numpy",
+        )
+        g = medium_random_graph
+        serial = FSimEngine(g, g, cfg).run()
+        parallel = FSimEngine(g, g, cfg).run(executor=shm_executor)
+        assert_identical(serial, parallel)
+
+    def test_parity_with_pinned_pairs(self, medium_random_graph,
+                                      fork_executor, shm_executor):
+        g = medium_random_graph
+        node = g.nodes()[0]
+        for backend in ("python", "numpy"):
+            cfg = FSimConfig(
+                variant=Variant.S, label_function="indicator",
+                pinned_pairs={(node, node): 1.0}, backend=backend,
+            )
+            serial = FSimEngine(g, g, cfg).run()
+            for executor in (fork_executor, shm_executor):
+                parallel = FSimEngine(g, g, cfg).run(executor=executor)
+                assert_identical(serial, parallel)
+                assert parallel.scores[(node, node)] == 1.0
+
+    def test_num_candidates_excludes_foreign_pinned_pairs(
+        self, medium_random_graph, fork_executor
+    ):
+        """A pinned pair outside the candidate store must not inflate
+        ``num_candidates`` on the parallel path (the legacy runner
+        counted every pinned pair as a candidate)."""
+        g = medium_random_graph
+        # theta=1 with indicator labels: only equal-label pairs are
+        # candidates; pin a pair of differently-labeled nodes.
+        nodes = g.nodes()
+        foreign = next(
+            (u, v)
+            for u in nodes for v in nodes
+            if g.label(u) != g.label(v)
+        )
+        cfg = FSimConfig(
+            variant=Variant.S, label_function="indicator", theta=1.0,
+            pinned_pairs={foreign: 0.5}, backend="python",
+        )
+        serial = FSimEngine(g, g, cfg).run()
+        parallel = FSimEngine(g, g, cfg).run(executor=fork_executor)
+        assert parallel.num_candidates == serial.num_candidates
+        assert parallel.scores[foreign] == 0.5
+
+
+# ----------------------------------------------------------------------
+# batched and streaming layers share the runtime
+# ----------------------------------------------------------------------
+class TestSharedRuntimeLayers:
+    def test_topk_parity_both_backends(self, medium_random_graph,
+                                       shm_executor):
+        g = medium_random_graph
+        queries = g.nodes()[:4]
+        for backend in ("python", "numpy"):
+            cfg = FSimConfig(
+                variant=Variant.S, label_function="indicator",
+                backend=backend,
+            )
+            search = TopKSearch(g, g, cfg)
+            serial = search.search_many(queries, 3)
+            parallel = search.search_many(queries, 3, executor=shm_executor)
+            for a, b in zip(serial, parallel):
+                assert a.partners == b.partners
+                assert a.iterations == b.iterations
+                assert a.certified == b.certified
+
+    def test_query_sharding_parity(self, medium_random_graph, shm_executor,
+                                   fork_executor):
+        data = medium_random_graph
+        queries = [
+            random_graph(8, 14, uniform_labels(8, 3, seed=s), seed=s)
+            for s in range(4)
+        ]
+        serial = fsim_matrix_many(
+            queries, data, "s", label_function="indicator"
+        )
+        for executor in (fork_executor, shm_executor):
+            parallel = fsim_matrix_many(
+                queries, data, "s", label_function="indicator",
+                executor=executor,
+            )
+            for a, b in zip(serial, parallel):
+                assert_identical(a, b)
+
+    def test_shared_memory_pool_survives_batch_and_queries(
+        self, medium_random_graph, shm_executor
+    ):
+        """One persistent pool serves repeated queries and batches."""
+        g = medium_random_graph
+        cfg = FSimConfig(
+            variant=Variant.S, label_function="indicator", backend="numpy",
+        )
+        for _ in range(2):
+            FSimEngine(g, g, cfg).run(executor=shm_executor)
+        TopKSearch(g, g, cfg).search_many(g.nodes()[:3], 2,
+                                          executor=shm_executor)
+        assert shm_executor.pools_created == 1
+
+    def test_streaming_session_on_executor(self, shm_executor):
+        from repro.core.plan import clear_plan_caches, lower_graph
+        from repro.streaming import IncrementalFSim
+
+        labels = uniform_labels(60, 4, seed=1)
+        base = random_graph(60, 150, labels, seed=2)
+        evolving = base.copy()
+        cfg = FSimConfig(
+            variant=Variant.B, label_function="indicator", theta=1.0,
+            backend="numpy",
+        )
+        clear_plan_caches()
+        session = IncrementalFSim(evolving, base, cfg,
+                                  executor=shm_executor)
+        session.compute()
+        nodes = evolving.nodes()
+        session.log1.add_edge_if_absent(nodes[0], nodes[1])
+        warm = session.compute()
+        clear_plan_caches()
+        lower_graph(base)
+        cold = fsim_matrix(evolving, base, config=cfg)
+        assert warm.scores == cold.scores
+        assert warm.iterations == cold.iterations
+        assert warm.deltas == cold.deltas
+
+
+# ----------------------------------------------------------------------
+# resource behavior: lazy pools, thresholds
+# ----------------------------------------------------------------------
+class TestPoolLifetime:
+    def test_no_pool_spawn_for_tiny_workloads(self, small_random_graph):
+        """A run whose sweeps all stay below the parallel threshold must
+        never fork/spawn a pool (the legacy runner forked one up
+        front)."""
+        g = small_random_graph
+        cfg = FSimConfig(
+            variant=Variant.S, label_function="indicator", backend="numpy",
+        )
+        shm = SharedMemoryExecutor(4)  # default threshold
+        fork = ForkExecutor(4)
+        try:
+            serial = FSimEngine(g, g, cfg).run()
+            for executor in (shm, fork):
+                parallel = FSimEngine(g, g, cfg).run(executor=executor)
+                assert_identical(serial, parallel)
+            assert not shm.pool_started
+            assert shm.pools_created == 0
+            assert fork.pools_created == 0
+        finally:
+            shm.close()
+            fork.close()
+
+    def test_no_pool_spawn_for_tiny_dict_workloads(self):
+        """The dict-engine pair path has the same lazy-pool guarantee:
+        a workload below the pair threshold never pickles the engine or
+        spawns a pool."""
+        # 7x7 = 49 candidate pairs, below MIN_PARALLEL_PAIRS (64).
+        g = random_graph(7, 12, uniform_labels(7, 2, seed=3), seed=4)
+        cfg = FSimConfig(
+            variant=Variant.S, label_function="indicator", backend="python",
+        )
+        shm = SharedMemoryExecutor(4)  # default thresholds
+        fork = ForkExecutor(4)
+        try:
+            serial = FSimEngine(g, g, cfg).run()
+            for executor in (shm, fork):
+                parallel = FSimEngine(g, g, cfg).run(executor=executor)
+                assert_identical(serial, parallel)
+            assert not shm.pool_started
+            assert shm.pools_created == 0
+            assert fork.pools_created == 0
+        finally:
+            shm.close()
+            fork.close()
+
+    def test_serial_resolution(self):
+        cfg = FSimConfig()
+        assert isinstance(resolve_executor(cfg), SerialExecutor)
+        assert isinstance(resolve_executor(cfg, workers=1), SerialExecutor)
+        assert isinstance(
+            resolve_executor(cfg, workers=4, executor="serial"),
+            SerialExecutor,
+        )
+
+    def test_registry_caches_instances(self):
+        first = get_executor("shared_memory", 3)
+        second = get_executor("shared_memory", 3)
+        assert first is second
+        assert get_executor("shared_memory", 2) is not first
+
+    def test_executor_instance_passes_through(self, shm_executor):
+        assert resolve_executor(None, 8, shm_executor) is shm_executor
+
+
+# ----------------------------------------------------------------------
+# platform degradation
+# ----------------------------------------------------------------------
+class TestSpawnFallback:
+    def test_fork_request_degrades_to_shared_memory(self, monkeypatch):
+        """Platforms without fork get the (spawn-capable) shared-memory
+        executor instead of a warning plus serial execution."""
+        monkeypatch.setenv(executor_module.START_METHOD_ENV, "spawn")
+        shutdown_executors()
+        try:
+            resolved = resolve_executor(None, workers=2, executor="fork")
+            assert resolved.kind == "shared_memory"
+            resolved = resolve_executor(None, workers=2, executor="auto",
+                                        workload="queries")
+            assert resolved.kind == "shared_memory"
+        finally:
+            shutdown_executors()
+
+    def test_spawn_pool_parity(self, medium_random_graph):
+        """The shared-memory executor is correct under a spawn pool."""
+        g = medium_random_graph
+        cfg = FSimConfig(
+            variant=Variant.S, label_function="indicator", backend="numpy",
+        )
+        serial = FSimEngine(g, g, cfg).run()
+        ex = SharedMemoryExecutor(2, min_parallel_upd=1,
+                                  start_method="spawn")
+        try:
+            parallel = FSimEngine(g, g, cfg).run(executor=ex)
+            assert_identical(serial, parallel)
+        finally:
+            ex.close()
+
+    def test_unpicklable_state_falls_back_to_serial(self,
+                                                    medium_random_graph):
+        """An engine the executor cannot ship degrades to the serial
+        path (with a warning), never to a crash."""
+        g = medium_random_graph
+        cfg = FSimConfig(
+            variant=Variant.S,
+            label_function=lambda a, b: 1.0 if a == b else 0.0,
+            backend="python",
+        )
+        serial = FSimEngine(g, g, cfg).run()
+        ex = SharedMemoryExecutor(2, min_parallel_upd=1,
+                                  min_parallel_pairs=1)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                parallel = FSimEngine(g, g, cfg).run(executor=ex)
+            assert_identical(serial, parallel)
+            assert not ex.pool_started
+        finally:
+            ex.close()
+
+
+# ----------------------------------------------------------------------
+# configuration plumbing
+# ----------------------------------------------------------------------
+class TestConfigPlumbing:
+    def test_workers_validated(self):
+        with pytest.raises(ConfigError):
+            FSimConfig(workers=0)
+        with pytest.raises(ConfigError):
+            FSimConfig(executor="bogus")
+
+    def test_config_workers_drive_run(self, small_random_graph):
+        g = small_random_graph
+        cfg = FSimConfig(
+            variant=Variant.S, label_function="indicator",
+            workers=2, executor="serial",
+        )
+        result = FSimEngine(g, g, cfg).run()
+        serial = FSimEngine(
+            g, g, cfg.with_options(workers=1)
+        ).run()
+        assert_identical(serial, result)
+
+    def test_run_rejects_bad_workers(self, small_random_graph):
+        g = small_random_graph
+        with pytest.raises(ConfigError):
+            FSimEngine(g, g, FSimConfig()).run(workers=0)
+
+    def test_legacy_shims_still_work(self, medium_random_graph):
+        from repro.core import parallel as legacy
+
+        g = medium_random_graph
+        cfg = FSimConfig(variant=Variant.S, label_function="indicator")
+        engine = FSimEngine(g, g, cfg)
+        serial = engine.run()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = legacy.run_parallel(FSimEngine(g, g, cfg), 2)
+        assert_identical(serial, shimmed)
+
+
+# ----------------------------------------------------------------------
+# concurrent sessions on one cached executor
+# ----------------------------------------------------------------------
+class TestConcurrentSessions:
+    def test_threads_sharing_one_executor_stay_bitwise_correct(self):
+        """Two threads running sessions on the same cached executor must
+        not clobber each other's sweep state (per-session buffers,
+        token-keyed fork staging)."""
+        import threading
+
+        graphs = [
+            random_graph(20 + 4 * i, 50 + 8 * i,
+                         uniform_labels(20 + 4 * i, 3, seed=i), seed=i + 50)
+            for i in range(2)
+        ]
+        cfg = FSimConfig(
+            variant=Variant.S, label_function="indicator", backend="numpy",
+        )
+        serials = [FSimEngine(g, g, cfg).run() for g in graphs]
+        ex = SharedMemoryExecutor(2, min_parallel_upd=1,
+                                  min_parallel_pairs=1)
+        # Warm the pool from the main thread first (the documented
+        # pattern for multi-threaded services: lazily forking a pool
+        # while other threads run risks inheriting held locks).
+        first = FSimEngine(graphs[0], graphs[0], cfg).run(executor=ex)
+        assert first.scores == serials[0].scores
+        failures = []
+
+        def worker(index):
+            try:
+                for _ in range(3):
+                    result = FSimEngine(
+                        graphs[index], graphs[index], cfg
+                    ).run(executor=ex)
+                    if result.scores != serials[index].scores:
+                        failures.append(index)
+            except Exception as error:  # pragma: no cover - surfaced below
+                failures.append(error)
+
+        try:
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            ex.close()
+        assert not failures
