@@ -1,0 +1,353 @@
+"""Throughput of the FSim query service under concurrent mixed traffic.
+
+The ROADMAP north star asks the reproduction to "serve heavy traffic";
+this benchmark measures the service subsystem that answers it
+(:mod:`repro.service`) on the Figure-9 workload family (the densified
+NELL emulator, FSimbj with theta = 1):
+
+- **baseline**: a server with micro-batching disabled (window 0, batch
+  size 1) and one client issuing the request stream one at a time --
+  what a naive RPC wrapper around the library would do;
+- **micro-batched**: the same request stream from N concurrent clients
+  against a server with a small batching window -- concurrent top-k
+  queries coalesce into one shared ``search_many`` iteration loop, so
+  a batch of queries costs about one computation (PR 2's amortization,
+  now reachable over a socket);
+- **mutation phase**: mixed traffic -- edge mutations interleaved with
+  queries -- exercising the journal -> session -> compiled-patch path;
+- **snapshot phase**: the server's warm state is snapshotted, restored
+  into a fresh store (cold plan/executor caches), and the first
+  post-restore query is timed against a cold first query; plan-cache
+  stats must show **zero** plan misses for the restored server.
+
+Every response is asserted **bitwise identical** to the direct library
+call on an identically built replica graph at the same version -- the
+batching window buys throughput, never different values.
+
+Writes ``BENCH_service.json``.  Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--smoke]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow standalone execution
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.api import fsim_matrix  # noqa: E402
+from repro.core.config import FSimConfig  # noqa: E402
+from repro.core.plan import clear_plan_caches, plan_cache_stats  # noqa: E402
+from repro.core.topk import TopKSearch  # noqa: E402
+from repro.datasets import load_dataset  # noqa: E402
+from repro.graph.noise import densify  # noqa: E402
+from repro.service import GraphStore, ServerThread, ServiceClient  # noqa: E402
+from repro.service.client import wire_partners, wire_scores  # noqa: E402
+from repro.service.snapshot import restore_snapshot, save_snapshot  # noqa: E402
+from repro.simulation import Variant  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_service.json"
+
+#: Required micro-batched speedup over the one-at-a-time baseline on
+#: the headline workload (the acceptance bar of the service PR).
+SPEEDUP_GATE = 2.0
+
+GRAPH_NAME = "nell"
+
+
+def _config() -> FSimConfig:
+    # The Figure-9 variant family, minus upper-bound pruning so the
+    # mutation phase exercises the in-place compiled patch (the pruned
+    # configuration recompiles per edit by design).
+    return FSimConfig(variant=Variant.BJ, theta=1.0, backend="numpy")
+
+
+def _build_graph(factor: float):
+    base = load_dataset(GRAPH_NAME, scale=1.0, seed=0)
+    return densify(base, float(factor), 0) if factor != 1 else base
+
+
+def _start_server(factor: float, window: float, max_batch: int):
+    store = GraphStore(default_config=_config())
+    store.register(GRAPH_NAME, _build_graph(factor))
+    return ServerThread(store, window=window, max_batch=max_batch).start()
+
+
+def _drive_queries(port: int, queries, k: int, clients: int):
+    """Issue one top-k request per query from ``clients`` threads;
+    returns (wall seconds, {query: response})."""
+    responses = {}
+    errors = []
+    shards = [queries[i::clients] for i in range(clients)]
+
+    def run_shard(shard):
+        try:
+            with ServiceClient(port=port) as client:
+                for query in shard:
+                    responses[query] = client.topk(GRAPH_NAME, query, k=k)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run_shard, args=(shard,))
+               for shard in shards if shard]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+    return elapsed, responses
+
+
+def _assert_topk_parity(responses, replica, k: int) -> None:
+    search = TopKSearch(replica, replica, _config())
+    expected = search.search_many(list(responses), k)
+    for result in expected:
+        wire = responses[result.query]
+        assert wire_partners(wire) == result.partners, result.query
+        assert wire["certified"] == result.certified, result.query
+
+
+# ----------------------------------------------------------------------
+# phases
+# ----------------------------------------------------------------------
+def run_throughput(factor: float, num_queries: int, clients: int,
+                   window: float, max_batch: int, k: int = 5) -> dict:
+    replica = _build_graph(factor)
+    queries = list(replica.nodes())[:num_queries]
+
+    baseline_server = _start_server(factor, window=0.0, max_batch=1)
+    try:
+        with ServiceClient(port=baseline_server.port) as client:
+            client.topk(GRAPH_NAME, queries[0], k=k)  # warm compile
+        baseline_time, baseline_responses = _drive_queries(
+            baseline_server.port, queries, k, clients=1
+        )
+    finally:
+        baseline_server.stop()
+    _assert_topk_parity(baseline_responses, replica, k)
+
+    batched_server = _start_server(factor, window=window,
+                                   max_batch=max_batch)
+    try:
+        with ServiceClient(port=batched_server.port) as client:
+            client.topk(GRAPH_NAME, queries[0], k=k)  # warm compile
+        batched_time, batched_responses = _drive_queries(
+            batched_server.port, queries, k, clients=clients
+        )
+        with ServiceClient(port=batched_server.port) as client:
+            scheduler_stats = client.stats()["scheduler"]
+    finally:
+        batched_server.stop()
+    _assert_topk_parity(batched_responses, replica, k)
+
+    return {
+        "workload": f"{GRAPH_NAME} x{factor:g}, FSimbj{{theta=1}}, "
+                    f"top-{k} of {num_queries} queries",
+        "clients": clients,
+        "window_s": window,
+        "max_batch": max_batch,
+        "baseline_seconds": baseline_time,
+        "batched_seconds": batched_time,
+        "baseline_rps": num_queries / baseline_time,
+        "batched_rps": num_queries / batched_time,
+        "speedup": baseline_time / batched_time,
+        "coalesced_batches": scheduler_stats["coalesced_batches"],
+        "largest_batch": scheduler_stats["largest_batch"],
+        "parity": "bitwise (asserted per request)",
+    }
+
+
+def run_mixed_traffic(factor: float, rounds: int, clients: int,
+                      window: float) -> dict:
+    """Interleaved queries and mutations; parity after every round."""
+    replica = _build_graph(factor)
+    server = _start_server(factor, window=window, max_batch=32)
+    mutations = 0
+    try:
+        start = time.perf_counter()
+        for round_index in range(rounds):
+            queries = list(replica.nodes())[
+                round_index * clients:(round_index + 1) * clients
+            ]
+            _, responses = _drive_queries(server.port, queries, 3, clients)
+            _assert_topk_parity(responses, replica, 3)
+            edge = list(replica.edges())[round_index * 13]
+            with ServiceClient(port=server.port) as client:
+                client.mutate(GRAPH_NAME, [("remove_edge", *edge)])
+                replica.remove_edge(*edge)
+                mutations += 1
+                wire = client.fsim(GRAPH_NAME)
+            direct = fsim_matrix(replica, replica, config=_config())
+            assert wire_scores(wire) == direct.scores
+            assert wire["iterations"] == direct.iterations
+        elapsed = time.perf_counter() - start
+        with ServiceClient(port=server.port) as client:
+            stats = client.stats()
+        session_stats = stats["pairs"][f"{GRAPH_NAME}|{GRAPH_NAME}"].get(
+            "session_stats", {}
+        )
+    finally:
+        server.stop()
+    return {
+        "rounds": rounds,
+        "mutations": mutations,
+        "seconds": elapsed,
+        "incremental_runs": session_stats.get("incremental_runs", 0),
+        "compiled_patches": session_stats.get("compiled_patches", 0),
+        "cold_runs": session_stats.get("cold_runs", 0),
+        "parity": "bitwise (asserted per round)",
+    }
+
+
+def run_snapshot(factor: float, tmp_dir: pathlib.Path) -> dict:
+    snapshot_path = tmp_dir / f"{GRAPH_NAME}.snap"
+
+    # Cold first query: fresh store, nothing warm.
+    clear_plan_caches()
+    cold_store = GraphStore(default_config=_config())
+    cold_store.register(GRAPH_NAME, _build_graph(factor))
+    start = time.perf_counter()
+    cold_result = cold_store.fsim(GRAPH_NAME, GRAPH_NAME)
+    cold_seconds = time.perf_counter() - start
+    save_snapshot(cold_store, GRAPH_NAME, snapshot_path)
+    cold_store.close()
+
+    # Restored first query: fresh store + caches, snapshot attached.
+    clear_plan_caches()
+    warm_store = GraphStore(default_config=_config())
+    restore_snapshot(warm_store, snapshot_path, graph=_build_graph(factor))
+    start = time.perf_counter()
+    warm_result = warm_store.fsim(GRAPH_NAME, GRAPH_NAME)
+    warm_seconds = time.perf_counter() - start
+    stats = plan_cache_stats()
+    warm_store.close()
+
+    assert warm_result.scores == cold_result.scores
+    assert stats["plan_misses"] == 0, stats
+    assert stats["plan_adoptions"] == 1, stats
+    return {
+        "cold_first_query_seconds": cold_seconds,
+        "restored_first_query_seconds": warm_seconds,
+        "warm_start_speedup": cold_seconds / max(warm_seconds, 1e-9),
+        "snapshot_bytes": snapshot_path.stat().st_size,
+        "plan_misses_after_restore": stats["plan_misses"],
+        "recompiled": False,
+    }
+
+
+# ----------------------------------------------------------------------
+# harness
+# ----------------------------------------------------------------------
+def run_benchmark(factor: float = 5.0, num_queries: int = 24,
+                  clients: int = 8, window: float = 0.02,
+                  max_batch: int = 32, rounds: int = 3) -> dict:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        return {
+            "benchmark": "service",
+            "throughput": run_throughput(
+                factor, num_queries, clients, window, max_batch
+            ),
+            "mixed_traffic": run_mixed_traffic(
+                factor, rounds, clients=4, window=window
+            ),
+            "snapshot": run_snapshot(factor, pathlib.Path(tmp)),
+        }
+
+
+def render(report: dict) -> str:
+    through = report["throughput"]
+    mixed = report["mixed_traffic"]
+    snap = report["snapshot"]
+    lines = [
+        "# service throughput (micro-batched vs one-at-a-time)",
+        f"workload           {through['workload']}",
+        f"baseline           {through['baseline_rps']:8.1f} req/s "
+        f"({through['baseline_seconds']:.3f}s)",
+        f"micro-batched      {through['batched_rps']:8.1f} req/s "
+        f"({through['batched_seconds']:.3f}s, {through['clients']} clients, "
+        f"window {through['window_s'] * 1000:g}ms)",
+        f"speedup            {through['speedup']:8.2f}x "
+        f"(largest batch {through['largest_batch']}, "
+        f"{through['coalesced_batches']} coalesced)",
+        "",
+        "# mixed query/mutation traffic",
+        f"rounds             {mixed['rounds']} "
+        f"({mixed['mutations']} mutations, {mixed['seconds']:.3f}s, "
+        f"{mixed['compiled_patches']} compiled patches, "
+        f"{mixed['cold_runs']} cold runs)",
+        "",
+        "# snapshot warm start",
+        f"cold first query   {snap['cold_first_query_seconds']:.3f}s",
+        f"restored           {snap['restored_first_query_seconds']:.3f}s "
+        f"({snap['warm_start_speedup']:.0f}x, "
+        f"{snap['snapshot_bytes']} bytes, "
+        f"{snap['plan_misses_after_restore']} plan misses)",
+    ]
+    return "\n".join(lines)
+
+
+def write_report(report: dict, path=RESULT_PATH) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny workload, no speedup gate, no BENCH_service.json write",
+    )
+    parser.add_argument(
+        "--no-gate", action="store_true",
+        help="record throughput and assert parity, but never fail on "
+             "wall clock (shared CI runners)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        report = run_benchmark(factor=2.0, num_queries=8, clients=4,
+                               rounds=2)
+        print(render(report))
+        return 0
+    report = run_benchmark()
+    print(render(report))
+    write_report(report)
+    print(f"wrote {RESULT_PATH}")
+    if args.no_gate:
+        print("speedup gate disabled (--no-gate); parity was asserted")
+        return 0
+    speedup = report["throughput"]["speedup"]
+    if speedup < SPEEDUP_GATE:
+        print(f"FAIL: micro-batched speedup {speedup:.2f}x "
+              f"< {SPEEDUP_GATE}x gate")
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+def test_service_throughput(benchmark):
+    from conftest import run_once
+
+    report = run_once(benchmark, run_benchmark)
+    write_report(report)
+    assert report["throughput"]["speedup"] >= 1.0
+    assert report["snapshot"]["plan_misses_after_restore"] == 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

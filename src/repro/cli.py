@@ -26,6 +26,18 @@ Commands
     efficiency) and print its rendered output.
 ``examples``
     List the runnable example scripts.
+``serve --graph NAME=PATH ...``
+    Run the long-lived FSim query service (:mod:`repro.service`):
+    registered graphs stay resident with their compiled state, and
+    concurrent ``fsim`` / ``topk`` / ``matrix`` requests micro-batch
+    into the shared library calls.  ``--snapshot-dir`` restores warm
+    snapshots at startup (stale ones fall back to a cold registration)
+    and writes fresh ones on clean shutdown.
+``query ...``
+    One-shot client against a running server (``--op fsim|topk|stats|
+    graphs|ping|shutdown|snapshot``).
+``mutate --graph NAME --script EDITS``
+    Stream an edit script into a running server's registered graph.
 """
 
 from __future__ import annotations
@@ -155,6 +167,154 @@ def _cmd_stream(args) -> int:
     ranked = sorted(result.scores.items(), key=lambda kv: (-kv[1], repr(kv[0])))
     for (u, v), score in ranked[: args.top]:
         print(f"{u}\t{v}\t{score:.6f}")
+    return 0
+
+
+def _parse_named(pairs: List[str], flag: str) -> List[tuple]:
+    named = []
+    for raw in pairs or []:
+        name, sep, value = raw.partition("=")
+        if not sep or not name or not value:
+            raise SystemExit(f"{flag} expects NAME=PATH, got {raw!r}")
+        named.append((name, value))
+    return named
+
+
+def _cmd_serve(args) -> int:
+    import pathlib
+
+    from repro.core.config import FSimConfig
+    from repro.exceptions import SnapshotError
+    from repro.graph.io import load_graph
+    from repro.service import FSimServer, GraphStore
+    from repro.service.server import run_server
+    from repro.service.snapshot import restore_snapshot, save_snapshot
+
+    graphs = _parse_named(args.graph, "--graph")
+    if not graphs:
+        raise SystemExit("serve needs at least one --graph NAME=PATH")
+    config = FSimConfig(
+        variant=Variant(args.variant),
+        theta=args.theta,
+        label_function=args.label_function,
+        backend=args.backend,
+    )
+    store = GraphStore(
+        default_config=config,
+        workers=args.workers,
+        executor=args.executor,
+    )
+    snapshot_dir = (
+        pathlib.Path(args.snapshot_dir) if args.snapshot_dir else None
+    )
+    for name, path in graphs:
+        graph = load_graph(path, name=name)
+        snapshot_path = (
+            snapshot_dir / f"{name}.snap" if snapshot_dir else None
+        )
+        if snapshot_path and snapshot_path.exists():
+            try:
+                restore_snapshot(store, snapshot_path, graph=graph,
+                                 name=name, config=config)
+                print(f"# {name}: restored warm snapshot {snapshot_path}")
+                continue
+            except SnapshotError as exc:
+                print(f"# {name}: {exc}; registering cold")
+        store.register(name, graph)
+        print(f"# {name}: registered {graph.num_nodes} nodes / "
+              f"{graph.num_edges} edges")
+    def _save_snapshots():
+        for name, _ in graphs:
+            if name not in store.graph_names():
+                continue
+            try:
+                meta = save_snapshot(store, name,
+                                     snapshot_dir / f"{name}.snap")
+                print(f"# {name}: snapshot saved ({meta['bytes']} bytes)")
+            except Exception as exc:  # snapshot failure must not block exit
+                print(f"# {name}: snapshot failed: {exc}")
+
+    server = FSimServer(
+        store, host=args.host, port=args.port, window=args.window,
+        max_batch=args.max_batch, max_pending=args.max_pending,
+        on_stop=_save_snapshots if snapshot_dir else None,
+    )
+    print(f"# serving on {args.host}:{args.port or '(ephemeral)'} "
+          f"window={args.window}s max_batch={args.max_batch}")
+    run_server(server)
+    print("# server stopped")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.service import ServiceClient
+    from repro.service.client import wire_partners, wire_scores
+
+    with ServiceClient(args.host, args.port) as client:
+        if args.op == "ping":
+            print(client.ping())
+        elif args.op == "graphs":
+            for name in client.graphs():
+                print(name)
+        elif args.op == "stats":
+            import json as json_module
+
+            print(json_module.dumps(client.stats(), indent=2, default=str))
+        elif args.op == "shutdown":
+            print(client.shutdown())
+        elif args.op == "snapshot":
+            if not (args.graph1 and args.path):
+                raise SystemExit("snapshot needs --graph1 and --path")
+            print(client.snapshot_save(args.graph1, args.path))
+        elif args.op == "fsim":
+            if not args.graph1:
+                raise SystemExit("fsim needs --graph1")
+            result = client.fsim(args.graph1, args.graph2, top=args.top)
+            print(
+                f"# fsim {args.graph1}~{args.graph2 or args.graph1}: "
+                f"{result['num_candidates']} candidate pairs, "
+                f"{result['iterations']} iterations, "
+                f"converged={result['converged']}"
+            )
+            for (u, v), score in wire_scores(result).items():
+                print(f"{u}\t{v}\t{score:.6f}")
+        elif args.op == "topk":
+            if not (args.graph1 and args.query):
+                raise SystemExit("topk needs --graph1 and --query")
+            for query in args.query:
+                result = client.topk(args.graph1, query, k=args.k,
+                                     graph2=args.graph2)
+                status = ("certified" if result["certified"]
+                          else "best-effort")
+                print(f"# top-{args.k} for {query}: {status} after "
+                      f"{result['iterations']} iterations")
+                for partner, score in wire_partners(result):
+                    print(f"{query}\t{partner}\t{score:.6f}")
+        else:  # pragma: no cover - argparse restricts choices
+            raise SystemExit(f"unknown op {args.op!r}")
+    return 0
+
+
+def _cmd_mutate(args) -> int:
+    from repro.service import ServiceClient
+    from repro.streaming import parse_edit_script
+
+    with open(args.script, "r", encoding="utf-8") as handle:
+        script = parse_edit_script(handle)
+    if any(target == 2 for target, _op in script):
+        # Two-graph `stream` scripts address g1/g2; a service mutation
+        # targets exactly one named graph -- silently applying g2 lines
+        # to --graph would mutate the wrong graph.
+        raise SystemExit(
+            "edit script addresses g2: `mutate` applies to the single "
+            "graph named by --graph; split the script per graph"
+        )
+    ops = [tuple(value for value in op if value is not None)
+           for _target, op in script]
+    with ServiceClient(args.host, args.port) as client:
+        outcome = client.mutate(args.graph, ops)
+    print(f"# applied {outcome['applied']} op(s); "
+          f"{args.graph} is now at version {outcome['version']}")
     return 0
 
 
@@ -322,6 +482,79 @@ def build_parser() -> argparse.ArgumentParser:
 
     examples = commands.add_parser("examples", help="list example scripts")
     examples.set_defaults(handler=_cmd_examples)
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived FSim query service"
+    )
+    serve.add_argument(
+        "--graph", action="append", metavar="NAME=PATH",
+        help="register a graph under NAME from a v/e file (repeatable)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7464,
+                       help="TCP port (0 = ephemeral)")
+    serve.add_argument(
+        "--window", type=float, default=0.005,
+        help="micro-batching window in seconds (default 5ms)",
+    )
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="flush a batch early at this size")
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       help="admission-control bound on queued requests")
+    serve.add_argument(
+        "--variant", choices=[v.value for v in Variant if v is not Variant.CROSS],
+        default="s",
+    )
+    serve.add_argument("--theta", type=float, default=0.0)
+    serve.add_argument("--label-function", default="jaro_winkler")
+    serve.add_argument(
+        "--backend", choices=["auto", "python", "numpy"], default="numpy",
+        help="default compute backend for registered graphs",
+    )
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument(
+        "--executor", choices=list(EXECUTOR_KINDS), default=None,
+        help="parallel runtime for the resident sessions",
+    )
+    serve.add_argument(
+        "--snapshot-dir", default=None,
+        help="restore NAME.snap warm snapshots at startup (stale ones "
+             "fall back to cold registration) and save them on shutdown",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    query = commands.add_parser(
+        "query", help="one-shot client against a running service"
+    )
+    query.add_argument(
+        "--op", required=True,
+        choices=["ping", "graphs", "stats", "fsim", "topk", "shutdown",
+                 "snapshot"],
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7464)
+    query.add_argument("--graph1", default=None, help="registered name")
+    query.add_argument("--graph2", default=None,
+                       help="registered name (default: graph1)")
+    query.add_argument("--query", action="append",
+                       help="top-k query node (repeatable)")
+    query.add_argument("-k", type=int, default=5)
+    query.add_argument("--top", type=int, default=20,
+                       help="fsim: pairs to return")
+    query.add_argument("--path", default=None, help="snapshot: target file")
+    query.set_defaults(handler=_cmd_query)
+
+    mutate = commands.add_parser(
+        "mutate", help="stream an edit script into a running service"
+    )
+    mutate.add_argument("--graph", required=True, help="registered name")
+    mutate.add_argument(
+        "--script", required=True,
+        help="edit script file (same format as `stream`, no g1/g2 prefix)",
+    )
+    mutate.add_argument("--host", default="127.0.0.1")
+    mutate.add_argument("--port", type=int, default=7464)
+    mutate.set_defaults(handler=_cmd_mutate)
     return parser
 
 

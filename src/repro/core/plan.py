@@ -139,7 +139,30 @@ _LABEL_TABLE_CACHE: Dict[tuple, np.ndarray] = {}
 _LABEL_TABLE_CACHE_MAX = 256
 
 _STATS = {"plan_hits": 0, "plan_misses": 0, "plan_patches": 0,
-          "table_hits": 0, "table_misses": 0}
+          "plan_adoptions": 0, "plan_evictions": 0,
+          "table_hits": 0, "table_misses": 0, "table_evictions": 0}
+
+#: Graphs whose GC already counts as a plan eviction (one finalizer per
+#: graph, however many times its plan is re-registered).
+_EVICTION_HOOKED: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _count_plan_eviction() -> None:
+    _STATS["plan_evictions"] += 1
+
+
+def _register_eviction_hook(graph: LabeledDigraph) -> None:
+    """Count the weak-cache eviction when ``graph`` is reclaimed.
+
+    The plan cache holds graphs weakly, so eviction happens inside the
+    GC rather than at an explicit ``pop`` site; a per-graph finalizer is
+    the observable signal.  The counter is approximate by design: it
+    counts lowered graphs reclaimed by the GC, whether or not their
+    entry was already replaced or cleared.
+    """
+    if graph not in _EVICTION_HOOKED:
+        _EVICTION_HOOKED.add(graph)
+        weakref.finalize(graph, _count_plan_eviction)
 
 
 def lower_graph(graph: LabeledDigraph) -> GraphPlan:
@@ -150,8 +173,30 @@ def lower_graph(graph: LabeledDigraph) -> GraphPlan:
         return entry[1]
     _STATS["plan_misses"] += 1
     plan = GraphPlan(graph)
+    _register_eviction_hook(graph)
     _PLAN_CACHE[graph] = (graph.version, plan)
     return plan
+
+
+def adopt_plan(graph: LabeledDigraph, plan: GraphPlan) -> None:
+    """Register an externally produced ``plan`` as ``graph``'s lowering.
+
+    The warm-snapshot path of :mod:`repro.service.snapshot` restores a
+    plan serialized by a previous process; adopting it keyed on the
+    graph's *current* version means the next :func:`lower_graph` call
+    hits instead of re-running the per-node lowering loops.  Only cheap
+    structural invariants are checked here -- callers are responsible
+    for making sure the plan actually describes this graph (the
+    snapshot layer does so with a content fingerprint).
+    """
+    if plan.n != graph.num_nodes or len(plan.labels) != len(graph.labels()):
+        raise ValueError(
+            f"plan shape ({plan.n} nodes / {len(plan.labels)} labels) does "
+            f"not match graph ({graph.num_nodes} / {len(graph.labels())})"
+        )
+    _register_eviction_hook(graph)
+    _PLAN_CACHE[graph] = (graph.version, plan)
+    _STATS["plan_adoptions"] += 1
 
 
 def label_similarity_table(label_fn, labels1, labels2) -> np.ndarray:
@@ -173,6 +218,7 @@ def label_similarity_table(label_fn, labels1, labels2) -> np.ndarray:
     table = _build_label_table(label_fn, labels1, labels2)
     if len(_LABEL_TABLE_CACHE) >= _LABEL_TABLE_CACHE_MAX:
         _LABEL_TABLE_CACHE.pop(next(iter(_LABEL_TABLE_CACHE)))
+        _STATS["table_evictions"] += 1
     _LABEL_TABLE_CACHE[key] = table
     return table
 

@@ -36,3 +36,15 @@ class ConfigError(ReproError, ValueError):
 
 class ConvergenceError(ReproError, RuntimeError):
     """Raised when an iterative computation fails to converge in time."""
+
+
+class ServiceError(ReproError):
+    """Raised for invalid requests against the FSim query service."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when the service's admission control rejects a request."""
+
+
+class SnapshotError(ServiceError):
+    """Raised when a warm snapshot cannot be read or does not match."""

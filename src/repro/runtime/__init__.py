@@ -32,9 +32,13 @@ from repro.runtime.executor import (
     ForkExecutor,
     SerialExecutor,
     SharedMemoryExecutor,
+    SweepChannel,
+    evict_idle_executors,
+    executor_registry_stats,
     get_executor,
     preferred_start_method,
     resolve_executor,
+    shutdown_all,
     shutdown_executors,
     update_pairs,
 )
@@ -45,9 +49,13 @@ __all__ = [
     "ForkExecutor",
     "SerialExecutor",
     "SharedMemoryExecutor",
+    "SweepChannel",
+    "evict_idle_executors",
+    "executor_registry_stats",
     "get_executor",
     "preferred_start_method",
     "resolve_executor",
+    "shutdown_all",
     "shutdown_executors",
     "update_pairs",
 ]

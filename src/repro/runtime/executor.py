@@ -47,7 +47,10 @@ import threading
 import os
 import pickle
 import struct
+import time
 import warnings
+import weakref
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -242,9 +245,14 @@ _FORK_SHARED: Dict[int, dict] = {}
 
 _FORK_TOKENS = itertools.count(1)
 
-#: Per-worker cache of the current shared-memory session:
-#: (payload name, session id) -> unpickled state.
-_WORKER_SESSION: dict = {"key": None, "state": None}
+#: Per-worker cache of shared-memory sessions: (payload name, session
+#: id) -> {"state": unpickled payload, "applied": patch-journal entries
+#: replayed so far}.  A small LRU (rather than the old single slot) so a
+#: service alternating between a few long-lived sessions does not
+#: re-unpickle the broadcast state on every switch.
+_WORKER_SESSIONS: "OrderedDict[tuple, dict]" = OrderedDict()
+
+_WORKER_SESSION_LIMIT = 4
 
 #: Per-worker cache of attached data buffers, keyed by block name.
 _WORKER_BUFFERS: Dict[str, object] = {}
@@ -291,20 +299,68 @@ def _read_payload(payload_name: str):
 def _load_session(payload_name: str, session_id: int):
     """The unpickled session state, cached per worker per session."""
     key = (payload_name, session_id)
-    if _WORKER_SESSION["key"] != key:
-        state = _read_payload(payload_name)
-        _WORKER_SESSION["key"] = key
-        _WORKER_SESSION["state"] = state
-    return _WORKER_SESSION["state"]
+    entry = _WORKER_SESSIONS.get(key)
+    if entry is None:
+        entry = {"state": _read_payload(payload_name), "applied": 0}
+        while len(_WORKER_SESSIONS) >= _WORKER_SESSION_LIMIT:
+            _WORKER_SESSIONS.popitem(last=False)
+        _WORKER_SESSIONS[key] = entry
+    else:
+        _WORKER_SESSIONS.move_to_end(key)
+    return entry
+
+
+def _replay_patch_journal(entry: dict, delta_name: str,
+                          journal_len: int) -> None:
+    """Bring a cached sweep session up to date with the parent's patches.
+
+    The parent broadcasts the full compiled state once per channel and
+    then ships only the recorded graph deltas (see :class:`SweepChannel`).
+    Replaying ``patch_plan`` + ``patch_compiled_edges`` on the worker's
+    cached copy is deterministic, so after the replay the worker holds
+    arrays identical to the parent's -- at O(delta) broadcast cost.
+    """
+    if journal_len <= entry["applied"]:
+        return
+    from repro.core.plan import patch_plan
+    from repro.streaming.delta import Delta
+    from repro.streaming.patch import patch_compiled_edges
+
+    journal = _read_payload(delta_name)["journal"]
+    compiled, _tolerance = entry["state"]["sweep"]
+    for ops1, ops2, selfsim in journal[entry["applied"]:journal_len]:
+        plan1 = (patch_plan(compiled.plan1, _as_ops(ops1))
+                 if ops1 else compiled.plan1)
+        if selfsim:
+            plan2 = plan1
+        else:
+            plan2 = (patch_plan(compiled.plan2, _as_ops(ops2))
+                     if ops2 else compiled.plan2)
+        delta1 = Delta(_as_ops(ops1), 0, len(ops1))
+        delta2 = delta1 if selfsim else Delta(_as_ops(ops2), 0, len(ops2))
+        patch_compiled_edges(compiled, plan1, plan2, delta1, delta2)
+    entry["applied"] = journal_len
+    # The engine caches per-structure state keyed on the pre-patch
+    # structures -- rebuild it from the patched compiled instance.
+    entry["state"].pop("engine", None)
+
+
+def _as_ops(raw) -> tuple:
+    from repro.streaming.delta import DeltaOp
+
+    return tuple(DeltaOp(*fields) for fields in raw)
 
 
 def _shm_sweep_worker(task) -> None:
     """Sweep one pair-id range, writing into the shared output buffer."""
-    (payload_name, session_id, scores_name, scores_cap, upd_name, upd_cap,
+    (payload_name, session_id, delta_name, journal_len,
+     scores_name, scores_cap, upd_name, upd_cap,
      out_name, out_cap, scores_len, upd_len, start, stop) = task
     import numpy as np
 
-    state = _load_session(payload_name, session_id)
+    entry = _load_session(payload_name, session_id)
+    _replay_patch_journal(entry, delta_name, journal_len)
+    state = entry["state"]
     engine = state.get("engine")
     if engine is None:
         from repro.core.vectorized import VectorizedFSimEngine
@@ -326,7 +382,7 @@ def _shm_sweep_worker(task) -> None:
 
 def _shm_pair_worker(task) -> Tuple[dict, float]:
     payload_name, session_id, shard_index, prev_name = task
-    state = _load_session(payload_name, session_id)
+    state = _load_session(payload_name, session_id)["state"]
     engine, shards = state["pairs"]
     # prev travels through its own per-iteration block (pickled once by
     # the parent, not once per task); read uncached so it never evicts
@@ -352,7 +408,7 @@ def _run_query_positions(engines, positions) -> List[tuple]:
 
 def _shm_query_worker(task) -> List[tuple]:
     payload_name, session_id = task
-    state = _load_session(payload_name, session_id)
+    state = _load_session(payload_name, session_id)["state"]
     shard_engines, positions = state["query_shard"]
     return [_query_result_row(engine, position)
             for engine, position in zip(shard_engines, positions)]
@@ -361,8 +417,7 @@ def _shm_query_worker(task) -> List[tuple]:
 def _drop_worker_session(_=None) -> None:
     """Release this worker's cached session state (see
     ``SharedMemoryExecutor._release_worker_state``)."""
-    _WORKER_SESSION["key"] = None
-    _WORKER_SESSION["state"] = None
+    _WORKER_SESSIONS.clear()
 
 
 def _fork_sweep_worker(args):
@@ -385,6 +440,164 @@ def _fork_query_worker(args) -> List[tuple]:
 
 
 # ----------------------------------------------------------------------
+# persistent broadcast channels (streaming sessions)
+# ----------------------------------------------------------------------
+#: Patches accumulated on a channel before the next parallel sweep
+#: re-broadcasts the full state instead (bounds both the cumulative
+#: delta payload and the worker-side replay chain; amortized cost per
+#: update stays O(delta) + O(full)/budget).
+CHANNEL_JOURNAL_BUDGET = 64
+
+
+class SweepChannel:
+    """Persistent broadcast state for one long-lived compiled session.
+
+    A streaming session (:class:`repro.streaming.session.IncrementalFSim`)
+    patches its compiled instance *in place* between computes; without a
+    channel, every parallel compute re-published the full compiled
+    arrays to the worker pool -- O(graph) per update where the update
+    itself is O(delta).  A channel keeps the first full broadcast alive
+    across computes and ships only the recorded graph deltas
+    (:meth:`record_patch`); workers replay the same deterministic
+    ``patch_plan`` + ``patch_compiled_edges`` surgery on their cached
+    copy, so their state stays identical to the parent's while the
+    per-update broadcast is O(delta) bytes.
+
+    A channel is owned by exactly one session object (its computes are
+    serial); the executor tracks channels weakly and closes them with
+    the pool.  :attr:`broadcast_bytes` / :attr:`last_broadcast_bytes`
+    expose the wire cost for the O(delta) regression test.
+    """
+
+    def __init__(self, executor: "SharedMemoryExecutor"):
+        self._executor = executor
+        self._base_block: Optional[_PayloadBlock] = None
+        self._delta_block: Optional[_PayloadBlock] = None
+        self._journal: List[tuple] = []
+        self._published = 0
+        self._compiled_ref = None  # weakref to the broadcast instance
+        self._tolerance: Optional[float] = None
+        self._buffers = None
+        self._buffer_caps = None
+        self.closed = False
+        self.broadcast_bytes = 0
+        self.last_broadcast_bytes = 0
+        self.base_broadcasts = 0
+        self.delta_broadcasts = 0
+
+    # -- session-facing API -------------------------------------------
+    def record_patch(self, delta1, delta2, selfsim: bool) -> None:
+        """Record one successful in-place compiled patch for replay.
+
+        Call after ``patch_compiled_edges`` succeeded on the parent's
+        instance; ``delta1`` / ``delta2`` are the drained
+        :class:`~repro.streaming.delta.Delta` objects the patch applied
+        (``selfsim`` when both sides are the same graph).
+        """
+        if self.closed or self._base_block is None:
+            # Nothing broadcast yet: the next base broadcast pickles the
+            # already-patched state, so there is nothing to replay.
+            return
+        if len(self._journal) >= CHANNEL_JOURNAL_BUDGET:
+            self.invalidate()
+            return
+        self._journal.append((
+            tuple(tuple(op) for op in delta1.ops),
+            tuple(tuple(op) for op in delta2.ops),
+            bool(selfsim),
+        ))
+
+    def invalidate(self) -> None:
+        """Drop the broadcast state (full recompile, unsupported delta):
+        the next parallel sweep re-broadcasts the full payload."""
+        if self._base_block is not None:
+            self._base_block.close()
+            self._base_block = None
+        if self._delta_block is not None:
+            self._delta_block.close()
+            self._delta_block = None
+        self._journal = []
+        self._published = 0
+        self._compiled_ref = None
+        self._tolerance = None
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.invalidate()
+        if self._buffers is not None:
+            for buffer in self._buffers:
+                buffer.close()
+            self._buffers = None
+        self.closed = True
+
+    # -- executor-facing plumbing -------------------------------------
+    def _ensure_broadcast(self, vectorized):
+        """The (base block, (delta name, journal length)) for this sweep.
+
+        Returns ``(None, ...)`` when the state is unpicklable (the
+        caller stays serial).  Publishes the base payload on first use
+        or after an invalidation; publishes a fresh cumulative delta
+        block whenever the journal grew past what was last shipped.
+        """
+        compiled = vectorized.compiled
+        tolerance = float(vectorized.dirty_tolerance)
+        if (self._base_block is not None
+                and ((self._compiled_ref() if self._compiled_ref is not None
+                      else None) is not compiled
+                     or self._tolerance != tolerance)):
+            # The session recompiled into a new instance out-of-band.
+            self.invalidate()
+        if self._base_block is None:
+            payload = _transportable_vectorized(vectorized)
+            if payload is None:
+                return None, ("", 0)
+            self._base_block = self._executor._publish(payload)
+            self._compiled_ref = weakref.ref(compiled)
+            self._tolerance = tolerance
+            self._journal = []
+            self._published = 0
+            self.base_broadcasts += 1
+            self.last_broadcast_bytes = len(payload)
+            self.broadcast_bytes += len(payload)
+        if len(self._journal) > self._published:
+            try:
+                payload = _dumps({"journal": list(self._journal)})
+            except Exception:
+                # Unpicklable delta operands: fall back to a fresh base.
+                self.invalidate()
+                return self._ensure_broadcast(vectorized)
+            block = _PayloadBlock(payload, self._base_block.session_id)
+            if self._delta_block is not None:
+                self._delta_block.close()
+            self._delta_block = block
+            self._published = len(self._journal)
+            self.delta_broadcasts += 1
+            self.last_broadcast_bytes = len(payload)
+            self.broadcast_bytes += len(payload)
+        if self._delta_block is None:
+            return self._base_block, ("", 0)
+        return self._base_block, (self._delta_block.name, self._published)
+
+    def _ensure_buffers(self, num_feasible: int, num_updatable: int):
+        import numpy as np
+
+        caps = (num_feasible, num_updatable)
+        if self._buffers is not None and self._buffer_caps != caps:
+            for buffer in self._buffers:
+                buffer.close()
+            self._buffers = None
+        if self._buffers is None:
+            self._buffers = (
+                _ParentBuffer(np.float64, num_feasible),
+                _ParentBuffer(np.int64, num_updatable),
+                _ParentBuffer(np.float64, num_updatable),
+            )
+            self._buffer_caps = caps
+        return self._buffers
+
+
+# ----------------------------------------------------------------------
 # executors
 # ----------------------------------------------------------------------
 class Executor:
@@ -397,10 +610,28 @@ class Executor:
 
     kind = "serial"
     workers = 1
+    #: Sessions currently inside a ``*_session`` / ``run_queries`` body
+    #: (idle-eviction guard for the bounded registry).  Updated under
+    #: ``_SESSION_COUNT_LOCK`` -- concurrent service threads share one
+    #: cached executor, and a lost ``+= 1`` would make a busy pool look
+    #: idle to the eviction scan.
+    active_sessions = 0
+    #: ``time.monotonic()`` of the last session start.  Parallel
+    #: executors stamp it at construction too, so a just-created,
+    #: never-used executor is not "infinitely idle" to eviction.
+    last_used = 0.0
+
+    def _touch(self) -> None:
+        self.last_used = time.monotonic()
 
     @contextmanager
-    def sweep_session(self, vectorized):
-        """Yield a parallel ``sweep(scores, upd)`` or ``None``."""
+    def sweep_session(self, vectorized, channel: "Optional[SweepChannel]" = None):
+        """Yield a parallel ``sweep(scores, upd)`` or ``None``.
+
+        ``channel`` (shared-memory executor only) carries the persistent
+        broadcast state of a long-lived streaming session; other
+        executors ignore it.
+        """
         yield None
 
     @contextmanager
@@ -412,11 +643,32 @@ class Executor:
         """Whole-query sharding; ``None`` = caller runs serially."""
         return None
 
+    def open_channel(self) -> "Optional[SweepChannel]":
+        """A persistent sweep broadcast channel, or ``None`` when this
+        executor has no cross-session state to reuse."""
+        return None
+
+    @contextmanager
+    def _track(self):
+        """Session accounting for the bounded registry (idle detection)."""
+        with _SESSION_COUNT_LOCK:
+            self._touch()
+            self.active_sessions += 1
+        try:
+            yield
+        finally:
+            with _SESSION_COUNT_LOCK:
+                self.active_sessions -= 1
+
     def close(self) -> None:
         pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} workers={self.workers}>"
+
+
+#: Guards active_sessions updates (see Executor.active_sessions).
+_SESSION_COUNT_LOCK = threading.Lock()
 
 
 class SerialExecutor(Executor):
@@ -439,6 +691,7 @@ class ForkExecutor(Executor):
         self.workers = max(int(workers), 1)
         self.min_parallel_upd = int(min_parallel_upd)
         self.min_parallel_pairs = int(min_parallel_pairs)
+        self._touch()
         #: Pools forked over this executor's lifetime (observability for
         #: the no-spawn-for-tiny-workloads regression test).
         self.pools_created = 0
@@ -474,10 +727,12 @@ class ForkExecutor(Executor):
             _FORK_SHARED.pop(token, None)
 
     @contextmanager
-    def sweep_session(self, vectorized):
+    def sweep_session(self, vectorized, channel=None):
+        # channel is a shared-memory concept: a forked pool re-inherits
+        # the current state each session anyway.
         import numpy as np
 
-        with self._forked_pool(
+        with self._track(), self._forked_pool(
             {"vectorized": vectorized}
         ) as (ensure_pool, token):
             if ensure_pool is None:
@@ -504,7 +759,7 @@ class ForkExecutor(Executor):
         if _pairs_below_threshold(shards, self):
             yield None
             return
-        with self._forked_pool(
+        with self._track(), self._forked_pool(
             {"engine": engine, "shards": shards}
         ) as (ensure_pool, token):
             if ensure_pool is None:
@@ -540,7 +795,7 @@ class ForkExecutor(Executor):
             "engines": list(engines), "query_shards": shards,
         }
         try:
-            with context.Pool(processes=workers) as pool:
+            with self._track(), context.Pool(processes=workers) as pool:
                 self.pools_created += 1
                 partials = pool.map(
                     _fork_query_worker,
@@ -570,11 +825,15 @@ class SharedMemoryExecutor(Executor):
         self.workers = max(int(workers), 1)
         self.min_parallel_upd = int(min_parallel_upd)
         self.min_parallel_pairs = int(min_parallel_pairs)
+        self._touch()
         self._start_method = start_method
         self._pool = None
         self._pool_lock = threading.Lock()
         self._sessions = 0
         self.pools_created = 0
+        #: Live broadcast channels (closed with the executor so their
+        #: shared-memory blocks never outlive the pool).
+        self._channels: "weakref.WeakSet[SweepChannel]" = weakref.WeakSet()
 
     # -- pool / arena lifecycle ---------------------------------------
     @property
@@ -623,7 +882,14 @@ class SharedMemoryExecutor(Executor):
         except Exception:  # pragma: no cover - pool already broken
             pass
 
+    def open_channel(self) -> SweepChannel:
+        channel = SweepChannel(self)
+        self._channels.add(channel)
+        return channel
+
     def close(self) -> None:
+        for channel in list(self._channels):
+            channel.close()
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -631,7 +897,7 @@ class SharedMemoryExecutor(Executor):
 
     # -- sessions ------------------------------------------------------
     @contextmanager
-    def sweep_session(self, vectorized):
+    def sweep_session(self, vectorized, channel: Optional[SweepChannel] = None):
         import numpy as np
 
         compiled = vectorized.compiled
@@ -642,17 +908,24 @@ class SharedMemoryExecutor(Executor):
             # Every sweep is a subset of upd_arena: nothing to gain.
             yield None
             return
+        if channel is not None and (channel.closed
+                                    or channel._executor is not self):
+            channel = None
         # The session broadcast (one pickle of the compiled arrays) and
         # the session's arena buffers are deferred until a sweep
         # actually crosses the threshold: a session whose sweeps all
         # stay small -- the usual shape of streaming updates, whose
         # dirty frontier is delta-sized -- pays neither pickle, buffers
-        # nor pool.  Buffers are per session (never shared through the
-        # executor), so concurrent sessions on one cached executor
-        # cannot clobber each other's sweep state; the pool itself is
-        # safe to share (Pool.map is thread-safe, payloads are
-        # session-keyed).
-        state: dict = {"block": None, "serial_only": False, "buffers": None}
+        # nor pool.  Without a channel, buffers and broadcast are per
+        # session (never shared through the executor), so concurrent
+        # sessions on one cached executor cannot clobber each other's
+        # sweep state; the pool itself is safe to share (Pool.map is
+        # thread-safe, payloads are session-keyed).  With a channel the
+        # broadcast block, buffers and worker-side state persist across
+        # this caller's sessions -- the channel's owner serializes its
+        # own computes.
+        state: dict = {"block": None, "delta": ("", 0),
+                       "serial_only": False, "buffers": None}
         try:
 
             def sweep(scores, upd):
@@ -661,8 +934,15 @@ class SharedMemoryExecutor(Executor):
                     return vectorized.sweep(scores, upd)
                 block = state["block"]
                 if block is None:
-                    payload = _transportable_vectorized(vectorized)
-                    if payload is None:
+                    if channel is not None:
+                        block, state["delta"] = (
+                            channel._ensure_broadcast(vectorized)
+                        )
+                    else:
+                        payload = _transportable_vectorized(vectorized)
+                        block = (None if payload is None
+                                 else self._publish(payload))
+                    if block is None:
                         warnings.warn(
                             "compiled sweep state is not picklable; "
                             "sweeps stay serial",
@@ -670,14 +950,20 @@ class SharedMemoryExecutor(Executor):
                         )
                         state["serial_only"] = True
                         return vectorized.sweep(scores, upd)
-                    block = state["block"] = self._publish(payload)
+                    state["block"] = block
                 if state["buffers"] is None:
-                    state["buffers"] = (
-                        _ParentBuffer(np.float64, num_feasible),
-                        _ParentBuffer(np.int64, num_updatable),
-                        _ParentBuffer(np.float64, num_updatable),
-                    )
+                    if channel is not None:
+                        state["buffers"] = channel._ensure_buffers(
+                            num_feasible, num_updatable
+                        )
+                    else:
+                        state["buffers"] = (
+                            _ParentBuffer(np.float64, num_feasible),
+                            _ParentBuffer(np.int64, num_updatable),
+                            _ParentBuffer(np.float64, num_updatable),
+                        )
                 scores_buf, upd_buf, out_buf = state["buffers"]
+                delta_name, journal_len = state["delta"]
                 scores_len = int(scores.size)
                 scores_buf.view[:scores_len] = scores
                 upd_buf.view[:length] = upd
@@ -686,6 +972,7 @@ class SharedMemoryExecutor(Executor):
                     _shm_sweep_worker,
                     [
                         (block.name, block.session_id,
+                         delta_name, journal_len,
                          scores_buf.name, scores_buf.capacity,
                          upd_buf.name, upd_buf.capacity,
                          out_buf.name, out_buf.capacity,
@@ -698,14 +985,16 @@ class SharedMemoryExecutor(Executor):
                 # consume the values before re-entering sweep).
                 return out_buf.view[:length]
 
-            yield sweep
+            with self._track():
+                yield sweep
         finally:
-            if state["buffers"] is not None:
-                for buffer in state["buffers"]:
-                    buffer.close()
-            if state["block"] is not None:
-                state["block"].close()
-                self._release_worker_state()
+            if channel is None:
+                if state["buffers"] is not None:
+                    for buffer in state["buffers"]:
+                        buffer.close()
+                if state["block"] is not None:
+                    state["block"].close()
+                    self._release_worker_state()
 
     @contextmanager
     def pair_session(self, engine, shards):
@@ -747,7 +1036,8 @@ class SharedMemoryExecutor(Executor):
                         delta = local
                 return merged, delta
 
-            yield step
+            with self._track():
+                yield step
         finally:
             block.close()
             self._release_worker_state()
@@ -785,8 +1075,9 @@ class SharedMemoryExecutor(Executor):
             )
             return None
         try:
-            pool = self._ensure_pool()
-            partials = pool.map(_shm_query_worker, tasks)
+            with self._track():
+                pool = self._ensure_pool()
+                partials = pool.map(_shm_query_worker, tasks)
         finally:
             for block in blocks:
                 block.close()
@@ -817,7 +1108,32 @@ def _warm_shared_plans(engines) -> None:
 # registry and resolution
 # ----------------------------------------------------------------------
 _SERIAL = SerialExecutor()
-_CACHE: Dict[Tuple[str, int], Executor] = {}
+_CACHE: "OrderedDict[Tuple[str, int], Executor]" = OrderedDict()
+_CACHE_LOCK = threading.Lock()
+
+#: Bound on the process-wide executor registry.  A long-lived server
+#: sweeping many (kind, workers) combinations would otherwise
+#: accumulate one worker pool per combination forever; past the bound,
+#: the least-recently-used *idle* executor is closed and evicted
+#: (busy executors are never reclaimed under a caller).
+MAX_CACHED_EXECUTORS = 4
+
+
+def _reclaimable(executor: Executor) -> bool:
+    """Whether eviction may close this executor right now.
+
+    Not mid-session, and not holding any live :class:`SweepChannel` --
+    a resident streaming session's channel carries its one-time state
+    broadcast, and closing it would silently demote that session from
+    O(delta) delta shipping back to full re-broadcasts (plus respawn
+    the pool outside the registry's reach on its next compute).
+    """
+    if executor.active_sessions:
+        return False
+    channels = getattr(executor, "_channels", None)
+    if channels and any(not channel.closed for channel in channels):
+        return False
+    return True
 
 
 def get_executor(kind: str, workers: int) -> Executor:
@@ -826,24 +1142,81 @@ def get_executor(kind: str, workers: int) -> Executor:
     if kind == "serial" or workers <= 1:
         return _SERIAL
     key = (kind, workers)
-    cached = _CACHE.get(key)
-    if cached is None:
+    with _CACHE_LOCK:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            _CACHE.move_to_end(key)
+            return cached
         if kind == "fork":
             cached = ForkExecutor(workers)
         elif kind == "shared_memory":
             cached = SharedMemoryExecutor(workers)
         else:
             raise ConfigError(f"unknown executor kind {kind!r}")
+        while len(_CACHE) >= MAX_CACHED_EXECUTORS:
+            victim_key = next(
+                (k for k, ex in _CACHE.items() if _reclaimable(ex)),
+                None,
+            )
+            if victim_key is None:
+                break  # every cached pool is in use: soft bound
+            _CACHE.pop(victim_key).close()
         _CACHE[key] = cached
     return cached
 
 
+def evict_idle_executors(max_idle_seconds: float = 0.0) -> int:
+    """Close and evict cached executors idle for ``max_idle_seconds``.
+
+    Idle = no session currently open, no live streaming channel (a
+    resident :class:`~repro.streaming.session.IncrementalFSim` keeps
+    one), and the last use at least ``max_idle_seconds`` ago (0
+    reclaims every currently idle pool).  Returns the number of
+    executors closed.  Safe to call from a server's housekeeping loop;
+    a subsequent :func:`get_executor` simply builds a fresh instance.
+    """
+    now = time.monotonic()
+    closed = 0
+    with _CACHE_LOCK:
+        for key in list(_CACHE):
+            cached = _CACHE[key]
+            if not _reclaimable(cached):
+                continue
+            if now - cached.last_used >= max_idle_seconds:
+                _CACHE.pop(key).close()
+                closed += 1
+    return closed
+
+
+def executor_registry_stats() -> Dict[str, object]:
+    """Observability for the service stats endpoint."""
+    with _CACHE_LOCK:
+        return {
+            "cached": len(_CACHE),
+            "bound": MAX_CACHED_EXECUTORS,
+            "entries": [
+                {
+                    "kind": kind,
+                    "workers": workers,
+                    "pool_started": bool(getattr(ex, "pool_started", False)
+                                         or getattr(ex, "_pool", None)),
+                    "active_sessions": ex.active_sessions,
+                }
+                for (kind, workers), ex in _CACHE.items()
+            ],
+        }
+
+
 def shutdown_executors() -> None:
     """Close every cached executor (pools, shared-memory arenas)."""
-    for cached in _CACHE.values():
-        cached.close()
-    _CACHE.clear()
+    with _CACHE_LOCK:
+        for cached in _CACHE.values():
+            cached.close()
+        _CACHE.clear()
 
+
+#: Explicit alias for long-lived servers (the eviction API's big hammer).
+shutdown_all = shutdown_executors
 
 atexit.register(shutdown_executors)
 

@@ -1,0 +1,47 @@
+"""repro.service: a long-lived FSim query service.
+
+The PR 1-4 layers made single-shot work fast -- vectorized compilation
+(:mod:`repro.core.plan`), batched multi-query execution
+(``search_many`` / ``fsim_matrix_many``), incremental streaming
+(:mod:`repro.streaming`) and a persistent shared-memory runtime
+(:mod:`repro.runtime`).  This subsystem keeps all of it *resident* and
+serves it to concurrent clients, closing the ROADMAP gap between the
+library and a system that "serves heavy traffic":
+
+- :mod:`repro.service.store` -- named graphs registered once, each
+  owning its plan, compiled arenas, an incremental session and
+  LRU-bounded result caches with explicit statistics;
+- :mod:`repro.service.scheduler` -- micro-batching: concurrent
+  same-shape requests arriving within a small window coalesce into one
+  batched library call (``search_many`` for top-k, one shared compute
+  for identical matrix requests), with admission control when queues
+  exceed their budget;
+- :mod:`repro.service.server` -- the asyncio front end: newline-
+  delimited JSON over TCP, pipelined per connection (stdlib only);
+- :mod:`repro.service.snapshot` -- warm snapshots: plan + compiled
+  arrays + converged scores serialized to disk and restored on restart
+  behind a content fingerprint, so the first post-restart query answers
+  without recompiling;
+- :mod:`repro.service.client` -- a thin blocking client.
+
+Responses are exactly what the corresponding direct library call
+returns (parity is asserted in ``tests/test_service.py`` and
+``benchmarks/bench_service.py``); batching changes latency and
+throughput, never values.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.scheduler import MicroBatchScheduler
+from repro.service.server import FSimServer, ServerThread
+from repro.service.snapshot import load_snapshot, save_snapshot
+from repro.service.store import GraphStore
+
+__all__ = [
+    "FSimServer",
+    "GraphStore",
+    "MicroBatchScheduler",
+    "ServerThread",
+    "ServiceClient",
+    "load_snapshot",
+    "save_snapshot",
+]

@@ -1,0 +1,161 @@
+"""A thin blocking client for the FSim query service.
+
+One :class:`ServiceClient` holds one TCP connection with one request in
+flight (thread-safe via an internal lock; concurrent load generators
+should open one client per thread, like the benchmark does).  Methods
+mirror the server ops and return the parsed ``result`` object;
+``ok: false`` responses raise :class:`~repro.exceptions.ServiceError`
+(or :class:`~repro.exceptions.ServiceOverloadedError` when the server's
+admission control rejected the request -- catch it and back off).
+
+Helpers :func:`wire_scores` / :func:`wire_partners` convert the JSON
+rows back into the dict/list shapes the library returns, so parity
+checks against direct :func:`repro.core.api.fsim_matrix` /
+``TopKSearch`` calls are one equality away.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ServiceError, ServiceOverloadedError
+
+Node = Hashable
+
+
+def wire_scores(result: dict) -> Dict[Tuple[Node, Node], float]:
+    """``result["scores"]`` rows as the library's ``{(u, v): score}``."""
+    return {(u, v): score for u, v, score in result["scores"]}
+
+
+def wire_partners(result: dict) -> List[Tuple[Node, float]]:
+    """``result["partners"]`` rows as the library's ``[(node, score)]``."""
+    return [(node, score) for node, score in result["partners"]]
+
+
+class ServiceClient:
+    """Blocking NDJSON-over-TCP client (see the module docstring)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7464,
+                 timeout: float = 120.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields) -> dict:
+        """Send one request and return its ``result`` payload."""
+        with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            message = {"id": request_id, "op": op}
+            message.update(
+                {k: v for k, v in fields.items() if v is not None}
+            )
+            self._file.write(
+                json.dumps(message, separators=(",", ":")).encode() + b"\n"
+            )
+            self._file.flush()
+            line = self._file.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        response = json.loads(line)
+        if response.get("id") != request_id:
+            raise ServiceError(
+                f"response id {response.get('id')} does not match "
+                f"request id {request_id}"
+            )
+        if not response.get("ok"):
+            error = response.get("error", "unknown error")
+            if response.get("overloaded"):
+                raise ServiceOverloadedError(error)
+            raise ServiceError(error)
+        return response.get("result", {})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def graphs(self) -> List[str]:
+        return self.request("graphs")["graphs"]
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    def register(self, name: str, path: Optional[str] = None,
+                 nodes: Optional[Sequence] = None,
+                 edges: Optional[Sequence] = None,
+                 params: Optional[dict] = None,
+                 replace: bool = False) -> dict:
+        return self.request(
+            "register", name=name, path=path, nodes=nodes, edges=edges,
+            params=params, replace=replace or None,
+        )
+
+    def fsim(self, graph1: str, graph2: Optional[str] = None,
+             params: Optional[dict] = None,
+             top: Optional[int] = None) -> dict:
+        return self.request(
+            "fsim", graph1=graph1, graph2=graph2, params=params, top=top
+        )
+
+    def topk(self, graph1: str, query: Node, k: int = 5,
+             graph2: Optional[str] = None,
+             params: Optional[dict] = None) -> dict:
+        return self.request(
+            "topk", graph1=graph1, graph2=graph2, query=query, k=k,
+            params=params,
+        )
+
+    def matrix(self, graphs1: Sequence[str], graph2: str,
+               params: Optional[dict] = None,
+               top: Optional[int] = None) -> dict:
+        return self.request(
+            "matrix", graphs1=list(graphs1), graph2=graph2, params=params,
+            top=top,
+        )
+
+    def mutate(self, graph: str, ops: Sequence) -> dict:
+        """Apply mutations: ``ops`` is a list of ``(kind, a[, b])``."""
+        wire_ops = []
+        for op in ops:
+            fields = list(op)
+            if not 2 <= len(fields) <= 3:
+                raise ServiceError(
+                    f"mutation op must be (kind, a[, b]), got {op!r}"
+                )
+            wire_ops.append(fields)
+        return self.request("mutate", graph=graph, ops=wire_ops)
+
+    def snapshot_save(self, graph: str, path: str) -> dict:
+        return self.request("snapshot_save", graph=graph, path=path)
+
+    def snapshot_restore(self, path: str, name: Optional[str] = None,
+                         replace: bool = False) -> dict:
+        return self.request(
+            "snapshot_restore", path=path, name=name,
+            replace=replace or None,
+        )

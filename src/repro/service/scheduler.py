@@ -1,0 +1,311 @@
+"""Micro-batched request scheduling for the FSim service.
+
+The batched library calls of PR 2 (``TopKSearch.search_many`` -- one
+shared iteration loop for n queries, ``fsim_matrix_many`` -- one shared
+lowering for n query graphs) only pay off when requests actually arrive
+*together*.  A network service sees them arrive separately; this
+scheduler re-creates the batches: requests with the same *shape* (same
+op, same graph pair, same effective config) that arrive within a small
+time window -- or before the window fills to ``max_batch`` -- coalesce
+into one library call:
+
+- ``topk``: all queries of a bucket run through one ``search_many``
+  (results are provably independent of batch composition, so coalescing
+  is invisible in the values);
+- ``fsim``: identical requests share one computation and one result;
+- ``matrix``: the buckets' query-graph lists concatenate into one
+  ``fsim_matrix_many``;
+- ``mutate``: mutations of one graph apply back-to-back under a single
+  lock acquisition, in arrival order.
+
+Consistency: every bucket executes under the asyncio locks of the
+graphs it touches (acquired in sorted order -- no lock-order
+inversions), so queries never observe a half-applied mutation batch and
+a client that *awaited* a mutation response is guaranteed to see its
+effect in subsequent queries.  Admission control rejects new work once
+``max_pending`` requests are queued or in flight
+(:class:`~repro.exceptions.ServiceOverloadedError` -- the server maps
+it to an ``overloaded`` error response so clients can back off).
+
+The blocking store calls run on a thread pool
+(``loop.run_in_executor``), keeping the event loop free to accept and
+coalesce more work while a batch computes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from contextlib import asynccontextmanager
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import ServiceError, ServiceOverloadedError
+from repro.service.store import GraphStore
+from repro.streaming.delta import DeltaOp
+
+#: Ops the scheduler batches; everything else is served inline by the
+#: server (registry / stats / snapshot traffic is rare and cheap).
+BATCHED_OPS = ("fsim", "topk", "matrix", "mutate")
+
+
+def _params_fingerprint(params: Optional[dict]) -> tuple:
+    if not params:
+        return ()
+    return tuple(sorted((str(k), repr(v)) for k, v in params.items()))
+
+
+class MicroBatchScheduler:
+    """Coalesce concurrent same-shape requests into batched store calls."""
+
+    def __init__(
+        self,
+        store: GraphStore,
+        window: float = 0.005,
+        max_batch: int = 32,
+        max_pending: int = 1024,
+    ):
+        self.store = store
+        self.window = max(float(window), 0.0)
+        self.max_batch = max(int(max_batch), 1)
+        self.max_pending = max(int(max_pending), 1)
+        self._buckets: Dict[tuple, dict] = {}
+        self._graph_locks: Dict[str, asyncio.Lock] = {}
+        self._pending = 0
+        self.stats = {
+            "requests": 0,
+            "rejected": 0,
+            "batches": 0,
+            "coalesced_batches": 0,
+            "coalesced_requests": 0,
+            "largest_batch": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # locks
+    # ------------------------------------------------------------------
+    def _lock(self, name: str) -> asyncio.Lock:
+        lock = self._graph_locks.get(name)
+        if lock is None:
+            lock = self._graph_locks[name] = asyncio.Lock()
+        return lock
+
+    @asynccontextmanager
+    async def exclusive(self, names: Sequence[str]):
+        """Hold the per-graph locks of ``names`` (sorted acquisition).
+
+        Also used by the server for inline registry / snapshot ops so
+        they serialize against in-flight query batches on the same
+        graphs.
+        """
+        ordered = sorted(set(names))
+        locks = [self._lock(name) for name in ordered]
+        acquired: List[asyncio.Lock] = []
+        try:
+            for lock in locks:
+                await lock.acquire()
+                acquired.append(lock)
+            yield
+        finally:
+            for lock in reversed(acquired):
+                lock.release()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def submit(self, op: str, request: dict):
+        """Enqueue one request; resolves to the store-level result.
+
+        ``request`` is the normalized form the server builds (graph
+        names resolved, ops parsed); the returned value is whatever the
+        corresponding :class:`~repro.service.store.GraphStore` method
+        returns for this single request.
+        """
+        if op not in BATCHED_OPS:
+            raise ServiceError(f"op {op!r} is not schedulable")
+        if self._pending >= self.max_pending:
+            self.stats["rejected"] += 1
+            raise ServiceOverloadedError(
+                f"{self._pending} requests pending "
+                f"(max_pending={self.max_pending}); retry later"
+            )
+        key = self._classify(op, request)
+        self.stats["requests"] += 1
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending += 1
+        try:
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = {"op": op, "items": [], "event": asyncio.Event()}
+                self._buckets[key] = bucket
+                asyncio.ensure_future(self._flush_after(key, bucket))
+            bucket["items"].append((request, future))
+            if len(bucket["items"]) >= self.max_batch:
+                bucket["event"].set()
+            return await future
+        finally:
+            self._pending -= 1
+
+    def _classify(self, op: str, request: dict) -> tuple:
+        """The coalescing bucket key: requests sharing it must resolve
+        to the same effective config (`matrix` resolves its config from
+        graph2, which the key carries; `fsim`/`topk` resolve from
+        graph1)."""
+        params_fp = _params_fingerprint(request.get("params"))
+        if op == "fsim":
+            return ("fsim", request["graph1"], request["graph2"], params_fp)
+        if op == "topk":
+            return ("topk", request["graph1"], request["graph2"],
+                    int(request["k"]), params_fp)
+        if op == "matrix":
+            return ("matrix", request["graph2"], params_fp)
+        return ("mutate", request["graph"])
+
+    @staticmethod
+    def _touched_graphs(op: str, requests) -> List[str]:
+        """Every graph a batch reads or writes (lock set, computed at
+        flush time over ALL coalesced requests -- `matrix` buckets mix
+        different graphs1 lists)."""
+        names = set()
+        for request in requests:
+            if op == "matrix":
+                names.update(request["graphs1"])
+                names.add(request["graph2"])
+            elif op == "mutate":
+                names.add(request["graph"])
+            else:
+                names.add(request["graph1"])
+                names.add(request["graph2"])
+        return sorted(names)
+
+    async def quiesce(self, timeout: float = 5.0) -> bool:
+        """Wait for in-flight work to drain (clean server shutdown)."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while self._pending or self._buckets:
+            if asyncio.get_running_loop().time() >= deadline:
+                return False
+            await asyncio.sleep(0.005)
+        return True
+
+    # ------------------------------------------------------------------
+    # flushing
+    # ------------------------------------------------------------------
+    async def _flush_after(self, key: tuple, bucket: dict) -> None:
+        if self.window > 0.0:
+            try:
+                await asyncio.wait_for(
+                    bucket["event"].wait(), timeout=self.window
+                )
+            except asyncio.TimeoutError:
+                pass
+        self._buckets.pop(key, None)
+        items = bucket["items"]
+        if not items:
+            return
+        self.stats["batches"] += 1
+        if len(items) > 1:
+            self.stats["coalesced_batches"] += 1
+            self.stats["coalesced_requests"] += len(items) - 1
+        if len(items) > self.stats["largest_batch"]:
+            self.stats["largest_batch"] = len(items)
+        loop = asyncio.get_running_loop()
+        names = self._touched_graphs(bucket["op"],
+                                     [request for request, _ in items])
+        try:
+            async with self.exclusive(names):
+                outcomes = await loop.run_in_executor(
+                    None, self._execute, bucket["op"], items
+                )
+        except Exception as exc:  # store-level failure: fail the batch
+            for _, future in items:
+                if not future.done():
+                    future.set_exception(_clone_exception(exc))
+            return
+        for (_, future), outcome in zip(items, outcomes):
+            if future.done():
+                continue
+            if isinstance(outcome, BaseException):
+                future.set_exception(outcome)
+            else:
+                future.set_result(outcome)
+
+    # ------------------------------------------------------------------
+    # batched execution (worker thread)
+    # ------------------------------------------------------------------
+    def _execute(self, op: str, items: List[tuple]) -> List[object]:
+        store = self.store
+        first = items[0][0]
+        if op == "fsim":
+            # Identical shape by construction: one compute, one shared
+            # result object for every coalesced request.
+            result = store.fsim(
+                first["graph1"], first["graph2"], first.get("params")
+            )
+            return [result] * len(items)
+        if op == "topk":
+            queries = [request["query"] for request, _ in items]
+            try:
+                return list(store.topk(
+                    first["graph1"], first["graph2"], queries,
+                    first["k"], first.get("params"),
+                ))
+            except ServiceError:
+                # One bad query (e.g. an unknown node) must not fail its
+                # batch peers: degrade to per-request execution.
+                return [
+                    self._attempt(
+                        lambda r=request: store.topk(
+                            r["graph1"], r["graph2"], [r["query"]],
+                            r["k"], r.get("params"),
+                        )[0]
+                    )
+                    for request, _ in items
+                ]
+        if op == "matrix":
+            combined: List[str] = []
+            for request, _ in items:
+                combined.extend(request["graphs1"])
+            try:
+                results = store.matrix(
+                    combined, first["graph2"], first.get("params")
+                )
+            except ServiceError:
+                return [
+                    self._attempt(
+                        lambda r=request: store.matrix(
+                            r["graphs1"], r["graph2"], r.get("params")
+                        )
+                    )
+                    for request, _ in items
+                ]
+            outcomes: List[object] = []
+            cursor = 0
+            for request, _ in items:
+                count = len(request["graphs1"])
+                outcomes.append(results[cursor:cursor + count])
+                cursor += count
+            return outcomes
+        # mutate: strictly in arrival order, each with its own outcome.
+        outcomes = []
+        for request, _ in items:
+            outcomes.append(self._attempt(
+                lambda r=request: store.mutate(
+                    r["graph"], [DeltaOp(*op_fields) for op_fields in r["ops"]]
+                )
+            ))
+        return outcomes
+
+    @staticmethod
+    def _attempt(call):
+        try:
+            return call()
+        except Exception as exc:
+            return exc
+
+
+def _clone_exception(exc: BaseException) -> BaseException:
+    """A per-future copy of a shared batch failure (tracebacks attached
+    to one future must not leak into another's context)."""
+    try:
+        return type(exc)(*exc.args)
+    except Exception:
+        return ServiceError(str(exc))

@@ -1,0 +1,510 @@
+"""The asyncio front end of the FSim query service.
+
+Wire protocol (stdlib only): newline-delimited JSON over TCP.  Each
+request is one JSON object per line carrying an ``op``, an optional
+``id`` (echoed back) and op-specific fields; each response is one JSON
+line ``{"id": ..., "ok": true, "result": {...}}`` or ``{"id": ...,
+"ok": false, "error": "...", "overloaded": bool}``.  Requests on one
+connection may be pipelined; responses carry the request ``id`` and can
+arrive out of order (the blocking :class:`~repro.service.client.ServiceClient`
+keeps one request in flight, concurrent clients use one connection
+each).
+
+Query/mutation ops (``fsim``, ``topk``, ``matrix``, ``mutate``) go
+through the :class:`~repro.service.scheduler.MicroBatchScheduler`;
+registry and observability ops (``register``, ``graphs``, ``stats``,
+``snapshot_save``, ``snapshot_restore``, ``ping``, ``shutdown``) are
+served inline under the same per-graph locks.
+
+Floats survive the JSON round trip exactly (CPython serializes by
+``repr`` and parses back to the same IEEE-754 double), so a client-side
+score comparison against a direct library call can assert *bitwise*
+equality -- the parity tests and ``benchmarks/bench_service.py`` do.
+
+:class:`ServerThread` runs the same server on a background thread with
+its own event loop -- the in-process harness used by tests, benchmarks
+and the CLI's ``--serve-and-run`` style workflows.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import warnings
+from typing import List, Optional
+
+from repro.core.engine import FSimResult
+from repro.core.topk import TopKResult
+from repro.exceptions import (
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    SnapshotError,
+)
+from repro.service.scheduler import BATCHED_OPS, MicroBatchScheduler
+from repro.service.store import GraphStore
+from repro.simulation.base import Variant
+
+
+# ----------------------------------------------------------------------
+# wire serialization
+# ----------------------------------------------------------------------
+def fsim_result_to_wire(result: FSimResult, top: Optional[int] = None) -> dict:
+    """The JSON form of an :class:`FSimResult`.
+
+    ``scores`` is a list of ``[u, v, score]`` rows in the engine's
+    candidate order; ``top`` truncates to the best ``top`` rows (sorted
+    by descending score, ``repr`` tie-break, like the CLI).
+    """
+    rows = [[u, v, value] for (u, v), value in result.scores.items()]
+    if top is not None:
+        rows.sort(key=lambda row: (-row[2], repr((row[0], row[1]))))
+        rows = rows[:int(top)]
+    return {
+        "scores": rows,
+        "iterations": result.iterations,
+        "converged": result.converged,
+        "num_candidates": result.num_candidates,
+    }
+
+
+def topk_result_to_wire(result: TopKResult) -> dict:
+    return {
+        "query": result.query,
+        "partners": [[node, value] for node, value in result.partners],
+        "iterations": result.iterations,
+        "certified": result.certified,
+    }
+
+
+class FSimServer:
+    """One service instance: store + scheduler + TCP front end."""
+
+    def __init__(
+        self,
+        store: Optional[GraphStore] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window: float = 0.005,
+        max_batch: int = 32,
+        max_pending: int = 1024,
+        on_stop=None,
+    ):
+        #: Callback run during :meth:`stop` after draining, *before*
+        #: the store is closed -- the CLI writes shutdown snapshots
+        #: here (saving after close would find an empty registry).
+        self._on_stop = on_stop
+        self.store = store or GraphStore()
+        self.scheduler = MicroBatchScheduler(
+            self.store, window=window, max_batch=max_batch,
+            max_pending=max_pending,
+        )
+        self.host = host
+        self.port = int(port)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopping = False
+        self._stopped_event: Optional[asyncio.Event] = None
+        self._conn_tasks: set = set()
+        self.connections = 0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._stopped_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=1 << 22,  # 4 MiB request lines (large inline graphs)
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def wait_stopped(self) -> None:
+        """Resolve once a begun :meth:`stop` has fully completed."""
+        if self._stopped_event is not None:
+            await self._stopped_event.wait()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain in-flight batches, release the store."""
+        if self._stopping:
+            await self.wait_stopped()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()  # stop accepting; do NOT wait_closed yet
+        drained = await self.scheduler.quiesce(timeout=30.0)
+        if not drained:  # pragma: no cover - pathological batch length
+            warnings.warn(
+                "service shutdown proceeding with undrained batches",
+                RuntimeWarning,
+            )
+        # Idle keep-alive connections sit in readline() forever; cancel
+        # them so the loop can wind down without orphaned tasks.  This
+        # must happen BEFORE Server.wait_closed(): since Python 3.12.1
+        # wait_closed blocks until every connection handler finishes,
+        # so waiting first would deadlock on any idle client.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+        try:
+            if self._on_stop is not None:
+                await asyncio.get_running_loop().run_in_executor(
+                    None, self._on_stop
+                )
+        finally:
+            self.store.close()
+            if self._stopped_event is not None:
+                self._stopped_event.set()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.connections += 1
+        current = asyncio.current_task()
+        if current is not None:
+            self._conn_tasks.add(current)
+        write_lock = asyncio.Lock()
+        tasks: List[asyncio.Task] = []
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                task = asyncio.ensure_future(
+                    self._respond(writer, write_lock, line)
+                )
+                tasks.append(task)
+                tasks = [t for t in tasks if not t.done()]
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown with the connection still open
+        finally:
+            if current is not None:
+                self._conn_tasks.discard(current)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _respond(self, writer: asyncio.StreamWriter,
+                       write_lock: asyncio.Lock, line: bytes) -> None:
+        request_id = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ServiceError("request must be a JSON object")
+            request_id = request.get("id")
+            result = await self._dispatch(request)
+            response = {"id": request_id, "ok": True, "result": result}
+        except ServiceOverloadedError as exc:
+            response = {"id": request_id, "ok": False,
+                        "error": str(exc), "overloaded": True}
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            detail = str(exc) or type(exc).__name__
+            response = {"id": request_id, "ok": False, "error": detail}
+        except Exception as exc:  # pragma: no cover - defensive
+            response = {"id": request_id, "ok": False,
+                        "error": f"internal error: {exc!r}"}
+        payload = json.dumps(response, separators=(",", ":")).encode()
+        try:
+            async with write_lock:
+                writer.write(payload + b"\n")
+                await writer.drain()
+            self.requests_served += 1
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: dict):
+        op = request.get("op")
+        if op == "ping":
+            return {"pong": True}
+        if op == "graphs":
+            return {"graphs": self.store.graph_names()}
+        if op == "stats":
+            stats = self.store.stats()
+            stats["scheduler"] = dict(self.scheduler.stats)
+            stats["server"] = {
+                "connections": self.connections,
+                "requests_served": self.requests_served,
+                "window": self.scheduler.window,
+                "max_batch": self.scheduler.max_batch,
+                "max_pending": self.scheduler.max_pending,
+            }
+            return stats
+        if op == "shutdown":
+            asyncio.get_running_loop().call_soon(
+                asyncio.ensure_future, self._stop_soon()
+            )
+            return {"stopping": True}
+        if op == "register":
+            return await self._register(request)
+        if op == "snapshot_save":
+            return await self._snapshot_save(request)
+        if op == "snapshot_restore":
+            return await self._snapshot_restore(request)
+        if op in BATCHED_OPS:
+            normalized = self._normalize(op, request)
+            outcome = await self.scheduler.submit(op, normalized)
+            return self._wire(op, request, outcome)
+        raise ServiceError(f"unknown op {op!r}")
+
+    async def _stop_soon(self) -> None:
+        # Let the shutdown response flush before tearing the loop down.
+        await asyncio.sleep(0.05)
+        await self.stop()
+
+    # -- batched ops ---------------------------------------------------
+    def _normalize(self, op: str, request: dict) -> dict:
+        if op == "fsim":
+            graph1 = _require(request, "graph1")
+            return {
+                "graph1": graph1,
+                "graph2": request.get("graph2", graph1),
+                "params": request.get("params"),
+            }
+        if op == "topk":
+            graph1 = _require(request, "graph1")
+            return {
+                "graph1": graph1,
+                "graph2": request.get("graph2", graph1),
+                "query": _require(request, "query"),
+                "k": int(request.get("k", 5)),
+                "params": request.get("params"),
+            }
+        if op == "matrix":
+            return {
+                "graphs1": list(_require(request, "graphs1")),
+                "graph2": _require(request, "graph2"),
+                "params": request.get("params"),
+            }
+        ops = []
+        for fields in _require(request, "ops"):
+            if not isinstance(fields, (list, tuple)) \
+                    or not 2 <= len(fields) <= 3:
+                raise ServiceError(
+                    f"mutation op must be [kind, a] or [kind, a, b], "
+                    f"got {fields!r}"
+                )
+            kind = fields[0]
+            a = fields[1]
+            b = fields[2] if len(fields) == 3 else None
+            ops.append((kind, a, b))
+        return {"graph": _require(request, "graph"), "ops": ops}
+
+    def _wire(self, op: str, request: dict, outcome):
+        if op == "fsim":
+            return fsim_result_to_wire(outcome, request.get("top"))
+        if op == "topk":
+            return topk_result_to_wire(outcome)
+        if op == "matrix":
+            top = request.get("top")
+            return {"results": [fsim_result_to_wire(result, top)
+                                for result in outcome]}
+        return dict(outcome)  # mutate: {"applied", "version"}
+
+    # -- inline ops ----------------------------------------------------
+    async def _register(self, request: dict) -> dict:
+        name = _require(request, "name")
+        replace = bool(request.get("replace", False))
+        config = self.store.default_config
+        params = request.get("params")
+        if params:
+            overrides = dict(params)
+            if "variant" in overrides:
+                overrides["variant"] = Variant(overrides["variant"])
+            config = config.with_options(**overrides)
+        graph = await asyncio.get_running_loop().run_in_executor(
+            None, self._build_graph, name, request
+        )
+        async with self.scheduler.exclusive([name]):
+            registered = self.store.register(
+                name, graph, config, replace=replace
+            )
+        return {
+            "name": name,
+            "nodes": registered.graph.num_nodes,
+            "edges": registered.graph.num_edges,
+        }
+
+    @staticmethod
+    def _build_graph(name: str, request: dict):
+        from repro.graph.digraph import LabeledDigraph
+        from repro.graph.io import load_graph
+
+        if "path" in request:
+            return load_graph(request["path"], name=name)
+        if "nodes" in request:
+            graph = LabeledDigraph(name)
+            for node, label in request["nodes"]:
+                graph.add_node(node, label)
+            for source, target in request.get("edges", []):
+                graph.add_edge(source, target)
+            return graph
+        raise ServiceError("register needs a 'path' or inline 'nodes'")
+
+    async def _snapshot_save(self, request: dict) -> dict:
+        from repro.service.snapshot import save_snapshot
+
+        name = _require(request, "graph")
+        path = _require(request, "path")
+        async with self.scheduler.exclusive([name]):
+            return await asyncio.get_running_loop().run_in_executor(
+                None, save_snapshot, self.store, name, path
+            )
+
+    async def _snapshot_restore(self, request: dict) -> dict:
+        from repro.service.snapshot import load_snapshot, restore_snapshot
+
+        path = _require(request, "path")
+        name = request.get("name")
+        loop = asyncio.get_running_loop()
+        if name is None:
+            # The target name lives inside the payload; read it first so
+            # the restore (which may replace a live graph) runs under
+            # that graph's lock like every other state change.
+            payload = await loop.run_in_executor(None, load_snapshot, path)
+            name = payload.get("name")
+
+        def _restore():
+            registered = restore_snapshot(
+                self.store, path, name=name,
+                replace=bool(request.get("replace", False)),
+            )
+            return {"name": registered.name,
+                    "nodes": registered.graph.num_nodes,
+                    "edges": registered.graph.num_edges}
+
+        async with self.scheduler.exclusive([name] if name else []):
+            return await loop.run_in_executor(None, _restore)
+
+
+def _require(request: dict, field: str):
+    try:
+        return request[field]
+    except KeyError:
+        raise ServiceError(f"request is missing the {field!r} field") from None
+
+
+# ----------------------------------------------------------------------
+# blocking entry points
+# ----------------------------------------------------------------------
+def run_server(server: FSimServer) -> None:
+    """Run ``server`` on this thread until it is stopped (CLI `serve`).
+
+    SIGINT/SIGTERM trigger the same clean :meth:`FSimServer.stop` path
+    as the ``shutdown`` op (drain batches, run the ``on_stop`` hook --
+    i.e. Ctrl-C still writes shutdown snapshots).
+    """
+    import signal
+
+    async def _main():
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(server.stop()),
+                )
+            except (NotImplementedError, ValueError):
+                pass  # non-main thread / platform without handlers
+        await server.serve_forever()
+        await server.wait_stopped()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+class ServerThread:
+    """An in-process server on a background thread (tests, benchmarks).
+
+    >>> harness = ServerThread(store)        # doctest: +SKIP
+    >>> harness.start()                      # doctest: +SKIP
+    >>> client = ServiceClient(port=harness.port)  # doctest: +SKIP
+    """
+
+    def __init__(self, store: Optional[GraphStore] = None, **server_kwargs):
+        self.server = FSimServer(store, **server_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    def start(self) -> "ServerThread":
+        started = threading.Event()
+        failure: list = []
+
+        def _run():
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.server.start())
+            except Exception as exc:  # pragma: no cover - bind failure
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        started.wait()
+        if failure:
+            raise failure[0]
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.stop(), self._loop
+        )
+        try:
+            future.result(timeout=timeout)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=timeout)
+            self._loop = None
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,193 @@
+"""Warm snapshots: resident FSim state serialized across restarts.
+
+A restarted server normally pays the full cold path on its first query:
+re-lower the graph (:class:`~repro.core.plan.GraphPlan`), recompile the
+candidate arena, iterate Equation 3 to convergence.  A snapshot saves
+exactly that state -- the plan, the compiled arrays and the converged
+scores (including the session's replay trajectory, so bitwise-exact
+incremental serving resumes seamlessly) -- and restores it behind a
+**content fingerprint**:
+
+- the fingerprint hashes the graph's nodes, labels and edges *in
+  insertion order* plus the effective config, so a snapshot taken on a
+  different graph (or a graph file that changed on disk) never
+  restores -- the caller falls back to a cold registration;
+- the graph's in-process :attr:`~repro.graph.digraph.LabeledDigraph.version`
+  counter is process-local and therefore deliberately **not** part of
+  the check; the restored plan is re-keyed on the live graph's current
+  version via :func:`repro.core.plan.adopt_plan`.
+
+After :func:`restore_snapshot`, the first ``fsim`` query is answered
+from the restored result without lowering, compiling or iterating --
+observable through ``plan_cache`` stats (no misses) and the session
+stats (no cold runs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.config import FSimConfig
+from repro.core.plan import adopt_plan, lower_graph
+from repro.exceptions import ConfigError, SnapshotError
+from repro.graph.digraph import LabeledDigraph
+from repro.service.store import GraphStore, PairState, RegisteredGraph, config_key
+
+PathLike = Union[str, Path]
+
+#: Bump on any incompatible change to the payload layout.
+SNAPSHOT_FORMAT = 1
+
+
+def graph_fingerprint(graph: LabeledDigraph, config: FSimConfig) -> str:
+    """Content hash of (graph structure, effective config).
+
+    Insertion order is part of the identity on purpose: two graphs with
+    equal edge *sets* but different adjacency order converge to last-ulp
+    different floats, and a snapshot must only ever restore onto the
+    graph it was computed from.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"format:{SNAPSHOT_FORMAT}\n".encode())
+    for node in graph.nodes():
+        hasher.update(f"v\t{node!r}\t{graph.label(node)!r}\n".encode())
+    for source, target in graph.edges():
+        hasher.update(f"e\t{source!r}\t{target!r}\n".encode())
+    hasher.update(repr(config_key(config)).encode())
+    return hasher.hexdigest()
+
+
+def save_snapshot(store: GraphStore, name: str, path: PathLike) -> dict:
+    """Snapshot a registered graph's warm self-similarity state to disk.
+
+    Computes the self-pair scores first if the server has not served
+    them yet (a snapshot of nothing would warm nothing).  Returns a
+    small metadata dict (fingerprint, sizes) for logging / the stats
+    endpoint.  The write is atomic (temp file + rename).
+    """
+    registered = store.graph(name)
+    config = registered.config
+    result = store.fsim(name, name)  # ensures the state exists & is current
+    pair = store.pair(name, name, config)
+    session_state = None
+    if pair.session is not None:
+        pair.sync_session()
+        session_state = pair.session.snapshot_state()
+    payload = {
+        "format": SNAPSHOT_FORMAT,
+        "name": name,
+        "fingerprint": graph_fingerprint(registered.graph, config),
+        "config": config,
+        "graph": registered.graph,
+        "plan": lower_graph(registered.graph),
+        "session_mode": store.session_mode,
+        "session_state": session_state,
+        "result": result,
+        "created": time.time(),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(temp, path)
+    return {
+        "path": str(path),
+        "fingerprint": payload["fingerprint"],
+        "bytes": path.stat().st_size,
+        "session": session_state is not None,
+    }
+
+
+def load_snapshot(path: PathLike) -> dict:
+    """Read and structurally validate a snapshot payload."""
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except FileNotFoundError:
+        raise SnapshotError(f"no snapshot at {path}") from None
+    except Exception as exc:
+        raise SnapshotError(f"unreadable snapshot {path}: {exc}") from exc
+    if not isinstance(payload, dict) \
+            or payload.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"snapshot {path} has format "
+            f"{payload.get('format') if isinstance(payload, dict) else '?'}"
+            f" (expected {SNAPSHOT_FORMAT})"
+        )
+    return payload
+
+
+def restore_snapshot(
+    store: GraphStore,
+    path: PathLike,
+    graph: Optional[LabeledDigraph] = None,
+    name: Optional[str] = None,
+    config: Optional[FSimConfig] = None,
+    replace: bool = False,
+) -> RegisteredGraph:
+    """Register a graph from a snapshot with its warm state attached.
+
+    When ``graph`` is given (the live graph just loaded from its source
+    file), its fingerprint must match the snapshot's -- a stale snapshot
+    raises :class:`~repro.exceptions.SnapshotError` and the caller
+    registers cold instead.  Without ``graph``, the snapshot's own
+    embedded graph is used (still re-fingerprinted to catch a corrupt
+    payload).
+
+    ``config`` is the config the *caller* intends to serve under (e.g.
+    the server's effective flags).  The snapshot embeds the config it
+    was computed with, so fingerprinting against the embedded config
+    alone would always pass; an explicit mismatch check here is what
+    makes "restarted with different flags" a stale snapshot instead of
+    silently serving old-config scores.  ``None`` skips the check
+    (restore whatever was saved).
+    """
+    payload = load_snapshot(path)
+    if config is not None and config_key(config) != config_key(
+            payload["config"]):
+        raise SnapshotError(
+            f"snapshot {path} is stale: it was computed under a "
+            f"different config than the one being served"
+        )
+    session_state = payload["session_state"]
+    if config is None:
+        config = payload["config"]
+    elif session_state is not None:
+        # Value-identical configs (the key matched) may still differ in
+        # runtime fields -- workers/executor -- which must come from
+        # the *current* server flags, not the previous run's.  Rewrite
+        # the session payload so state adoption sees the served config.
+        session_state = dict(session_state)
+        session_state["config"] = config
+    if graph is None:
+        graph = payload["graph"]
+    live = graph_fingerprint(graph, config)
+    if live != payload["fingerprint"]:
+        raise SnapshotError(
+            f"snapshot {path} is stale: fingerprint {payload['fingerprint'][:12]} "
+            f"does not match the live graph ({live[:12]})"
+        )
+    registered = store.register(
+        name or payload["name"], graph, config, replace=replace
+    )
+    # The plan describes this exact structure (fingerprint-checked):
+    # re-key it on the live version counter so the next lowering hits.
+    adopt_plan(graph, payload["plan"])
+    pair = PairState(registered, registered, config,
+                     payload.get("session_mode", store.session_mode),
+                     store.result_cache_size)
+    if session_state is not None and pair.session is not None:
+        try:
+            pair.session.adopt_state(session_state)
+        except ConfigError:
+            pass  # mode/config drift: serve cold, still correct
+    pair.results.put(("fsim", pair.versions()), payload["result"])
+    store.adopt_pair(pair)
+    store.restored_snapshots += 1
+    return registered

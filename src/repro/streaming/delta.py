@@ -165,6 +165,23 @@ class DeltaLog:
         self.graph.set_label(node, label)
         self._record("set_label", node, label)
 
+    def record_applied(self, op: DeltaOp) -> None:
+        """Record an op that was already applied to the wrapped graph.
+
+        The service journal (:mod:`repro.service.store`) applies each
+        mutation to a shared graph exactly once through its primary log
+        and then *replicates* the recorded op into every other session
+        log over the same graph -- without this, a replicated mutation
+        would look out-of-band to those sessions (version bump with no
+        matching op) and force a cold resynchronization.  The op must
+        describe a mutation the graph has genuinely undergone since this
+        log's last drain, in order; anything else corrupts the stream
+        (the patchers raise on the inconsistency).
+        """
+        if op.kind not in OP_KINDS:
+            raise GraphError(f"unknown delta op kind {op.kind!r}")
+        self._ops.append(op)
+
     # ------------------------------------------------------------------
     # consumption
     # ------------------------------------------------------------------

@@ -41,6 +41,7 @@ the version bracket) trigger a transparent cold resynchronization.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -115,6 +116,15 @@ class IncrementalFSim:
         self.max_trajectory_mb = float(max_trajectory_mb)
         self.executor = resolve_executor(config, workers, executor,
                                          workload="sweep")
+        # Persistent broadcast channel (shared-memory executors only):
+        # the full compiled state crosses to the worker pool once, then
+        # each compute ships only the recorded deltas -- see
+        # :class:`repro.runtime.SweepChannel`.
+        self._channel = self.executor.open_channel()
+        if self._channel is not None:
+            self._channel_finalizer = weakref.finalize(
+                self, _close_channel, self._channel
+            )
         self.log1 = DeltaLog(graph1)
         self.log2 = self.log1 if graph2 is graph1 else DeltaLog(graph2)
         self._compiled: Optional[CompiledFSim] = None
@@ -154,6 +164,8 @@ class IncrementalFSim:
             self._trajectory = None
             self._final = None
             self._result = None
+            if self._channel is not None:
+                self._channel.invalidate()
             raise
 
     def _compute(self) -> FSimResult:
@@ -172,6 +184,77 @@ class IncrementalFSim:
     def result(self) -> Optional[FSimResult]:
         """The most recent result (None before the first compute)."""
         return self._result
+
+    def close(self) -> None:
+        """Release the session's persistent executor channel.
+
+        The (shared, cached) executor itself is left running.  Safe to
+        call more than once; a session dropped without ``close`` is
+        cleaned up by a finalizer, but a long-lived server should close
+        evicted sessions promptly -- each open channel pins
+        shared-memory blocks.
+        """
+        if self._channel is not None:
+            self._channel.close()
+
+    def __enter__(self) -> "IncrementalFSim":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # snapshot support (repro.service.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """The session's resumable state, as one picklable payload.
+
+        Captures the compiled arrays, the replay trajectory (or warm
+        scores) and the converged result; the graphs themselves are not
+        included (the service snapshot layer stores them alongside and
+        fingerprints the combination).  Requires a computed, fully
+        drained session.
+        """
+        if self._compiled is None or self._result is None:
+            raise ConfigError("nothing to snapshot: call compute() first")
+        if self.log1.pending or self.log2.pending:
+            raise ConfigError(
+                "pending mutations: call compute() before snapshot_state()"
+            )
+        return {
+            "mode": self.mode,
+            "config": self.config,
+            "compiled": self._compiled,
+            "trajectory": (list(self._trajectory)
+                           if self._trajectory is not None else None),
+            "final": self._final,
+            "result": self._result,
+            "versions": (self.graph1.version, self.graph2.version),
+        }
+
+    def adopt_state(self, state: dict) -> None:
+        """Install a :meth:`snapshot_state` payload into a fresh session.
+
+        The caller is responsible for the graphs matching the payload
+        (the service layer enforces this with a content fingerprint
+        before calling).  After adoption, a :meth:`compute` with no
+        pending mutations returns the snapshot result without compiling
+        or iterating; mutations resume incrementally from it.
+        """
+        if state["mode"] != self.mode:
+            raise ConfigError(
+                f"snapshot was taken in mode={state['mode']!r}, "
+                f"session runs mode={self.mode!r}"
+            )
+        if state["config"] != self.config:
+            raise ConfigError("snapshot config does not match the session")
+        self._compiled = state["compiled"]
+        trajectory = state["trajectory"]
+        self._trajectory = None if trajectory is None else list(trajectory)
+        self._final = state["final"]
+        self._result = state["result"]
+        if self._channel is not None:
+            self._channel.invalidate()
 
     @property
     def trajectory_bytes(self) -> int:
@@ -201,7 +284,10 @@ class IncrementalFSim:
         trajectory: Optional[List[np.ndarray]] = (
             [] if self.mode == "replay" else None
         )
-        with self.executor.sweep_session(engine) as sweep:
+        if self._channel is not None:
+            self._channel.invalidate()  # fresh compiled instance
+        with self.executor.sweep_session(engine,
+                                         channel=self._channel) as sweep:
             scores, iterations, converged, deltas = engine.iterate(
                 sweep=sweep, trajectory=trajectory
             )
@@ -226,10 +312,19 @@ class IncrementalFSim:
             touched = patch_compiled_edges(compiled, plan1, plan2,
                                            delta1, delta2)
             self.stats["compiled_patches"] += 1
+            if self._channel is not None:
+                # Workers replay this exact patch from the ops alone --
+                # the broadcast for this update is O(delta), not O(graph).
+                self._channel.record_patch(
+                    delta1, delta2, self.graph2 is self.graph1
+                )
         except CompiledPatchError:
             compiled, touched, dirty0 = self._recompile(delta1, delta2)
+            if self._channel is not None:
+                self._channel.invalidate()  # new compiled instance
         engine = VectorizedFSimEngine(compiled)
-        with self.executor.sweep_session(engine) as sweep:
+        with self.executor.sweep_session(engine,
+                                         channel=self._channel) as sweep:
             if self.mode == "replay":
                 scores, iterations, converged, deltas = (
                     engine.iterate_incremental(
@@ -354,6 +449,11 @@ class IncrementalFSim:
         )
         self._result = result
         return result
+
+
+def _close_channel(channel) -> None:
+    """Finalizer target (must not be a bound method of the session)."""
+    channel.close()
 
 
 def _arena_mapping(

@@ -430,3 +430,202 @@ class TestConcurrentSessions:
         finally:
             ex.close()
         assert not failures
+
+
+# ----------------------------------------------------------------------
+# persistent sweep channels: O(delta) broadcast for streaming sessions
+# ----------------------------------------------------------------------
+class TestSweepChannel:
+    @staticmethod
+    def _streaming_graph(seed=7):
+        labels = uniform_labels(80, 3, seed=seed)
+        return random_graph(80, 240, labels, seed=seed + 1)
+
+    @staticmethod
+    def _config():
+        return FSimConfig(
+            variant=Variant.B, label_function="indicator", backend="numpy",
+        )
+
+    def test_broadcast_bytes_scale_with_delta(self):
+        """After the one-time base broadcast, a parallel streaming
+        update ships only the recorded delta ops -- not the compiled
+        state -- so broadcast bytes scale with the edit, not the graph
+        (the ROADMAP O(delta) item)."""
+        from repro.streaming import IncrementalFSim
+
+        graph = self._streaming_graph()
+        replica = self._streaming_graph()
+        cfg = self._config()
+        ex = SharedMemoryExecutor(2, min_parallel_upd=1)
+        try:
+            session = IncrementalFSim(graph, graph, cfg, executor=ex)
+            mirror = IncrementalFSim(replica, replica, cfg)
+            assert_identical(mirror.compute(), session.compute())
+            channel = session._channel
+            assert channel is not None
+            assert channel.base_broadcasts == 1
+            base_bytes = channel.last_broadcast_bytes
+            edges = list(graph.edges())
+            single_delta_bytes = None
+            for index in range(3):
+                u, v = edges[index * 11]
+                session.log1.remove_edge(u, v)
+                mirror.log1.remove_edge(u, v)
+                assert_identical(mirror.compute(), session.compute())
+                if single_delta_bytes is None:
+                    single_delta_bytes = channel.last_broadcast_bytes
+            assert channel.base_broadcasts == 1  # never re-broadcast
+            assert channel.delta_broadcasts >= 1
+            # O(delta): a one-edge update costs a few hundred bytes at
+            # most; the compiled state is many orders larger.
+            assert single_delta_bytes < base_bytes / 50
+            assert channel.last_broadcast_bytes < base_bytes / 50
+            # The cumulative journal grows linearly in ops, not graph.
+            assert channel.last_broadcast_bytes <= 3 * single_delta_bytes + 256
+            session.close()
+            assert channel.closed
+        finally:
+            ex.close()
+
+    def test_journal_budget_rebroadcasts_base(self, monkeypatch):
+        from repro.streaming import IncrementalFSim
+
+        monkeypatch.setattr(executor_module, "CHANNEL_JOURNAL_BUDGET", 2)
+        graph = self._streaming_graph(seed=19)
+        replica = self._streaming_graph(seed=19)
+        cfg = self._config()
+        ex = SharedMemoryExecutor(2, min_parallel_upd=1)
+        try:
+            session = IncrementalFSim(graph, graph, cfg, executor=ex)
+            mirror = IncrementalFSim(replica, replica, cfg)
+            assert_identical(mirror.compute(), session.compute())
+            edges = list(graph.edges())
+            for index in range(5):
+                u, v = edges[index * 7]
+                session.log1.remove_edge(u, v)
+                mirror.log1.remove_edge(u, v)
+                assert_identical(mirror.compute(), session.compute())
+            channel = session._channel
+            # Budget 2 forces at least one base re-broadcast across 5
+            # patched updates -- and parity held throughout.
+            assert channel.base_broadcasts >= 2
+            session.close()
+        finally:
+            ex.close()
+
+    def test_recompile_invalidates_channel(self):
+        """Node churn forces a full recompile; the channel must drop its
+        stale base instead of shipping deltas against it."""
+        from repro.streaming import IncrementalFSim
+
+        graph = self._streaming_graph(seed=31)
+        replica = self._streaming_graph(seed=31)
+        cfg = self._config()
+        ex = SharedMemoryExecutor(2, min_parallel_upd=1)
+        try:
+            session = IncrementalFSim(graph, graph, cfg, executor=ex)
+            mirror = IncrementalFSim(replica, replica, cfg)
+            assert_identical(mirror.compute(), session.compute())
+            channel = session._channel
+            first_bases = channel.base_broadcasts
+            nodes = graph.nodes()
+            for live, ghost in ((session, mirror),):
+                live.log1.add_node("fresh-node", "L0")
+                live.log1.add_edge("fresh-node", nodes[0])
+                ghost.log1.add_node("fresh-node", "L0")
+                ghost.log1.add_edge("fresh-node", nodes[0])
+            assert_identical(mirror.compute(), session.compute())
+            assert session.stats["full_recompiles"] == 1
+            assert channel.base_broadcasts == first_bases + 1
+            session.close()
+        finally:
+            ex.close()
+
+
+# ----------------------------------------------------------------------
+# bounded executor registry: shutdown_all / idle eviction
+# ----------------------------------------------------------------------
+class TestRegistryBounds:
+    def test_idle_pools_are_reclaimed(self, medium_random_graph):
+        from repro.runtime import evict_idle_executors
+
+        shutdown_executors()
+        g = medium_random_graph
+        cfg = FSimConfig(
+            variant=Variant.S, label_function="indicator", backend="numpy",
+        )
+        ex = get_executor("shared_memory", 2)
+        ex.min_parallel_upd = 1  # force the pool to actually spawn
+        serial = FSimEngine(g, g, cfg).run()
+        parallel = FSimEngine(g, g, cfg).run(executor=ex)
+        assert_identical(serial, parallel)
+        assert ex.pool_started
+        assert ex.last_used > 0.0
+        assert ex.active_sessions == 0
+        closed = evict_idle_executors(0.0)
+        assert closed == 1
+        assert not ex.pool_started  # pool terminated
+        assert get_executor("shared_memory", 2) is not ex  # evicted
+        shutdown_executors()
+
+    def test_idle_grace_period_is_respected(self):
+        from repro.runtime import evict_idle_executors
+
+        shutdown_executors()
+        ex = get_executor("shared_memory", 2)
+        # A just-created, never-used executor is inside the grace
+        # period too (last_used is stamped at construction).
+        assert evict_idle_executors(3600.0) == 0
+        assert get_executor("shared_memory", 2) is ex
+        shutdown_executors()
+
+    def test_live_channels_block_eviction(self):
+        """A resident streaming session's channel pins its executor:
+        evicting it would demote the session from O(delta) broadcasts
+        and orphan the respawned pool outside the registry."""
+        from repro.runtime import evict_idle_executors
+
+        shutdown_executors()
+        ex = get_executor("shared_memory", 2)
+        channel = ex.open_channel()
+        assert evict_idle_executors(0.0) == 0
+        assert get_executor("shared_memory", 2) is ex
+        channel.close()
+        assert evict_idle_executors(0.0) == 1
+        shutdown_executors()
+
+    def test_registry_bound_evicts_lru_idle(self, monkeypatch):
+        shutdown_executors()
+        monkeypatch.setattr(executor_module, "MAX_CACHED_EXECUTORS", 2)
+        first = get_executor("shared_memory", 2)
+        second = get_executor("shared_memory", 3)
+        third = get_executor("shared_memory", 4)  # evicts `first` (LRU)
+        registry = executor_module._CACHE
+        assert len(registry) <= 2
+        assert ("shared_memory", 2) not in registry
+        assert get_executor("shared_memory", 3) is second
+        assert get_executor("shared_memory", 4) is third
+        shutdown_executors()
+
+    def test_busy_executors_survive_the_bound(self, monkeypatch):
+        shutdown_executors()
+        monkeypatch.setattr(executor_module, "MAX_CACHED_EXECUTORS", 1)
+        first = get_executor("shared_memory", 2)
+        first.active_sessions += 1  # simulate an open session
+        try:
+            second = get_executor("shared_memory", 3)
+            assert get_executor("shared_memory", 2) is first  # not evicted
+            assert second is not first
+        finally:
+            first.active_sessions -= 1
+        shutdown_executors()
+
+    def test_shutdown_all_clears_registry(self):
+        from repro.runtime import shutdown_all
+
+        ex = get_executor("shared_memory", 2)
+        shutdown_all()
+        assert executor_module._CACHE == {}
+        assert get_executor("shared_memory", 2) is not ex
+        shutdown_executors()
