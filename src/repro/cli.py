@@ -32,7 +32,15 @@ Commands
     concurrent ``fsim`` / ``topk`` / ``matrix`` requests micro-batch
     into the shared library calls.  ``--snapshot-dir`` restores warm
     snapshots at startup (stale ones fall back to a cold registration)
-    and writes fresh ones on clean shutdown.
+    and writes fresh ones on clean shutdown.  ``--wal-dir`` makes the
+    store durable: mutations append to a write-ahead log before they
+    apply, and a crashed server recovers bitwise-identically from the
+    newest snapshots plus the WAL suffix (``--wal-sync`` picks the
+    fsync policy).
+``recover --wal-dir DIR``
+    Offline recovery: replay the directory's snapshots + WAL without
+    serving, and print each recovered graph's structure counts and
+    content fingerprint.
 ``query ...``
     One-shot client against a running server (``--op fsim|topk|stats|
     graphs|ping|shutdown|snapshot``).
@@ -191,7 +199,7 @@ def _cmd_serve(args) -> int:
     from repro.service.snapshot import restore_snapshot, save_snapshot
 
     graphs = _parse_named(args.graph, "--graph")
-    if not graphs:
+    if not graphs and not args.wal_dir:
         raise SystemExit("serve needs at least one --graph NAME=PATH")
     config = FSimConfig(
         variant=Variant(args.variant),
@@ -204,10 +212,28 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         executor=args.executor,
     )
+    if args.wal_dir:
+        from repro.service import recover_store
+        from repro.service.wal import FaultInjector
+
+        pathlib.Path(args.wal_dir).mkdir(parents=True, exist_ok=True)
+        store, report = recover_store(
+            args.wal_dir, store=store, sync=args.wal_sync,
+            fault_injector=FaultInjector.from_env(),
+        )
+        print(f"# recovery: {report.summary()}")
     snapshot_dir = (
         pathlib.Path(args.snapshot_dir) if args.snapshot_dir else None
     )
     for name, path in graphs:
+        if name in store.graph_names():
+            # Already recovered from the WAL directory -- the durable
+            # history, not the (possibly stale) graph file, is truth.
+            registered = store.graph(name)
+            print(f"# {name}: recovered from WAL "
+                  f"(version {registered.graph.version}, "
+                  f"wal_seq {registered.wal_seq})")
+            continue
         graph = load_graph(path, name=name)
         snapshot_path = (
             snapshot_dir / f"{name}.snap" if snapshot_dir else None
@@ -220,10 +246,18 @@ def _cmd_serve(args) -> int:
                 continue
             except SnapshotError as exc:
                 print(f"# {name}: {exc}; registering cold")
-        store.register(name, graph)
+        store.register(name, graph, source={"path": path})
         print(f"# {name}: registered {graph.num_nodes} nodes / "
               f"{graph.num_edges} edges")
-    def _save_snapshots():
+    def _on_stop():
+        if store.wal is not None:
+            try:
+                report = store.compact()
+                print(f"# WAL compacted on shutdown: {report}")
+            except Exception as exc:  # must not block exit
+                print(f"# shutdown compaction failed: {exc}")
+        if snapshot_dir is None:
+            return
         for name, _ in graphs:
             if name not in store.graph_names():
                 continue
@@ -237,13 +271,49 @@ def _cmd_serve(args) -> int:
     server = FSimServer(
         store, host=args.host, port=args.port, window=args.window,
         max_batch=args.max_batch, max_pending=args.max_pending,
-        on_stop=_save_snapshots if snapshot_dir else None,
+        on_stop=_on_stop if (snapshot_dir or args.wal_dir) else None,
+        drain_timeout=args.drain_timeout,
     )
     print(f"# serving on {args.host}:{args.port or '(ephemeral)'} "
           f"window={args.window}s max_batch={args.max_batch}")
-    run_server(server)
+
+    def _on_ready(ready_server):
+        # A machine-parseable line with the *bound* port (--port 0 gets
+        # an ephemeral one); the crash-recovery harness supervises on it.
+        print(f"# ready on {ready_server.host}:{ready_server.port}",
+              flush=True)
+
+    run_server(server, on_ready=_on_ready)
     print("# server stopped")
     return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.core.config import FSimConfig
+    from repro.service import recover_store
+    from repro.service.snapshot import graph_fingerprint
+
+    config = FSimConfig(
+        variant=Variant(args.variant),
+        theta=args.theta,
+        label_function=args.label_function,
+        backend=args.backend,
+    )
+    store, report = recover_store(
+        args.wal_dir, config=config, attach=False,
+        strict_config=args.strict_config,
+    )
+    print(f"# recovery: {report.summary()}")
+    for name in store.graph_names():
+        registered = store.graph(name)
+        fingerprint = graph_fingerprint(registered.graph, registered.config)
+        print(f"{name}\tnodes={registered.graph.num_nodes}\t"
+              f"edges={registered.graph.num_edges}\t"
+              f"version={registered.graph.version}\t"
+              f"wal_seq={registered.wal_seq}\t"
+              f"fingerprint={fingerprint}")
+    store.close()
+    return 1 if report.lost_graphs else 0
 
 
 def _cmd_query(args) -> int:
@@ -521,7 +591,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore NAME.snap warm snapshots at startup (stale ones "
              "fall back to cold registration) and save them on shutdown",
     )
+    serve.add_argument(
+        "--wal-dir", default=None,
+        help="durable mode: recover from this directory's snapshots + "
+             "write-ahead log at startup, then log every mutation to it",
+    )
+    serve.add_argument(
+        "--wal-sync", choices=["always", "batch", "off"], default="batch",
+        help="fsync policy: always = per record, batch = once per "
+             "coalesced mutation batch (default), off = page cache only",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0,
+        help="seconds to wait for in-flight batches at shutdown before "
+             "aborting queued requests (default 30)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    recover = commands.add_parser(
+        "recover", help="replay a WAL directory offline and print the "
+                        "recovered store state"
+    )
+    recover.add_argument("--wal-dir", required=True)
+    recover.add_argument(
+        "--variant", choices=[v.value for v in Variant if v is not Variant.CROSS],
+        default="s",
+    )
+    recover.add_argument("--theta", type=float, default=0.0)
+    recover.add_argument("--label-function", default="jaro_winkler")
+    recover.add_argument(
+        "--backend", choices=["auto", "python", "numpy"], default="numpy",
+    )
+    recover.add_argument(
+        "--strict-config", action="store_true",
+        help="check snapshots against the flags above (default: restore "
+             "each snapshot under the config it embeds)",
+    )
+    recover.set_defaults(handler=_cmd_recover)
 
     query = commands.add_parser(
         "query", help="one-shot client against a running service"

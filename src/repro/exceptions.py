@@ -43,8 +43,40 @@ class ServiceError(ReproError):
 
 
 class ServiceOverloadedError(ServiceError):
-    """Raised when the service's admission control rejects a request."""
+    """Raised when the service's admission control rejects a request.
+
+    Retryable: the request was never admitted -- back off and resend.
+    """
+
+
+class ServiceConnectionError(ServiceError):
+    """Raised for transport-level failures talking to the service
+    (connect/read timeouts, resets, a closed connection).
+
+    Retryable: the outcome of an in-flight request is unknown, but
+    queries are idempotent and mutations are deduplicated by request
+    id, so resending is always safe.
+    """
+
+
+class ServiceRetryError(ServiceError):
+    """Raised when a self-healing client exhausts its retry budget.
+
+    Terminal by construction (the retryable cause is chained as
+    ``__cause__``); callers treat it as fatal.
+    """
 
 
 class SnapshotError(ServiceError):
     """Raised when a warm snapshot cannot be read or does not match."""
+
+
+class WalError(ServiceError):
+    """Raised when the write-ahead log cannot be written or parsed."""
+
+
+class WalCorruptionError(WalError):
+    """Raised on mid-file WAL corruption (valid records after a bad
+    one).  A torn *final* record is repaired silently; a hole in the
+    middle of the history is not recoverable by replay and needs
+    operator intervention."""

@@ -22,7 +22,14 @@ library and a system that "serves heavy traffic":
   arrays + converged scores serialized to disk and restored on restart
   behind a content fingerprint, so the first post-restart query answers
   without recompiling;
-- :mod:`repro.service.client` -- a thin blocking client.
+- :mod:`repro.service.client` -- a thin blocking client and a
+  self-healing :class:`AsyncServiceClient` (reconnect + idempotent
+  retry);
+- :mod:`repro.service.wal` -- a write-ahead log: every mutation is
+  CRC-framed and durable *before* it applies, with pluggable fsync
+  policy and a fault-injection layer for crash testing;
+- :mod:`repro.service.recovery` -- crash recovery: newest snapshots +
+  WAL-suffix replay rebuild the pre-crash store bitwise-identically.
 
 Responses are exactly what the corresponding direct library call
 returns (parity is asserted in ``tests/test_service.py`` and
@@ -30,18 +37,26 @@ returns (parity is asserted in ``tests/test_service.py`` and
 throughput, never values.
 """
 
-from repro.service.client import ServiceClient
+from repro.service.client import AsyncServiceClient, ServiceClient
+from repro.service.recovery import RecoveryReport, recover_store
 from repro.service.scheduler import MicroBatchScheduler
 from repro.service.server import FSimServer, ServerThread
 from repro.service.snapshot import load_snapshot, save_snapshot
 from repro.service.store import GraphStore
+from repro.service.wal import FaultInjector, WriteAheadLog, read_wal
 
 __all__ = [
+    "AsyncServiceClient",
     "FSimServer",
+    "FaultInjector",
     "GraphStore",
     "MicroBatchScheduler",
+    "RecoveryReport",
     "ServerThread",
     "ServiceClient",
+    "WriteAheadLog",
     "load_snapshot",
+    "read_wal",
+    "recover_store",
     "save_snapshot",
 ]

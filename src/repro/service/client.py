@@ -1,4 +1,4 @@
-"""A thin blocking client for the FSim query service.
+"""Clients for the FSim query service: blocking and self-healing async.
 
 One :class:`ServiceClient` holds one TCP connection with one request in
 flight (thread-safe via an internal lock; concurrent load generators
@@ -7,6 +7,22 @@ mirror the server ops and return the parsed ``result`` object;
 ``ok: false`` responses raise :class:`~repro.exceptions.ServiceError`
 (or :class:`~repro.exceptions.ServiceOverloadedError` when the server's
 admission control rejected the request -- catch it and back off).
+Transport failures -- connect/read timeouts, resets, the server closing
+mid-request -- raise the typed
+:class:`~repro.exceptions.ServiceConnectionError` instead of leaking
+``socket.timeout`` / ``ConnectionResetError``, and the constructor's
+``timeout`` bounds *every* blocking wait, so a hung server can never
+hang the client forever.
+
+:class:`AsyncServiceClient` is the self-healing variant: it reconnects
+with exponential backoff + jitter when the connection drops (server
+crash, restart, network blip) and retries the request.  Retried
+mutations are safe because every mutation carries a client-generated
+request id (``rid``) that the server deduplicates durably -- a retry of
+a mutation the crashed server already logged is acknowledged from the
+WAL-recovered outcome, never applied twice.  When the retry budget runs
+out the last retryable error is wrapped in the *terminal*
+:class:`~repro.exceptions.ServiceRetryError`.
 
 Helpers :func:`wire_scores` / :func:`wire_partners` convert the JSON
 rows back into the dict/list shapes the library returns, so parity
@@ -16,14 +32,45 @@ checks against direct :func:`repro.core.api.fsim_matrix` /
 
 from __future__ import annotations
 
+import asyncio
 import json
+import random
 import socket
 import threading
+import uuid
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-from repro.exceptions import ServiceError, ServiceOverloadedError
+from repro.exceptions import (
+    ServiceConnectionError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceRetryError,
+)
 
 Node = Hashable
+
+#: Transport-level exceptions a client maps to ServiceConnectionError.
+_TRANSPORT_ERRORS = (
+    socket.timeout,
+    ConnectionError,  # covers reset / refused / aborted / broken pipe
+    asyncio.IncompleteReadError,
+    asyncio.TimeoutError,
+    EOFError,
+    OSError,
+)
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether resending the request that raised ``exc`` can succeed.
+
+    Connection errors are retryable (queries are idempotent, mutations
+    are rid-deduplicated); overload is retryable after backoff; every
+    other :class:`ServiceError` -- bad request, unknown graph,
+    exhausted budget -- is deterministic and terminal.
+    """
+    if isinstance(exc, ServiceRetryError):
+        return False
+    return isinstance(exc, (ServiceConnectionError, ServiceOverloadedError))
 
 
 def wire_scores(result: dict) -> Dict[Tuple[Node, Node], float]:
@@ -36,12 +83,51 @@ def wire_partners(result: dict) -> List[Tuple[Node, float]]:
     return [(node, score) for node, score in result["partners"]]
 
 
+def _parse_response(line: bytes, request_id) -> dict:
+    response = json.loads(line)
+    if response.get("id") != request_id:
+        raise ServiceError(
+            f"response id {response.get('id')} does not match "
+            f"request id {request_id}"
+        )
+    if not response.get("ok"):
+        error = response.get("error", "unknown error")
+        if response.get("overloaded"):
+            raise ServiceOverloadedError(error)
+        raise ServiceError(error)
+    return response.get("result", {})
+
+
+def _wire_mutation_ops(ops: Sequence) -> List[list]:
+    wire_ops = []
+    for op in ops:
+        fields = list(op)
+        if not 2 <= len(fields) <= 3:
+            raise ServiceError(
+                f"mutation op must be (kind, a[, b]), got {op!r}"
+            )
+        wire_ops.append(fields)
+    return wire_ops
+
+
 class ServiceClient:
     """Blocking NDJSON-over-TCP client (see the module docstring)."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7464,
                  timeout: float = 120.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self.timeout = timeout
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except _TRANSPORT_ERRORS as exc:
+            raise ServiceConnectionError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        # The socket timeout persists past connect: it bounds every
+        # send/recv below, so a wedged server surfaces as a typed
+        # error after ``timeout`` seconds instead of a silent hang.
+        self._sock.settimeout(timeout)
         self._file = self._sock.makefile("rwb")
         self._lock = threading.Lock()
         self._next_id = 0
@@ -58,25 +144,20 @@ class ServiceClient:
             message.update(
                 {k: v for k, v in fields.items() if v is not None}
             )
-            self._file.write(
-                json.dumps(message, separators=(",", ":")).encode() + b"\n"
-            )
-            self._file.flush()
-            line = self._file.readline()
+            try:
+                self._file.write(
+                    json.dumps(message, separators=(",", ":")).encode()
+                    + b"\n"
+                )
+                self._file.flush()
+                line = self._file.readline()
+            except _TRANSPORT_ERRORS as exc:
+                raise ServiceConnectionError(
+                    f"transport failure during {op!r}: {exc!r}"
+                ) from exc
         if not line:
-            raise ServiceError("server closed the connection")
-        response = json.loads(line)
-        if response.get("id") != request_id:
-            raise ServiceError(
-                f"response id {response.get('id')} does not match "
-                f"request id {request_id}"
-            )
-        if not response.get("ok"):
-            error = response.get("error", "unknown error")
-            if response.get("overloaded"):
-                raise ServiceOverloadedError(error)
-            raise ServiceError(error)
-        return response.get("result", {})
+            raise ServiceConnectionError("server closed the connection")
+        return _parse_response(line, request_id)
 
     def close(self) -> None:
         try:
@@ -138,17 +219,18 @@ class ServiceClient:
             top=top,
         )
 
-    def mutate(self, graph: str, ops: Sequence) -> dict:
-        """Apply mutations: ``ops`` is a list of ``(kind, a[, b])``."""
-        wire_ops = []
-        for op in ops:
-            fields = list(op)
-            if not 2 <= len(fields) <= 3:
-                raise ServiceError(
-                    f"mutation op must be (kind, a[, b]), got {op!r}"
-                )
-            wire_ops.append(fields)
-        return self.request("mutate", graph=graph, ops=wire_ops)
+    def mutate(self, graph: str, ops: Sequence,
+               rid: Optional[str] = None) -> dict:
+        """Apply mutations: ``ops`` is a list of ``(kind, a[, b])``.
+
+        ``rid`` is an idempotency key: resending the same mutation with
+        the same rid (e.g. after a
+        :class:`~repro.exceptions.ServiceConnectionError` of unknown
+        outcome) applies it at most once.
+        """
+        return self.request(
+            "mutate", graph=graph, ops=_wire_mutation_ops(ops), rid=rid
+        )
 
     def snapshot_save(self, graph: str, path: str) -> dict:
         return self.request("snapshot_save", graph=graph, path=path)
@@ -158,4 +240,192 @@ class ServiceClient:
         return self.request(
             "snapshot_restore", path=path, name=name,
             replace=replace or None,
+        )
+
+
+class AsyncServiceClient:
+    """Self-healing asyncio client: reconnect + retry with backoff.
+
+    The connection is opened lazily and re-opened transparently after
+    any transport failure.  A request that fails retryably (see
+    :func:`is_retryable`) is resent up to ``max_retries`` times with
+    exponential backoff (``backoff * 2**attempt``, capped at
+    ``max_backoff``) plus full jitter -- a thundering herd of clients
+    hitting a restarted server decorrelates itself.  Mutations carry a
+    stable ``rid`` across every resend, so "the server crashed after
+    logging but before acking" resolves to exactly-once application.
+
+    One request is in flight at a time (internal lock); open one client
+    per concurrent task.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7464,
+                 timeout: float = 120.0, max_retries: int = 5,
+                 backoff: float = 0.05, max_backoff: float = 2.0,
+                 rng: Optional[random.Random] = None):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.max_retries = max(int(max_retries), 0)
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
+        self._rng = rng or random.Random()
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._lock = asyncio.Lock()
+        self._next_id = 0
+        self.stats = {"requests": 0, "reconnects": 0, "retries": 0}
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    async def _ensure_connected(self) -> None:
+        if self._writer is not None and not self._writer.is_closing():
+            return
+        await self._drop_connection()
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port, limit=1 << 22),
+                timeout=self.timeout,
+            )
+        except _TRANSPORT_ERRORS as exc:
+            raise ServiceConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {exc!r}"
+            ) from exc
+        self.stats["reconnects"] += 1
+
+    async def _drop_connection(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def close(self) -> None:
+        await self._drop_connection()
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    async def _roundtrip(self, message: dict, request_id) -> dict:
+        """One send/recv on the current connection (typed errors)."""
+        await self._ensure_connected()
+        try:
+            self._writer.write(
+                json.dumps(message, separators=(",", ":")).encode() + b"\n"
+            )
+            await asyncio.wait_for(self._writer.drain(),
+                                   timeout=self.timeout)
+            line = await asyncio.wait_for(self._reader.readline(),
+                                          timeout=self.timeout)
+        except _TRANSPORT_ERRORS as exc:
+            raise ServiceConnectionError(
+                f"transport failure during {message.get('op')!r}: {exc!r}"
+            ) from exc
+        if not line:
+            raise ServiceConnectionError("server closed the connection")
+        return _parse_response(line, request_id)
+
+    async def request(self, op: str, **fields) -> dict:
+        """Send one request, healing the connection as needed.
+
+        The retry loop drops the connection on *any* transport error
+        before resending (the stream may hold a half response), and
+        backs off with full jitter between attempts.
+        """
+        async with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            message = {"id": request_id, "op": op}
+            message.update(
+                {k: v for k, v in fields.items() if v is not None}
+            )
+            self.stats["requests"] += 1
+            last_error: Optional[Exception] = None
+            for attempt in range(self.max_retries + 1):
+                if attempt:
+                    self.stats["retries"] += 1
+                    delay = min(self.backoff * (2 ** (attempt - 1)),
+                                self.max_backoff)
+                    await asyncio.sleep(self._rng.uniform(0.0, delay))
+                try:
+                    return await self._roundtrip(message, request_id)
+                except Exception as exc:
+                    if not is_retryable(exc):
+                        raise
+                    last_error = exc
+                    await self._drop_connection()
+            raise ServiceRetryError(
+                f"{op!r} failed after {self.max_retries + 1} attempt(s): "
+                f"{last_error}"
+            ) from last_error
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    async def ping(self) -> dict:
+        return await self.request("ping")
+
+    async def graphs(self) -> List[str]:
+        return (await self.request("graphs"))["graphs"]
+
+    async def stats_report(self) -> dict:
+        return await self.request("stats")
+
+    async def shutdown(self) -> dict:
+        return await self.request("shutdown")
+
+    async def register(self, name: str, path: Optional[str] = None,
+                       nodes: Optional[Sequence] = None,
+                       edges: Optional[Sequence] = None,
+                       params: Optional[dict] = None,
+                       replace: bool = False) -> dict:
+        return await self.request(
+            "register", name=name, path=path, nodes=nodes, edges=edges,
+            params=params, replace=replace or None,
+        )
+
+    async def fsim(self, graph1: str, graph2: Optional[str] = None,
+                   params: Optional[dict] = None,
+                   top: Optional[int] = None) -> dict:
+        return await self.request(
+            "fsim", graph1=graph1, graph2=graph2, params=params, top=top
+        )
+
+    async def topk(self, graph1: str, query: Node, k: int = 5,
+                   graph2: Optional[str] = None,
+                   params: Optional[dict] = None) -> dict:
+        return await self.request(
+            "topk", graph1=graph1, graph2=graph2, query=query, k=k,
+            params=params,
+        )
+
+    async def matrix(self, graphs1: Sequence[str], graph2: str,
+                     params: Optional[dict] = None,
+                     top: Optional[int] = None) -> dict:
+        return await self.request(
+            "matrix", graphs1=list(graphs1), graph2=graph2, params=params,
+            top=top,
+        )
+
+    async def mutate(self, graph: str, ops: Sequence,
+                     rid: Optional[str] = None) -> dict:
+        """Apply mutations exactly once, even across crashes.
+
+        A fresh ``rid`` is generated per *call* (not per attempt) and
+        rides along every resend; the server's durable dedup map turns
+        retries of an already-applied mutation into acknowledgements.
+        """
+        if rid is None:
+            rid = uuid.uuid4().hex
+        return await self.request(
+            "mutate", graph=graph, ops=_wire_mutation_ops(ops), rid=rid
         )

@@ -186,6 +186,23 @@ class MicroBatchScheduler:
             await asyncio.sleep(0.005)
         return True
 
+    def abort_pending(self, reason: str) -> int:
+        """Fail every queued-but-unflushed request (shutdown past the
+        drain timeout).  Returns the number of requests aborted; their
+        callers get a :class:`~repro.exceptions.ServiceError` instead of
+        a silently dropped connection, so a self-healing client can
+        classify and retry against the restarted server."""
+        aborted = 0
+        for bucket in list(self._buckets.values()):
+            for _, future in bucket["items"]:
+                if not future.done():
+                    future.set_exception(ServiceError(reason))
+                    aborted += 1
+            bucket["items"] = []
+            bucket["event"].set()
+        self._buckets.clear()
+        return aborted
+
     # ------------------------------------------------------------------
     # flushing
     # ------------------------------------------------------------------
@@ -289,9 +306,14 @@ class MicroBatchScheduler:
         for request, _ in items:
             outcomes.append(self._attempt(
                 lambda r=request: store.mutate(
-                    r["graph"], [DeltaOp(*op_fields) for op_fields in r["ops"]]
+                    r["graph"],
+                    [DeltaOp(*op_fields) for op_fields in r["ops"]],
+                    rid=r.get("rid"),
                 )
             ))
+        # One fsync covers the whole coalesced batch (wal_sync="batch"):
+        # no ack below resolves until every record above is durable.
+        store.commit_wal()
         return outcomes
 
     @staticmethod

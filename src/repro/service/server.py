@@ -30,9 +30,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
 import warnings
 from typing import List, Optional
+
+logger = logging.getLogger("repro.service")
 
 from repro.core.engine import FSimResult
 from repro.core.topk import TopKResult
@@ -90,6 +93,8 @@ class FSimServer:
         max_batch: int = 32,
         max_pending: int = 1024,
         on_stop=None,
+        drain_timeout: float = 30.0,
+        compact_interval: float = 1.0,
     ):
         #: Callback run during :meth:`stop` after draining, *before*
         #: the store is closed -- the CLI writes shutdown snapshots
@@ -102,12 +107,21 @@ class FSimServer:
         )
         self.host = host
         self.port = int(port)
+        self.drain_timeout = max(float(drain_timeout), 0.0)
+        self.compact_interval = max(float(compact_interval), 0.01)
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopping = False
         self._stopped_event: Optional[asyncio.Event] = None
         self._conn_tasks: set = set()
+        self._compact_task: Optional[asyncio.Task] = None
         self.connections = 0
         self.requests_served = 0
+        # Inline autocompaction is only safe single-threaded: the
+        # server compacts from its own background task instead, under
+        # the exclusive locks of every graph (a snapshot of a graph a
+        # scheduler worker is mutating would tear).
+        if self.store.wal is not None:
+            self.store.wal_autocompact = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -119,6 +133,30 @@ class FSimServer:
             limit=1 << 22,  # 4 MiB request lines (large inline graphs)
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.store.wal is not None:
+            self._compact_task = asyncio.ensure_future(self._compact_loop())
+
+    async def _compact_loop(self) -> None:
+        """Periodic WAL compaction: snapshot every graph, rotate the log.
+
+        Runs under the exclusive locks of *all* graphs so no scheduler
+        worker thread is mid-mutation while a graph pickles; the locks
+        are only held for the (rare) compaction itself, not the check.
+        """
+        while True:
+            await asyncio.sleep(self.compact_interval)
+            if not self.store.wal_needs_compaction():
+                continue
+            try:
+                async with self.scheduler.exclusive(self.store.graph_names()):
+                    report = await asyncio.get_running_loop().run_in_executor(
+                        None, self.store.compact
+                    )
+                logger.info("WAL compacted: %s", report)
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - disk trouble mid-compact
+                logger.exception("WAL compaction failed; will retry")
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -139,12 +177,28 @@ class FSimServer:
             await self.wait_stopped()
             return
         self._stopping = True
+        if self._compact_task is not None:
+            self._compact_task.cancel()
+            try:
+                await self._compact_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._compact_task = None
         if self._server is not None:
             self._server.close()  # stop accepting; do NOT wait_closed yet
-        drained = await self.scheduler.quiesce(timeout=30.0)
+        drained = await self.scheduler.quiesce(timeout=self.drain_timeout)
         if not drained:  # pragma: no cover - pathological batch length
+            aborted = self.scheduler.abort_pending(
+                "server shutting down; request aborted before execution"
+            )
+            logger.warning(
+                "shutdown drain timed out after %.1fs; aborted %d queued "
+                "request(s) (already-executing batches finish on the "
+                "worker pool)", self.drain_timeout, aborted,
+            )
             warnings.warn(
-                "service shutdown proceeding with undrained batches",
+                f"service shutdown proceeding with undrained batches "
+                f"({aborted} queued request(s) aborted)",
                 RuntimeWarning,
             )
         # Idle keep-alive connections sit in readline() forever; cancel
@@ -310,7 +364,8 @@ class FSimServer:
             a = fields[1]
             b = fields[2] if len(fields) == 3 else None
             ops.append((kind, a, b))
-        return {"graph": _require(request, "graph"), "ops": ops}
+        return {"graph": _require(request, "graph"), "ops": ops,
+                "rid": request.get("rid")}
 
     def _wire(self, op: str, request: dict, outcome):
         if op == "fsim":
@@ -337,9 +392,20 @@ class FSimServer:
         graph = await asyncio.get_running_loop().run_in_executor(
             None, self._build_graph, name, request
         )
+        # The WAL records *where the graph came from*, not the graph:
+        # recovery re-reads the path / inline payload, so a register is
+        # one small record instead of a serialized graph.
+        source = {}
+        if "path" in request:
+            source["path"] = request["path"]
+        elif "nodes" in request:
+            source["nodes"] = request["nodes"]
+            source["edges"] = request.get("edges", [])
+        if params:
+            source["params"] = params
         async with self.scheduler.exclusive([name]):
             registered = self.store.register(
-                name, graph, config, replace=replace
+                name, graph, config, replace=replace, source=source,
             )
         return {
             "name": name,
@@ -409,17 +475,21 @@ def _require(request: dict, field: str):
 # ----------------------------------------------------------------------
 # blocking entry points
 # ----------------------------------------------------------------------
-def run_server(server: FSimServer) -> None:
+def run_server(server: FSimServer, on_ready=None) -> None:
     """Run ``server`` on this thread until it is stopped (CLI `serve`).
 
     SIGINT/SIGTERM trigger the same clean :meth:`FSimServer.stop` path
     as the ``shutdown`` op (drain batches, run the ``on_stop`` hook --
-    i.e. Ctrl-C still writes shutdown snapshots).
+    i.e. Ctrl-C still writes shutdown snapshots).  ``on_ready(server)``
+    runs once the port is bound -- the CLI prints its ready line there
+    so a supervising process can parse the bound port.
     """
     import signal
 
     async def _main():
         await server.start()
+        if on_ready is not None:
+            on_ready(server)
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:

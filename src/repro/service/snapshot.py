@@ -62,32 +62,58 @@ def graph_fingerprint(graph: LabeledDigraph, config: FSimConfig) -> str:
     return hasher.hexdigest()
 
 
-def save_snapshot(store: GraphStore, name: str, path: PathLike) -> dict:
-    """Snapshot a registered graph's warm self-similarity state to disk.
+def save_snapshot(store: GraphStore, name: str, path: PathLike,
+                  warm: Optional[bool] = True) -> dict:
+    """Snapshot a registered graph's state to disk (atomic write).
 
-    Computes the self-pair scores first if the server has not served
-    them yet (a snapshot of nothing would warm nothing).  Returns a
-    small metadata dict (fingerprint, sizes) for logging / the stats
-    endpoint.  The write is atomic (temp file + rename).
+    ``warm`` selects how much resident state rides along with the
+    graph structure + config + WAL watermark that every snapshot
+    carries:
+
+    - ``True`` (default) -- the full warm payload: plan, session
+      trajectory, converged self-pair scores, *computed now* if the
+      server has not served them yet (a snapshot of nothing would warm
+      nothing);
+    - ``None`` -- opportunistic: include the warm payload only when
+      the self-pair result is already cached at the current versions,
+      never compute.  WAL compaction uses this -- a checkpoint of a
+      mutation-only graph must not trigger an unrequested computation;
+    - ``False`` -- structure only (durability without warmth).
+
+    Returns a small metadata dict (fingerprint, sizes) for logging /
+    the stats endpoint.  The write is atomic (temp file + rename +
+    directory fsync), so a crash mid-save leaves the previous snapshot
+    intact.
     """
     registered = store.graph(name)
     config = registered.config
-    result = store.fsim(name, name)  # ensures the state exists & is current
-    pair = store.pair(name, name, config)
+    result = None
+    pair = None
+    if warm:
+        result = store.fsim(name, name)  # ensure the state exists
+        pair = store.pair(name, name, config)
+    elif warm is None:
+        pair = store.peek_pair(name, name, config)
+        if pair is not None:
+            result = pair.results.peek(("fsim", pair.versions()))
     session_state = None
-    if pair.session is not None:
-        pair.sync_session()
-        session_state = pair.session.snapshot_state()
+    plan = None
+    if result is not None and pair is not None:
+        if pair.session is not None:
+            pair.sync_session()
+            session_state = pair.session.snapshot_state()
+        plan = lower_graph(registered.graph)
     payload = {
         "format": SNAPSHOT_FORMAT,
         "name": name,
         "fingerprint": graph_fingerprint(registered.graph, config),
         "config": config,
         "graph": registered.graph,
-        "plan": lower_graph(registered.graph),
+        "plan": plan,
         "session_mode": store.session_mode,
         "session_state": session_state,
         "result": result,
+        "wal_seq": registered.wal_seq,
         "created": time.time(),
     }
     path = Path(path)
@@ -95,12 +121,16 @@ def save_snapshot(store: GraphStore, name: str, path: PathLike) -> dict:
     temp = path.with_name(path.name + ".tmp")
     with open(temp, "wb") as handle:
         pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(temp, path)
     return {
         "path": str(path),
         "fingerprint": payload["fingerprint"],
         "bytes": path.stat().st_size,
         "session": session_state is not None,
+        "warm": result is not None,
+        "wal_seq": registered.wal_seq,
     }
 
 
@@ -174,20 +204,24 @@ def restore_snapshot(
             f"does not match the live graph ({live[:12]})"
         )
     registered = store.register(
-        name or payload["name"], graph, config, replace=replace
+        name or payload["name"], graph, config, replace=replace,
+        source={"snapshot": str(path)},
     )
-    # The plan describes this exact structure (fingerprint-checked):
-    # re-key it on the live version counter so the next lowering hits.
-    adopt_plan(graph, payload["plan"])
-    pair = PairState(registered, registered, config,
-                     payload.get("session_mode", store.session_mode),
-                     store.result_cache_size)
-    if session_state is not None and pair.session is not None:
-        try:
-            pair.session.adopt_state(session_state)
-        except ConfigError:
-            pass  # mode/config drift: serve cold, still correct
-    pair.results.put(("fsim", pair.versions()), payload["result"])
-    store.adopt_pair(pair)
+    registered.wal_seq = int(payload.get("wal_seq", 0))
+    if payload.get("plan") is not None:
+        # The plan describes this exact structure (fingerprint-checked):
+        # re-key it on the live version counter so the next lowering hits.
+        adopt_plan(graph, payload["plan"])
+    if payload.get("result") is not None:
+        pair = PairState(registered, registered, config,
+                         payload.get("session_mode", store.session_mode),
+                         store.result_cache_size)
+        if session_state is not None and pair.session is not None:
+            try:
+                pair.session.adopt_state(session_state)
+            except ConfigError:
+                pass  # mode/config drift: serve cold, still correct
+        pair.results.put(("fsim", pair.versions()), payload["result"])
+        store.adopt_pair(pair)
     store.restored_snapshots += 1
     return registered

@@ -41,6 +41,7 @@ from repro.core.plan import plan_cache_stats
 from repro.core.topk import TopKResult, TopKSearch
 from repro.exceptions import ConfigError, ReproError, ServiceError
 from repro.graph.digraph import LabeledDigraph
+from repro.service.wal import DEFAULT_COMPACT_BYTES, WriteAheadLog
 from repro.simulation.base import Variant
 from repro.streaming.delta import DeltaLog, DeltaOp, OP_KINDS, apply_script_op
 from repro.streaming.session import IncrementalFSim
@@ -51,6 +52,11 @@ Node = Hashable
 #: the trimmed window simply resynchronizes cold (its own out-of-band
 #: detection), so trimming affects cost, never correctness.
 JOURNAL_CAP = 4096
+
+#: Applied client request ids remembered for mutation deduplication.
+#: A retry older than this window re-applies (the self-healing client
+#: retries within seconds, not after 4096 intervening mutations).
+RID_CAP = 4096
 
 #: Request parameters that may override a registered graph's config.
 CONFIG_PARAMS = (
@@ -92,6 +98,10 @@ class LruCache:
         self.hits += 1
         return entry
 
+    def peek(self, key):
+        """Read without touching recency or hit/miss counters."""
+        return self._entries.get(key)
+
     def put(self, key, value) -> None:
         if key in self._entries:
             self._entries.move_to_end(key)
@@ -128,6 +138,10 @@ class RegisteredGraph:
         #: journal_start - 1]``.
         self.journal_start = graph.version
         self.mutations = 0
+        #: Sequence number of the newest WAL record whose effect is in
+        #: this graph.  Snapshots persist it; recovery replays only WAL
+        #: records with a larger seq (the suffix).
+        self.wal_seq = 0
 
     def apply_ops(self, ops: Sequence[DeltaOp]) -> Dict[str, int]:
         """Apply mutation ops in order; journal them for session sync.
@@ -232,6 +246,8 @@ class GraphStore:
         session_mode: str = "replay",
         workers: Optional[int] = None,
         executor: Optional[str] = None,
+        wal: Optional[WriteAheadLog] = None,
+        wal_compact_bytes: int = DEFAULT_COMPACT_BYTES,
     ):
         base = default_config or FSimConfig()
         overrides = {}
@@ -250,21 +266,51 @@ class GraphStore:
         self._pair_evictions = 0
         self._lock = threading.RLock()
         self.restored_snapshots = 0
+        #: Durability (attach via constructor or recovery.recover_store):
+        #: every register/unregister/mutate appends to the WAL *before*
+        #: applying, so a crash loses only never-acknowledged work.
+        self.wal = wal
+        self.wal_compact_bytes = int(wal_compact_bytes)
+        #: True while recovery replays the WAL -- suppresses re-logging.
+        self._wal_replaying = False
+        #: True = compact inline from mutate() once the WAL passes its
+        #: size budget (safe for single-threaded direct use).  The
+        #: server flips this off and drives compaction itself under an
+        #: all-graph exclusive lock (snapshotting graph B while another
+        #: worker thread mutates it would tear the pickle).
+        self.wal_autocompact = True
+        self.compactions = 0
+        #: rid -> outcome of the mutation that carried it (bounded).
+        self._applied_rids: "OrderedDict[str, dict]" = OrderedDict()
+        self.deduped_mutations = 0
 
     # ------------------------------------------------------------------
     # registry
     # ------------------------------------------------------------------
     def register(self, name: str, graph: LabeledDigraph,
                  config: Optional[FSimConfig] = None,
-                 replace: bool = False) -> RegisteredGraph:
+                 replace: bool = False,
+                 source: Optional[dict] = None) -> RegisteredGraph:
+        """Register a graph; with a WAL attached and a JSON ``source``
+        describing where the graph came from (``{"path": ...}``,
+        ``{"nodes": ..., "edges": ...}`` or ``{"snapshot": ...}``, plus
+        optional ``"params"`` config overrides), the registration is
+        durable: recovery replays it.  ``source=None`` registrations
+        (programmatic) are process-local and vanish on crash."""
         if not name or not isinstance(name, str):
             raise ServiceError(f"graph name must be a non-empty string, "
                                f"got {name!r}")
         with self._lock:
             if name in self._graphs and not replace:
                 raise ServiceError(f"graph {name!r} is already registered")
+            if self.wal is not None and not self._wal_replaying \
+                    and source is not None:
+                self.wal.append({
+                    "kind": "register", "graph": name,
+                    "source": source, "replace": bool(replace),
+                })
             if name in self._graphs:
-                self.unregister(name)
+                self._evict(name)
             registered = RegisteredGraph(
                 name, graph, config or self.default_config
             )
@@ -273,9 +319,18 @@ class GraphStore:
 
     def unregister(self, name: str) -> None:
         with self._lock:
-            self._graphs.pop(name, None)
-            for key in [k for k in self._pairs if name in (k[0], k[1])]:
-                self._pairs.pop(key).close()
+            if name in self._graphs and self.wal is not None \
+                    and not self._wal_replaying:
+                self.wal.append({"kind": "unregister", "graph": name})
+            self._evict(name)
+
+    def _evict(self, name: str) -> None:
+        """Drop a graph and its pair state without WAL logging (the
+        caller has logged, is replaying, or replace-registering --
+        where the replayed register record already implies it)."""
+        self._graphs.pop(name, None)
+        for key in [k for k in self._pairs if name in (k[0], k[1])]:
+            self._pairs.pop(key).close()
 
     def graph(self, name: str) -> RegisteredGraph:
         registered = self._graphs.get(name)
@@ -327,6 +382,15 @@ class GraphStore:
                 self._pair_evictions += 1
             self._pairs[key] = state
             return state
+
+    def peek_pair(self, name1: str, name2: str,
+                  config: FSimConfig) -> Optional[PairState]:
+        """The existing pair state, or ``None`` -- never builds one
+        (snapshot compaction must not spin up sessions as a side
+        effect)."""
+        key = (name1, name2, config_key(config))
+        with self._lock:
+            return self._pairs.get(key)
 
     def adopt_pair(self, state: PairState) -> None:
         """Install externally built pair state (the snapshot-restore
@@ -431,12 +495,120 @@ class GraphStore:
                 outputs[position] = result
         return outputs
 
-    def mutate(self, name: str, ops: Sequence[DeltaOp]) -> Dict[str, int]:
-        """Apply a mutation batch to a registered graph via its journal."""
+    def mutate(self, name: str, ops: Sequence[DeltaOp],
+               rid: Optional[str] = None) -> Dict[str, int]:
+        """Apply a mutation batch to a registered graph via its journal.
+
+        With a WAL attached the batch is appended (and, in
+        ``wal_sync="always"`` mode, fsynced) *before* it touches the
+        graph -- a crash at any instant leaves log >= state, and
+        recovery replays the difference.  ``rid`` is a client-generated
+        request id: a batch whose rid was already applied is **not**
+        re-applied; the recorded outcome (or recorded error) is
+        replayed instead, making retries after an ack-lost crash
+        exactly-once.
+        """
         for op in ops:
             if op.kind not in OP_KINDS:
                 raise ServiceError(f"unknown mutation kind {op.kind!r}")
-        return self.graph(name).apply_ops(ops)
+        if rid is not None:
+            cached = self._rid_outcome(rid)
+            if cached is not None:
+                return cached
+        registered = self.graph(name)
+        if self.wal is not None and not self._wal_replaying:
+            seq = self.wal.append({
+                "kind": "mutate", "graph": name,
+                "ops": [[op.kind, op.a, op.b] for op in ops],
+                "rid": rid,
+            })
+            registered.wal_seq = seq
+        try:
+            outcome = registered.apply_ops(ops)
+        except ServiceError as exc:
+            if rid is not None:
+                self._remember_rid(rid, {"error": str(exc)})
+            raise
+        if rid is not None:
+            self._remember_rid(rid, dict(outcome))
+        if self.wal is not None and not self._wal_replaying \
+                and self.wal_autocompact and self.wal_compact_bytes \
+                and self.wal.size_bytes() > self.wal_compact_bytes:
+            self.compact()
+        return outcome
+
+    # ------------------------------------------------------------------
+    # durability: request-id dedup, WAL commit, compaction
+    # ------------------------------------------------------------------
+    def _rid_outcome(self, rid: str) -> Optional[Dict[str, int]]:
+        """The replayed response for an already-applied request id."""
+        with self._lock:
+            cached = self._applied_rids.get(rid)
+            if cached is None:
+                return None
+            self._applied_rids.move_to_end(rid)
+            self.deduped_mutations += 1
+        if "error" in cached:
+            raise ServiceError(cached["error"])
+        return dict(cached, deduped=True)
+
+    def _remember_rid(self, rid: str, outcome: dict) -> None:
+        with self._lock:
+            self._applied_rids[rid] = outcome
+            self._applied_rids.move_to_end(rid)
+            while len(self._applied_rids) > RID_CAP:
+                self._applied_rids.popitem(last=False)
+
+    def commit_wal(self) -> None:
+        """Flush-and-fsync pending WAL appends (no-op without a WAL or
+        in ``always`` mode where every append already synced).  The
+        scheduler calls this once per coalesced mutation batch, before
+        any acknowledgement resolves."""
+        if self.wal is not None:
+            self.wal.commit()
+
+    def wal_needs_compaction(self) -> bool:
+        return (
+            self.wal is not None
+            and not self._wal_replaying
+            and self.wal_compact_bytes > 0
+            and self.wal.size_bytes() > self.wal_compact_bytes
+        )
+
+    def compact(self) -> dict:
+        """Snapshot every registered graph, then rotate the WAL.
+
+        The new log holds a single checkpoint record carrying each
+        graph's WAL watermark and the applied-request-id map, so
+        recovery after compaction = restore snapshots + replay the
+        (empty) suffix, and pre-compaction retries still deduplicate.
+        Callers must guarantee no concurrent mutation is in flight (the
+        server compacts under an all-graph exclusive lock; direct
+        library use is single-threaded).
+        """
+        from repro.service.snapshot import save_snapshot
+
+        if self.wal is None:
+            raise ServiceError("compact() requires an attached WAL")
+        wal_dir = self.wal.path.parent
+        with self._lock:
+            watermarks = {}
+            for name, registered in self._graphs.items():
+                save_snapshot(self, name, wal_dir / f"{name}.snap",
+                              warm=None)
+                watermarks[name] = registered.wal_seq
+            # Stale snapshots of since-unregistered graphs must not
+            # resurrect on recovery.
+            for stale in wal_dir.glob("*.snap"):
+                if stale.stem not in self._graphs:
+                    stale.unlink(missing_ok=True)
+            outcome = self.wal.rotate({
+                "kind": "checkpoint",
+                "graphs": watermarks,
+                "rids": dict(self._applied_rids),
+            })
+            self.compactions += 1
+            return dict(outcome, graphs=len(watermarks))
 
     # ------------------------------------------------------------------
     # observability / lifecycle
@@ -452,6 +624,7 @@ class GraphStore:
                     "version": reg.graph.version,
                     "mutations": reg.mutations,
                     "journal": len(reg.journal),
+                    "wal_seq": reg.wal_seq,
                 }
                 for name, reg in self._graphs.items()
             }
@@ -471,7 +644,7 @@ class GraphStore:
                 if state.session is not None:
                     entry["session_stats"] = dict(state.session.stats)
                 pairs[label] = entry
-        return {
+        report = {
             "graphs": graphs,
             "pairs": pairs,
             "pair_evictions": self._pair_evictions,
@@ -479,6 +652,14 @@ class GraphStore:
             "executors": executor_registry_stats(),
             "restored_snapshots": self.restored_snapshots,
         }
+        if self.wal is not None:
+            report["wal"] = dict(
+                self.wal.stats(),
+                compactions=self.compactions,
+                applied_rids=len(self._applied_rids),
+                deduped_mutations=self.deduped_mutations,
+            )
+        return report
 
     def close(self) -> None:
         with self._lock:
@@ -486,3 +667,5 @@ class GraphStore:
                 state.close()
             self._pairs.clear()
             self._graphs.clear()
+            if self.wal is not None:
+                self.wal.close()
