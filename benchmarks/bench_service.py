@@ -79,23 +79,47 @@ def _start_server(factor: float, window: float, max_batch: int):
     return ServerThread(store, window=window, max_batch=max_batch).start()
 
 
-def _drive_queries(port: int, queries, k: int, clients: int):
-    """Issue one top-k request per query from ``clients`` threads;
-    returns (wall seconds, {query: response})."""
+class ClientPool:
+    """One pipelined keep-alive connection per concurrent worker.
+
+    Opening a fresh TCP connection per request (or per round) measures
+    connect/teardown latency, not the service: each worker thread owns
+    one :class:`ServiceClient` for the server's whole lifetime, reused
+    across every round and phase that talks to that server.
+    """
+
+    def __init__(self, port: int, size: int):
+        self.clients = [ServiceClient(port=port) for _ in range(size)]
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def close(self) -> None:
+        for client in self.clients:
+            client.close()
+
+
+def _drive_queries(pool: ClientPool, queries, k: int, clients: int):
+    """Issue one top-k request per query from ``clients`` threads (each
+    on its own persistent connection); returns
+    (wall seconds, {query: response})."""
     responses = {}
     errors = []
     shards = [queries[i::clients] for i in range(clients)]
 
-    def run_shard(shard):
+    def run_shard(client, shard):
         try:
-            with ServiceClient(port=port) as client:
-                for query in shard:
-                    responses[query] = client.topk(GRAPH_NAME, query, k=k)
+            for query in shard:
+                responses[query] = client.topk(GRAPH_NAME, query, k=k)
         except Exception as exc:  # pragma: no cover - surfaced below
             errors.append(exc)
 
-    threads = [threading.Thread(target=run_shard, args=(shard,))
-               for shard in shards if shard]
+    threads = [threading.Thread(target=run_shard,
+                                args=(pool.clients[i], shard))
+               for i, shard in enumerate(shards) if shard]
     start = time.perf_counter()
     for thread in threads:
         thread.start()
@@ -126,11 +150,11 @@ def run_throughput(factor: float, num_queries: int, clients: int,
 
     baseline_server = _start_server(factor, window=0.0, max_batch=1)
     try:
-        with ServiceClient(port=baseline_server.port) as client:
-            client.topk(GRAPH_NAME, queries[0], k=k)  # warm compile
-        baseline_time, baseline_responses = _drive_queries(
-            baseline_server.port, queries, k, clients=1
-        )
+        with ClientPool(baseline_server.port, size=1) as pool:
+            pool.clients[0].topk(GRAPH_NAME, queries[0], k=k)  # warm compile
+            baseline_time, baseline_responses = _drive_queries(
+                pool, queries, k, clients=1
+            )
     finally:
         baseline_server.stop()
     _assert_topk_parity(baseline_responses, replica, k)
@@ -138,13 +162,12 @@ def run_throughput(factor: float, num_queries: int, clients: int,
     batched_server = _start_server(factor, window=window,
                                    max_batch=max_batch)
     try:
-        with ServiceClient(port=batched_server.port) as client:
-            client.topk(GRAPH_NAME, queries[0], k=k)  # warm compile
-        batched_time, batched_responses = _drive_queries(
-            batched_server.port, queries, k, clients=clients
-        )
-        with ServiceClient(port=batched_server.port) as client:
-            scheduler_stats = client.stats()["scheduler"]
+        with ClientPool(batched_server.port, size=clients) as pool:
+            pool.clients[0].topk(GRAPH_NAME, queries[0], k=k)  # warm compile
+            batched_time, batched_responses = _drive_queries(
+                pool, queries, k, clients=clients
+            )
+            scheduler_stats = pool.clients[0].stats()["scheduler"]
     finally:
         batched_server.stop()
     _assert_topk_parity(batched_responses, replica, k)
@@ -173,25 +196,28 @@ def run_mixed_traffic(factor: float, rounds: int, clients: int,
     server = _start_server(factor, window=window, max_batch=32)
     mutations = 0
     try:
-        start = time.perf_counter()
-        for round_index in range(rounds):
-            queries = list(replica.nodes())[
-                round_index * clients:(round_index + 1) * clients
-            ]
-            _, responses = _drive_queries(server.port, queries, 3, clients)
-            _assert_topk_parity(responses, replica, 3)
-            edge = list(replica.edges())[round_index * 13]
-            with ServiceClient(port=server.port) as client:
-                client.mutate(GRAPH_NAME, [("remove_edge", *edge)])
+        # One persistent connection per worker for the whole phase: the
+        # query pool survives every round, and the mutator rides the
+        # first pool connection instead of dialing fresh each round.
+        with ClientPool(server.port, size=clients) as pool:
+            mutator = pool.clients[0]
+            start = time.perf_counter()
+            for round_index in range(rounds):
+                queries = list(replica.nodes())[
+                    round_index * clients:(round_index + 1) * clients
+                ]
+                _, responses = _drive_queries(pool, queries, 3, clients)
+                _assert_topk_parity(responses, replica, 3)
+                edge = list(replica.edges())[round_index * 13]
+                mutator.mutate(GRAPH_NAME, [("remove_edge", *edge)])
                 replica.remove_edge(*edge)
                 mutations += 1
-                wire = client.fsim(GRAPH_NAME)
-            direct = fsim_matrix(replica, replica, config=_config())
-            assert wire_scores(wire) == direct.scores
-            assert wire["iterations"] == direct.iterations
-        elapsed = time.perf_counter() - start
-        with ServiceClient(port=server.port) as client:
-            stats = client.stats()
+                wire = mutator.fsim(GRAPH_NAME)
+                direct = fsim_matrix(replica, replica, config=_config())
+                assert wire_scores(wire) == direct.scores
+                assert wire["iterations"] == direct.iterations
+            elapsed = time.perf_counter() - start
+            stats = mutator.stats()
         session_stats = stats["pairs"][f"{GRAPH_NAME}|{GRAPH_NAME}"].get(
             "session_stats", {}
         )

@@ -37,10 +37,19 @@ Commands
     apply, and a crashed server recovers bitwise-identically from the
     newest snapshots plus the WAL suffix (``--wal-sync`` picks the
     fsync policy).
+    A server started with ``--replicate-from HOST:PORT`` instead runs
+    as a **read replica**: it bootstraps its graphs warm from the
+    primary, tails the primary's WAL over the wire and serves reads
+    (optionally under bounded-staleness ``max_lag`` contracts) while
+    redirecting writes to the primary.
 ``recover --wal-dir DIR``
     Offline recovery: replay the directory's snapshots + WAL without
     serving, and print each recovered graph's structure counts and
     content fingerprint.
+``replicas``
+    Print a running server's replication status: role, follower list
+    (primary) or tail watermark / lag (replica), plus the health
+    section.
 ``query ...``
     One-shot client against a running server (``--op fsim|topk|stats|
     graphs|ping|shutdown|snapshot``).
@@ -199,7 +208,18 @@ def _cmd_serve(args) -> int:
     from repro.service.snapshot import restore_snapshot, save_snapshot
 
     graphs = _parse_named(args.graph, "--graph")
-    if not graphs and not args.wal_dir:
+    replicate_from = getattr(args, "replicate_from", None)
+    if replicate_from and args.wal_dir:
+        raise SystemExit(
+            "--replicate-from excludes --wal-dir: a replica tails its "
+            "primary's WAL instead of keeping one"
+        )
+    if replicate_from and graphs:
+        raise SystemExit(
+            "--replicate-from excludes --graph: a replica bootstraps "
+            "its graphs from the primary"
+        )
+    if not graphs and not args.wal_dir and not replicate_from:
         raise SystemExit("serve needs at least one --graph NAME=PATH")
     config = FSimConfig(
         variant=Variant(args.variant),
@@ -273,9 +293,11 @@ def _cmd_serve(args) -> int:
         max_batch=args.max_batch, max_pending=args.max_pending,
         on_stop=_on_stop if (snapshot_dir or args.wal_dir) else None,
         drain_timeout=args.drain_timeout,
+        replicate_from=replicate_from,
     )
+    role = f"replica of {replicate_from}" if replicate_from else "primary"
     print(f"# serving on {args.host}:{args.port or '(ephemeral)'} "
-          f"window={args.window}s max_batch={args.max_batch}")
+          f"window={args.window}s max_batch={args.max_batch} ({role})")
 
     def _on_ready(ready_server):
         # A machine-parseable line with the *bound* port (--port 0 gets
@@ -314,6 +336,47 @@ def _cmd_recover(args) -> int:
               f"fingerprint={fingerprint}")
     store.close()
     return 1 if report.lost_graphs else 0
+
+
+def _cmd_replicas(args) -> int:
+    """Replication status of a running server (primary or replica)."""
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        stats = client.stats()
+    replication = stats.get("replication")
+    health = stats.get("health", {})
+    if replication is None:
+        print("# not replicating (no --wal-dir, no --replicate-from)")
+        print(f"# health: {health.get('status', 'unknown')}")
+        return 0
+    role = replication.get("role", "unknown")
+    print(f"# role: {role}")
+    print(f"# health: {health.get('status', 'unknown')}")
+    for reason in health.get("reasons", []):
+        print(f"#   - {reason}")
+    if role == "primary":
+        followers = replication.get("followers", [])
+        print(f"# shipped {replication.get('shipped_records', 0)} "
+              f"record(s), {replication.get('heartbeats_sent', 0)} "
+              f"heartbeat(s), {len(followers)} live follower(s)")
+        for follower in followers:
+            print(f"{follower.get('peer')}\t"
+                  f"sent_seq={follower.get('sent_seq')}\t"
+                  f"records={follower.get('records')}")
+    else:
+        tail = replication.get("tail", {})
+        lag_seconds = tail.get("lag_seconds")
+        shown = "unknown" if lag_seconds is None else f"{lag_seconds:.3f}"
+        print(f"primary={tail.get('primary')}\t"
+              f"connected={tail.get('connected')}\t"
+              f"applied_seq={tail.get('applied_seq')}\t"
+              f"head_seq={tail.get('head_seq')}\t"
+              f"lag_records={tail.get('lag_records')}\t"
+              f"lag_seconds={shown}\t"
+              f"reconnects={tail.get('reconnects')}\t"
+              f"bootstraps={tail.get('bootstraps')}")
+    return 0
 
 
 def _cmd_query(args) -> int:
@@ -606,6 +669,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to wait for in-flight batches at shutdown before "
              "aborting queued requests (default 30)",
     )
+    serve.add_argument(
+        "--replicate-from", metavar="HOST:PORT", default=None,
+        help="run as a read replica of the primary at HOST:PORT: "
+             "bootstrap warm, tail its WAL, serve reads, redirect "
+             "writes (excludes --graph and --wal-dir)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     recover = commands.add_parser(
@@ -628,6 +697,13 @@ def build_parser() -> argparse.ArgumentParser:
              "each snapshot under the config it embeds)",
     )
     recover.set_defaults(handler=_cmd_recover)
+
+    replicas = commands.add_parser(
+        "replicas", help="print a running server's replication status"
+    )
+    replicas.add_argument("--host", default="127.0.0.1")
+    replicas.add_argument("--port", type=int, default=7464)
+    replicas.set_defaults(handler=_cmd_replicas)
 
     query = commands.add_parser(
         "query", help="one-shot client against a running service"

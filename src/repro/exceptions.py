@@ -67,6 +67,36 @@ class ServiceRetryError(ServiceError):
     """
 
 
+class ReplicaReadOnlyError(ServiceError):
+    """Raised when a mutation reaches a read replica.
+
+    Carries the primary's advertised address so a replica-set client
+    can redirect the write instead of failing it.
+    """
+
+    def __init__(self, primary=None):
+        self.primary = primary
+        where = f"; redirect writes to the primary at {primary}" \
+            if primary else ""
+        super().__init__(f"this server is a read replica{where}")
+
+
+class ReplicaLaggingError(ServiceError):
+    """Raised when a read's bounded-staleness contract cannot be met.
+
+    A replica rejects a read carrying ``max_lag`` / ``max_lag_seconds``
+    bounds it currently violates, rather than silently serving stale
+    scores; the client retries against the primary.  ``lag_records``
+    and ``lag_seconds`` carry the observed lag (``None`` = unknown,
+    e.g. never connected).
+    """
+
+    def __init__(self, message, lag_records=None, lag_seconds=None):
+        super().__init__(message)
+        self.lag_records = lag_records
+        self.lag_seconds = lag_seconds
+
+
 class SnapshotError(ServiceError):
     """Raised when a warm snapshot cannot be read or does not match."""
 
@@ -80,3 +110,15 @@ class WalCorruptionError(WalError):
     one).  A torn *final* record is repaired silently; a hole in the
     middle of the history is not recoverable by replay and needs
     operator intervention."""
+
+
+class WalCompactedError(WalError):
+    """Raised when a WAL reader asks for a suffix that compaction has
+    already folded into snapshots.  The typed signal is the reader's
+    cue to re-bootstrap from a snapshot instead of replaying records
+    -- it is never a data-loss condition.  ``first_seq`` is the oldest
+    sequence number still present in the log."""
+
+    def __init__(self, message, first_seq=0):
+        super().__init__(message)
+        self.first_seq = int(first_seq)

@@ -29,7 +29,13 @@ library and a system that "serves heavy traffic":
   CRC-framed and durable *before* it applies, with pluggable fsync
   policy and a fault-injection layer for crash testing;
 - :mod:`repro.service.recovery` -- crash recovery: newest snapshots +
-  WAL-suffix replay rebuild the pre-crash store bitwise-identically.
+  WAL-suffix replay rebuild the pre-crash store bitwise-identically;
+- :mod:`repro.service.replication` -- WAL-shipping read replicas: a
+  follower bootstraps from the primary's warm snapshot payloads, tails
+  the WAL over the wire through the same replay machinery and serves
+  reads under a bounded-staleness contract, with a
+  :class:`~repro.service.client.ReplicaSetClient` routing reads across
+  healthy followers and failing over to the primary.
 
 Responses are exactly what the corresponding direct library call
 returns (parity is asserted in ``tests/test_service.py`` and
@@ -37,13 +43,23 @@ returns (parity is asserted in ``tests/test_service.py`` and
 throughput, never values.
 """
 
-from repro.service.client import AsyncServiceClient, ServiceClient
-from repro.service.recovery import RecoveryReport, recover_store
+from repro.service.client import (
+    AsyncServiceClient,
+    ReplicaSetClient,
+    ServiceClient,
+)
+from repro.service.recovery import RecoveryReport, WalReplayer, recover_store
+from repro.service.replication import ReplicationHub, ReplicationTail
 from repro.service.scheduler import MicroBatchScheduler
 from repro.service.server import FSimServer, ServerThread
 from repro.service.snapshot import load_snapshot, save_snapshot
 from repro.service.store import GraphStore
-from repro.service.wal import FaultInjector, WriteAheadLog, read_wal
+from repro.service.wal import (
+    FaultInjector,
+    WriteAheadLog,
+    read_wal,
+    read_wal_since,
+)
 
 __all__ = [
     "AsyncServiceClient",
@@ -52,11 +68,16 @@ __all__ = [
     "GraphStore",
     "MicroBatchScheduler",
     "RecoveryReport",
+    "ReplicaSetClient",
+    "ReplicationHub",
+    "ReplicationTail",
     "ServerThread",
     "ServiceClient",
+    "WalReplayer",
     "WriteAheadLog",
     "load_snapshot",
     "read_wal",
+    "read_wal_since",
     "recover_store",
     "save_snapshot",
 ]

@@ -41,6 +41,8 @@ import uuid
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import (
+    ReplicaLaggingError,
+    ReplicaReadOnlyError,
     ServiceConnectionError,
     ServiceError,
     ServiceOverloadedError,
@@ -94,6 +96,14 @@ def _parse_response(line: bytes, request_id) -> dict:
         error = response.get("error", "unknown error")
         if response.get("overloaded"):
             raise ServiceOverloadedError(error)
+        if response.get("lagging"):
+            raise ReplicaLaggingError(
+                error,
+                lag_records=response.get("lag_records"),
+                lag_seconds=response.get("lag_seconds"),
+            )
+        if response.get("readonly"):
+            raise ReplicaReadOnlyError(response.get("primary"))
         raise ServiceError(error)
     return response.get("result", {})
 
@@ -198,25 +208,37 @@ class ServiceClient:
 
     def fsim(self, graph1: str, graph2: Optional[str] = None,
              params: Optional[dict] = None,
-             top: Optional[int] = None) -> dict:
+             top: Optional[int] = None,
+             max_lag: Optional[int] = None,
+             max_lag_seconds: Optional[float] = None) -> dict:
+        """``max_lag`` / ``max_lag_seconds`` bound the staleness a read
+        replica may serve this read at (rejected with a typed
+        :class:`~repro.exceptions.ReplicaLaggingError` when violated);
+        a primary always satisfies them."""
         return self.request(
-            "fsim", graph1=graph1, graph2=graph2, params=params, top=top
+            "fsim", graph1=graph1, graph2=graph2, params=params, top=top,
+            max_lag=max_lag, max_lag_seconds=max_lag_seconds,
         )
 
     def topk(self, graph1: str, query: Node, k: int = 5,
              graph2: Optional[str] = None,
-             params: Optional[dict] = None) -> dict:
+             params: Optional[dict] = None,
+             max_lag: Optional[int] = None,
+             max_lag_seconds: Optional[float] = None) -> dict:
         return self.request(
             "topk", graph1=graph1, graph2=graph2, query=query, k=k,
-            params=params,
+            params=params, max_lag=max_lag,
+            max_lag_seconds=max_lag_seconds,
         )
 
     def matrix(self, graphs1: Sequence[str], graph2: str,
                params: Optional[dict] = None,
-               top: Optional[int] = None) -> dict:
+               top: Optional[int] = None,
+               max_lag: Optional[int] = None,
+               max_lag_seconds: Optional[float] = None) -> dict:
         return self.request(
             "matrix", graphs1=list(graphs1), graph2=graph2, params=params,
-            top=top,
+            top=top, max_lag=max_lag, max_lag_seconds=max_lag_seconds,
         )
 
     def mutate(self, graph: str, ops: Sequence,
@@ -395,25 +417,33 @@ class AsyncServiceClient:
 
     async def fsim(self, graph1: str, graph2: Optional[str] = None,
                    params: Optional[dict] = None,
-                   top: Optional[int] = None) -> dict:
+                   top: Optional[int] = None,
+                   max_lag: Optional[int] = None,
+                   max_lag_seconds: Optional[float] = None) -> dict:
         return await self.request(
-            "fsim", graph1=graph1, graph2=graph2, params=params, top=top
+            "fsim", graph1=graph1, graph2=graph2, params=params, top=top,
+            max_lag=max_lag, max_lag_seconds=max_lag_seconds,
         )
 
     async def topk(self, graph1: str, query: Node, k: int = 5,
                    graph2: Optional[str] = None,
-                   params: Optional[dict] = None) -> dict:
+                   params: Optional[dict] = None,
+                   max_lag: Optional[int] = None,
+                   max_lag_seconds: Optional[float] = None) -> dict:
         return await self.request(
             "topk", graph1=graph1, graph2=graph2, query=query, k=k,
-            params=params,
+            params=params, max_lag=max_lag,
+            max_lag_seconds=max_lag_seconds,
         )
 
     async def matrix(self, graphs1: Sequence[str], graph2: str,
                      params: Optional[dict] = None,
-                     top: Optional[int] = None) -> dict:
+                     top: Optional[int] = None,
+                     max_lag: Optional[int] = None,
+                     max_lag_seconds: Optional[float] = None) -> dict:
         return await self.request(
             "matrix", graphs1=list(graphs1), graph2=graph2, params=params,
-            top=top,
+            top=top, max_lag=max_lag, max_lag_seconds=max_lag_seconds,
         )
 
     async def mutate(self, graph: str, ops: Sequence,
@@ -429,3 +459,190 @@ class AsyncServiceClient:
         return await self.request(
             "mutate", graph=graph, ops=_wire_mutation_ops(ops), rid=rid
         )
+
+
+def _split_address(address: str) -> Tuple[str, int]:
+    host, _, port = str(address).rpartition(":")
+    if not host or not port.isdigit():
+        raise ServiceError(
+            f"service address must be HOST:PORT, got {address!r}"
+        )
+    return host, int(port)
+
+
+class ReplicaSetClient:
+    """Reads scale across replicas; writes and failover hit the primary.
+
+    Routing rules:
+
+    - **reads** (``fsim`` / ``topk`` / ``matrix``) round-robin across
+      replicas that are currently *healthy*; each read carries the
+      client's default staleness bounds (``max_lag`` /
+      ``max_lag_seconds``), so a replica that cannot prove freshness
+      rejects instead of silently serving stale scores;
+    - a replica that fails a read -- transport error, overload,
+      :class:`~repro.exceptions.ReplicaLaggingError` -- enters a
+      ``cooldown``-second health gate and the read **fails over**: next
+      replica, then the primary.  Trying a replica whose cooldown
+      expired *is* the liveness probe (no standing probe traffic);
+      :meth:`probe` forces an immediate health sweep when wanted;
+    - **writes** (``mutate`` / ``register`` / ...) go straight to the
+      primary through a self-healing :class:`AsyncServiceClient`, so
+      crash-restart exactly-once semantics carry over unchanged.
+
+    Replica attempts are single-shot (``max_retries=0``) -- the set
+    itself is the retry mechanism; only the primary client retries
+    internally, because behind it there is nothing left to fail over
+    to.
+    """
+
+    READ_FAILOVER = (ServiceConnectionError, ServiceOverloadedError,
+                     ServiceRetryError, ReplicaLaggingError,
+                     ReplicaReadOnlyError)
+
+    def __init__(self, primary: str, replicas: Sequence[str] = (),
+                 timeout: float = 120.0, max_retries: int = 5,
+                 backoff: float = 0.05, max_backoff: float = 2.0,
+                 max_lag: Optional[int] = None,
+                 max_lag_seconds: Optional[float] = None,
+                 cooldown: float = 1.0,
+                 rng: Optional[random.Random] = None):
+        import time as _time
+
+        self._time = _time.monotonic
+        host, port = _split_address(primary)
+        self.primary_address = f"{host}:{port}"
+        self.primary = AsyncServiceClient(
+            host, port, timeout=timeout, max_retries=max_retries,
+            backoff=backoff, max_backoff=max_backoff, rng=rng,
+        )
+        self.max_lag = max_lag
+        self.max_lag_seconds = max_lag_seconds
+        self.cooldown = float(cooldown)
+        self._replicas: List[dict] = []
+        for address in replicas:
+            rhost, rport = _split_address(address)
+            self._replicas.append({
+                "address": f"{rhost}:{rport}",
+                "client": AsyncServiceClient(
+                    rhost, rport, timeout=timeout, max_retries=0,
+                    backoff=backoff, max_backoff=max_backoff, rng=rng,
+                ),
+                "down_until": 0.0,
+                "reads": 0,
+                "failures": 0,
+            })
+        self._cursor = 0
+        self.stats = {
+            "replica_reads": 0,
+            "primary_reads": 0,
+            "failovers": 0,
+            "writes": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    def _healthy(self, entry: dict) -> bool:
+        return self._time() >= entry["down_until"]
+
+    def _mark_down(self, entry: dict) -> None:
+        entry["down_until"] = self._time() + self.cooldown
+        entry["failures"] += 1
+
+    async def probe(self) -> Dict[str, bool]:
+        """Actively ping every replica; clears/sets the health gates."""
+        health: Dict[str, bool] = {}
+        for entry in self._replicas:
+            try:
+                await entry["client"].ping()
+                entry["down_until"] = 0.0
+                health[entry["address"]] = True
+            except ServiceError:
+                self._mark_down(entry)
+                health[entry["address"]] = False
+        return health
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _read(self, op: str, **fields) -> dict:
+        fields.setdefault("max_lag", self.max_lag)
+        fields.setdefault("max_lag_seconds", self.max_lag_seconds)
+        attempted = False
+        for offset in range(len(self._replicas)):
+            entry = self._replicas[
+                (self._cursor + offset) % len(self._replicas)
+            ]
+            if not self._healthy(entry):
+                continue
+            attempted = True
+            try:
+                result = await entry["client"].request(op, **fields)
+            except self.READ_FAILOVER:
+                self._mark_down(entry)
+                continue
+            self._cursor = (self._cursor + offset + 1) \
+                % len(self._replicas)
+            entry["reads"] += 1
+            self.stats["replica_reads"] += 1
+            return result
+        if attempted or self._replicas:
+            self.stats["failovers"] += 1
+        # The primary satisfies any staleness bound by definition (its
+        # dispatcher ignores the fields), so they ride along untouched.
+        self.stats["primary_reads"] += 1
+        return await self.primary.request(op, **fields)
+
+    # -- reads ---------------------------------------------------------
+    async def fsim(self, graph1: str, graph2: Optional[str] = None,
+                   params: Optional[dict] = None,
+                   top: Optional[int] = None, **bounds) -> dict:
+        return await self._read(
+            "fsim", graph1=graph1, graph2=graph2, params=params, top=top,
+            **bounds,
+        )
+
+    async def topk(self, graph1: str, query: Node, k: int = 5,
+                   graph2: Optional[str] = None,
+                   params: Optional[dict] = None, **bounds) -> dict:
+        return await self._read(
+            "topk", graph1=graph1, graph2=graph2, query=query, k=k,
+            params=params, **bounds,
+        )
+
+    async def matrix(self, graphs1: Sequence[str], graph2: str,
+                     params: Optional[dict] = None,
+                     top: Optional[int] = None, **bounds) -> dict:
+        return await self._read(
+            "matrix", graphs1=list(graphs1), graph2=graph2,
+            params=params, top=top, **bounds,
+        )
+
+    # -- writes / control (always the primary) -------------------------
+    async def mutate(self, graph: str, ops: Sequence,
+                     rid: Optional[str] = None) -> dict:
+        self.stats["writes"] += 1
+        return await self.primary.mutate(graph, ops, rid=rid)
+
+    async def register(self, *args, **kwargs) -> dict:
+        self.stats["writes"] += 1
+        return await self.primary.register(*args, **kwargs)
+
+    async def graphs(self) -> List[str]:
+        return await self.primary.graphs()
+
+    async def stats_report(self) -> dict:
+        return await self.primary.stats_report()
+
+    # ------------------------------------------------------------------
+    async def close(self) -> None:
+        await self.primary.close()
+        for entry in self._replicas:
+            await entry["client"].close()
+
+    async def __aenter__(self) -> "ReplicaSetClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

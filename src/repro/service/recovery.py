@@ -188,6 +188,105 @@ def _register_from_source(store: GraphStore, record: dict,
     return True
 
 
+class WalReplayer:
+    """The shared WAL-record apply machinery.
+
+    Both crash recovery's suffix replay and a replication follower
+    tailing the primary's stream consume identical record dicts and
+    push them through the same :class:`GraphStore` register / mutate /
+    unregister calls live traffic uses -- DeltaLog capture, plan
+    patching, incremental sessions -- which is what makes a recovered
+    *or replicated* store bitwise-identical to the primary.  Records
+    must arrive in ascending ``seq`` order; duplicates (and records at
+    or below a graph's snapshot watermark) are skipped, so replay and
+    resume-from-watermark are idempotent.
+    """
+
+    def __init__(self, store: GraphStore,
+                 served_config: Optional[FSimConfig],
+                 report: RecoveryReport):
+        self.store = store
+        self.served_config = served_config
+        self.report = report
+        self.lost: set = set()
+        self.watermark_floor: Dict[str, int] = {}
+
+    def apply(self, record: dict) -> bool:
+        """Apply one record; returns ``False`` when it was skipped."""
+        seq = int(record["seq"])
+        report = self.report
+        if seq <= report.last_seq:
+            report.skipped_duplicates += 1
+            return False
+        report.last_seq = seq
+        was_replaying = self.store._wal_replaying
+        self.store._wal_replaying = True
+        try:
+            return self._apply(record, seq)
+        finally:
+            self.store._wal_replaying = was_replaying
+
+    def _apply(self, record: dict, seq: int) -> bool:
+        store = self.store
+        report = self.report
+        kind = record["kind"]
+        if kind == "checkpoint":
+            rids = record.get("rids") or {}
+            for rid, outcome in rids.items():
+                store._remember_rid(rid, dict(outcome))
+            report.recovered_rids += len(rids)
+            for name, mark in (record.get("graphs") or {}).items():
+                self.watermark_floor[name] = int(mark)
+                if name not in store.graph_names():
+                    # Its snapshot is gone/unusable and the records
+                    # that built it were compacted away: the graph
+                    # cannot be recovered from this directory.
+                    self.lost.add(name)
+            return True
+        if kind == "register":
+            name = record["graph"]
+            if _register_from_source(store, record, self.served_config,
+                                     report):
+                self.lost.discard(name)
+            else:
+                self.lost.add(name)
+            return True
+        if kind == "unregister":
+            name = record["graph"]
+            if name in store.graph_names():
+                store.unregister(name)
+                report.replayed_unregisters += 1
+            self.lost.discard(name)
+            return True
+        # kind == "mutate"
+        name = record["graph"]
+        if name in self.lost:
+            report.skipped_unknown_graph += 1
+            return False
+        if name not in store.graph_names():
+            # Registered programmatically (source=None) on the
+            # previous run: not durable, nothing to replay onto.
+            report.skipped_unknown_graph += 1
+            return False
+        registered = store.graph(name)
+        floor = max(registered.wal_seq, self.watermark_floor.get(name, 0))
+        if seq <= floor:
+            report.skipped_snapshotted += 1
+            return False
+        ops = [DeltaOp(op[0], op[1], op[2] if len(op) > 2 else None)
+               for op in record["ops"]]
+        try:
+            store.mutate(name, ops, rid=record.get("rid"))
+        except ServiceError:
+            # The original apply failed identically (deterministic
+            # partial application); the rid map already remembers
+            # the error for retry dedup.
+            report.replayed_errors += 1
+        registered.wal_seq = seq
+        report.replayed_mutations += 1
+        return True
+
+
 def recover_store(
     wal_dir: PathLike,
     store: Optional[GraphStore] = None,
@@ -235,72 +334,10 @@ def recover_store(
                                        report)
 
         # -- 2. WAL suffix replay --------------------------------------
-        last_seq = 0
-        lost = set()
-        watermark_floor: Dict[str, int] = {}
+        replayer = WalReplayer(store, served_config, report)
         for record in scan.records:
-            seq = int(record["seq"])
-            if seq <= last_seq:
-                report.skipped_duplicates += 1
-                continue
-            last_seq = seq
-            kind = record["kind"]
-            if kind == "checkpoint":
-                rids = record.get("rids") or {}
-                for rid, outcome in rids.items():
-                    store._remember_rid(rid, dict(outcome))
-                report.recovered_rids += len(rids)
-                for name, mark in (record.get("graphs") or {}).items():
-                    watermark_floor[name] = int(mark)
-                    if name not in store.graph_names():
-                        # Its snapshot is gone/unusable and the records
-                        # that built it were compacted away: the graph
-                        # cannot be recovered from this directory.
-                        lost.add(name)
-                continue
-            if kind == "register":
-                name = record["graph"]
-                if _register_from_source(store, record, served_config,
-                                         report):
-                    lost.discard(name)
-                else:
-                    lost.add(name)
-                continue
-            if kind == "unregister":
-                name = record["graph"]
-                if name in store.graph_names():
-                    store.unregister(name)
-                    report.replayed_unregisters += 1
-                lost.discard(name)
-                continue
-            # kind == "mutate"
-            name = record["graph"]
-            if name in lost:
-                report.skipped_unknown_graph += 1
-                continue
-            if name not in store.graph_names():
-                # Registered programmatically (source=None) on the
-                # previous run: not durable, nothing to replay onto.
-                report.skipped_unknown_graph += 1
-                continue
-            registered = store.graph(name)
-            floor = max(registered.wal_seq, watermark_floor.get(name, 0))
-            if seq <= floor:
-                report.skipped_snapshotted += 1
-                continue
-            ops = [DeltaOp(op[0], op[1], op[2] if len(op) > 2 else None)
-                   for op in record["ops"]]
-            try:
-                store.mutate(name, ops, rid=record.get("rid"))
-            except ServiceError:
-                # The original apply failed identically (deterministic
-                # partial application); the rid map already remembers
-                # the error for retry dedup.
-                report.replayed_errors += 1
-            registered.wal_seq = seq
-            report.replayed_mutations += 1
-        report.lost_graphs = sorted(lost)
-        report.last_seq = last_seq
+            replayer.apply(record)
+        report.lost_graphs = sorted(replayer.lost)
     finally:
         store._wal_replaying = False
 

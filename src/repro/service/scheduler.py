@@ -77,6 +77,7 @@ class MicroBatchScheduler:
             "coalesced_batches": 0,
             "coalesced_requests": 0,
             "largest_batch": 0,
+            "aborted_requests": 0,
         }
 
     # ------------------------------------------------------------------
@@ -201,6 +202,9 @@ class MicroBatchScheduler:
             bucket["items"] = []
             bucket["event"].set()
         self._buckets.clear()
+        # Surfaced in the server's ``health`` stats section: a nonzero
+        # count marks a shutdown that outran its drain timeout.
+        self.stats["aborted_requests"] += aborted
         return aborted
 
     # ------------------------------------------------------------------

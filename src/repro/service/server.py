@@ -40,11 +40,15 @@ logger = logging.getLogger("repro.service")
 from repro.core.engine import FSimResult
 from repro.core.topk import TopKResult
 from repro.exceptions import (
+    ReplicaLaggingError,
+    ReplicaReadOnlyError,
     ReproError,
     ServiceError,
     ServiceOverloadedError,
     SnapshotError,
+    WalCompactedError,
 )
+from repro.service.replication import ReplicationHub, ReplicationTail
 from repro.service.scheduler import BATCHED_OPS, MicroBatchScheduler
 from repro.service.store import GraphStore
 from repro.simulation.base import Variant
@@ -95,6 +99,7 @@ class FSimServer:
         on_stop=None,
         drain_timeout: float = 30.0,
         compact_interval: float = 1.0,
+        replicate_from: Optional[str] = None,
     ):
         #: Callback run during :meth:`stop` after draining, *before*
         #: the store is closed -- the CLI writes shutdown snapshots
@@ -122,6 +127,27 @@ class FSimServer:
         # scheduler worker is mutating would tear).
         if self.store.wal is not None:
             self.store.wal_autocompact = False
+        # -- replication ---------------------------------------------
+        #: Primary role: the hub fans WAL records out to ``replicate``
+        #: streams (inert until a follower subscribes).
+        self.replication = ReplicationHub(self.store)
+        #: Replica role: tail the primary at ``replicate_from``.  The
+        #: follower keeps no WAL of its own -- the primary's log *is*
+        #: the log, and a follower restart re-bootstraps warm.
+        self.tail: Optional[ReplicationTail] = None
+        self._tail_task: Optional[asyncio.Task] = None
+        #: Live ``replicate`` stream tasks: infinite by design, so
+        #: connection teardown and stop() cancel them explicitly
+        #: (normal request tasks are awaited, never cancelled).
+        self._replication_streams: set = set()
+        if replicate_from:
+            if self.store.wal is not None:
+                raise ServiceError(
+                    "a replica tails its primary's WAL and must not "
+                    "keep its own (--replicate-from excludes --wal-dir)"
+                )
+            self.tail = ReplicationTail(self, replicate_from)
+            self.store.replica_primary = replicate_from
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -135,6 +161,9 @@ class FSimServer:
         self.port = self._server.sockets[0].getsockname()[1]
         if self.store.wal is not None:
             self._compact_task = asyncio.ensure_future(self._compact_loop())
+            self.replication.attach(asyncio.get_running_loop())
+        if self.tail is not None:
+            self._tail_task = asyncio.ensure_future(self.tail.run())
 
     async def _compact_loop(self) -> None:
         """Periodic WAL compaction: snapshot every graph, rotate the log.
@@ -177,6 +206,16 @@ class FSimServer:
             await self.wait_stopped()
             return
         self._stopping = True
+        if self._tail_task is not None:
+            self.tail.stop()
+            self._tail_task.cancel()
+            try:
+                await self._tail_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._tail_task = None
+        for task in list(self._replication_streams):
+            task.cancel()
         if self._compact_task is not None:
             self._compact_task.cancel()
             try:
@@ -218,6 +257,7 @@ class FSimServer:
                     None, self._on_stop
                 )
         finally:
+            self.replication.detach()
             self.store.close()
             if self._stopped_event is not None:
                 self._stopped_event.set()
@@ -250,6 +290,11 @@ class FSimServer:
         finally:
             if current is not None:
                 self._conn_tasks.discard(current)
+            # Replicate streams pump until cancelled; awaiting one like
+            # a normal request task would wedge connection teardown.
+            for task in tasks:
+                if task in self._replication_streams:
+                    task.cancel()
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
             try:
@@ -266,11 +311,24 @@ class FSimServer:
             if not isinstance(request, dict):
                 raise ServiceError("request must be a JSON object")
             request_id = request.get("id")
+            if request.get("op") == "replicate":
+                # The one op that takes over its connection: after the
+                # single header response the socket becomes a one-way
+                # frame stream (see repro.service.replication).
+                await self._serve_replicate(request, writer, write_lock)
+                return
             result = await self._dispatch(request)
             response = {"id": request_id, "ok": True, "result": result}
         except ServiceOverloadedError as exc:
             response = {"id": request_id, "ok": False,
                         "error": str(exc), "overloaded": True}
+        except ReplicaLaggingError as exc:
+            response = {"id": request_id, "ok": False, "error": str(exc),
+                        "lagging": True, "lag_records": exc.lag_records,
+                        "lag_seconds": exc.lag_seconds}
+        except ReplicaReadOnlyError as exc:
+            response = {"id": request_id, "ok": False, "error": str(exc),
+                        "readonly": True, "primary": exc.primary}
         except (ReproError, ValueError, KeyError, TypeError) as exc:
             detail = str(exc) or type(exc).__name__
             response = {"id": request_id, "ok": False, "error": detail}
@@ -305,6 +363,13 @@ class FSimServer:
                 "max_batch": self.scheduler.max_batch,
                 "max_pending": self.scheduler.max_pending,
             }
+            if self.tail is not None:
+                stats["replication"] = {"role": "replica",
+                                        "tail": self.tail.stats()}
+            elif self.store.wal is not None:
+                stats["replication"] = dict(self.replication.stats(),
+                                            role="primary")
+            stats["health"] = self._health()
             return stats
         if op == "shutdown":
             asyncio.get_running_loop().call_soon(
@@ -317,7 +382,21 @@ class FSimServer:
             return await self._snapshot_save(request)
         if op == "snapshot_restore":
             return await self._snapshot_restore(request)
+        if op == "replica_bootstrap":
+            return await self._replica_bootstrap()
         if op in BATCHED_OPS:
+            if op == "mutate" and self.store.replica_primary is not None:
+                # Fail fast with the redirect target instead of letting
+                # the store's write guard fire deep in a worker thread.
+                raise ReplicaReadOnlyError(self.store.replica_primary)
+            if self.tail is not None:
+                # Bounded-staleness contract: reads carrying lag bounds
+                # are rejected (typed) when the replica cannot meet
+                # them; the client fails over to the primary.  A
+                # primary is never stale, so the bounds are inert there.
+                self.tail.check_staleness(
+                    request.get("max_lag"), request.get("max_lag_seconds")
+                )
             normalized = self._normalize(op, request)
             outcome = await self.scheduler.submit(op, normalized)
             return self._wire(op, request, outcome)
@@ -463,6 +542,161 @@ class FSimServer:
 
         async with self.scheduler.exclusive([name] if name else []):
             return await loop.run_in_executor(None, _restore)
+
+    # -- replication ---------------------------------------------------
+    async def _serve_replicate(self, request: dict,
+                               writer: asyncio.StreamWriter,
+                               write_lock: asyncio.Lock) -> None:
+        """Serve one ``replicate`` stream (runs inside a _respond task)."""
+        request_id = request.get("id")
+        peer = writer.get_extra_info("peername")
+        token = None
+        loop = asyncio.get_running_loop()
+        try:
+            if self.store.wal is None:
+                raise ServiceError(
+                    "this server has no write-ahead log to replicate "
+                    "(start it with --wal-dir)"
+                )
+            after = int(request.get("after", 0))
+            # Subscribe FIRST, read the durable backlog second, dedup
+            # the overlap by seq: no record can fall between the two.
+            token, queue = self.replication.subscribe(str(peer))
+            backlog = await loop.run_in_executor(
+                None, self.replication.backlog, after
+            )
+        except WalCompactedError as exc:
+            self.replication.unsubscribe(token)
+            await self._write_response(writer, write_lock, {
+                "id": request_id, "ok": False, "error": str(exc),
+                "compacted": True, "first_seq": exc.first_seq,
+            })
+            return
+        except (ReproError, ValueError, TypeError) as exc:
+            self.replication.unsubscribe(token)
+            await self._write_response(writer, write_lock, {
+                "id": request_id, "ok": False,
+                "error": str(exc) or type(exc).__name__,
+            })
+            return
+        current = asyncio.current_task()
+        if current is not None:
+            self._replication_streams.add(current)
+        try:
+            await self._write_response(writer, write_lock, {
+                "id": request_id, "ok": True,
+                "result": {"stream": True,
+                           "head": self.store.wal.last_seq},
+            })
+            await self.replication.ship(
+                writer, write_lock, token, queue, after, backlog
+            )
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # follower went away; it reconnects and resumes
+        except asyncio.CancelledError:
+            pass  # connection teardown / server stop
+        finally:
+            if current is not None:
+                self._replication_streams.discard(current)
+            self.replication.unsubscribe(token)
+
+    @staticmethod
+    async def _write_response(writer: asyncio.StreamWriter,
+                              write_lock: asyncio.Lock,
+                              response: dict) -> None:
+        payload = json.dumps(response, separators=(",", ":")).encode()
+        async with write_lock:
+            writer.write(payload + b"\n")
+            await writer.drain()
+
+    async def _replica_bootstrap(self) -> dict:
+        """Warm bootstrap payloads for a follower (see replication.py).
+
+        Runs under the exclusive locks of every registered graph, and
+        reads ``last_seq`` *before* building payloads: a register of a
+        brand-new graph racing this op lands at a later seq and reaches
+        the follower through the stream instead of the bootstrap.
+        """
+        import base64
+        import pickle
+
+        from repro.service.snapshot import build_snapshot_payload
+
+        if self.store.wal is None:
+            raise ServiceError(
+                "this server has no write-ahead log to replicate "
+                "(start it with --wal-dir)"
+            )
+
+        def _build() -> dict:
+            last_seq = self.store.wal.last_seq
+            payloads = {}
+            for name in self.store.graph_names():
+                payload = build_snapshot_payload(self.store, name,
+                                                 warm=None)
+                payloads[name] = base64.b64encode(
+                    pickle.dumps(payload,
+                                 protocol=pickle.HIGHEST_PROTOCOL)
+                ).decode("ascii")
+            return {"graphs": payloads, "last_seq": last_seq,
+                    "session_mode": self.store.session_mode}
+
+        async with self.scheduler.exclusive(self.store.graph_names()):
+            return await asyncio.get_running_loop().run_in_executor(
+                None, _build
+            )
+
+    # -- health (structured degradation reporting) ---------------------
+    def _health(self) -> dict:
+        """The ``health`` stats section: one glanceable status plus the
+        counters that explain it (aborted shutdown drains, per-graph
+        WAL watermarks, mutation dedup, replication lag)."""
+        store = self.store
+        reasons: List[str] = []
+        aborted = self.scheduler.stats.get("aborted_requests", 0)
+        if aborted:
+            reasons.append(
+                f"{aborted} queued request(s) aborted at shutdown drain"
+            )
+        if self.tail is not None:
+            if not self.tail.connected:
+                reasons.append("replication stream disconnected")
+            lag_records, lag_seconds = self.tail.lag()
+        if self._stopping:
+            status = "draining"
+        elif reasons:
+            status = "degraded"
+        else:
+            status = "ok"
+        with store._lock:
+            graphs = {
+                name: {
+                    "wal_seq": registered.wal_seq,
+                    "journal": len(registered.journal),
+                    "mutations": registered.mutations,
+                }
+                for name, registered in store._graphs.items()
+            }
+        health = {
+            "status": status,
+            "reasons": reasons,
+            "aborted_requests": aborted,
+            "rejected_requests": self.scheduler.stats["rejected"],
+            "graphs": graphs,
+            "deduped_mutations": store.deduped_mutations,
+            "applied_rids": len(store._applied_rids),
+        }
+        if store.wal is not None:
+            health["wal_last_seq"] = store.wal.last_seq
+            health["wal_control_syncs"] = store.wal.control_syncs
+        if self.tail is not None:
+            health["replica"] = {
+                "primary": self.tail.primary,
+                "connected": self.tail.connected,
+                "lag_records": lag_records,
+                "lag_seconds": lag_seconds,
+            }
+        return health
 
 
 def _require(request: dict, field: str):

@@ -62,9 +62,9 @@ def graph_fingerprint(graph: LabeledDigraph, config: FSimConfig) -> str:
     return hasher.hexdigest()
 
 
-def save_snapshot(store: GraphStore, name: str, path: PathLike,
-                  warm: Optional[bool] = True) -> dict:
-    """Snapshot a registered graph's state to disk (atomic write).
+def build_snapshot_payload(store: GraphStore, name: str,
+                           warm: Optional[bool] = True) -> dict:
+    """The snapshot payload dict for a registered graph (no file I/O).
 
     ``warm`` selects how much resident state rides along with the
     graph structure + config + WAL watermark that every snapshot
@@ -80,10 +80,10 @@ def save_snapshot(store: GraphStore, name: str, path: PathLike,
       mutation-only graph must not trigger an unrequested computation;
     - ``False`` -- structure only (durability without warmth).
 
-    Returns a small metadata dict (fingerprint, sizes) for logging /
-    the stats endpoint.  The write is atomic (temp file + rename +
-    directory fsync), so a crash mid-save leaves the previous snapshot
-    intact.
+    :func:`save_snapshot` pickles this to disk; the replication
+    bootstrap (``replica_bootstrap`` op) pickles it over the wire so a
+    follower starts from the primary's warm state instead of a cold
+    rebuild.
     """
     registered = store.graph(name)
     config = registered.config
@@ -103,7 +103,7 @@ def save_snapshot(store: GraphStore, name: str, path: PathLike,
             pair.sync_session()
             session_state = pair.session.snapshot_state()
         plan = lower_graph(registered.graph)
-    payload = {
+    return {
         "format": SNAPSHOT_FORMAT,
         "name": name,
         "fingerprint": graph_fingerprint(registered.graph, config),
@@ -116,6 +116,22 @@ def save_snapshot(store: GraphStore, name: str, path: PathLike,
         "wal_seq": registered.wal_seq,
         "created": time.time(),
     }
+
+
+def save_snapshot(store: GraphStore, name: str, path: PathLike,
+                  warm: Optional[bool] = True) -> dict:
+    """Snapshot a registered graph's state to disk (atomic write).
+
+    See :func:`build_snapshot_payload` for the ``warm`` policy.
+    Returns a small metadata dict (fingerprint, sizes) for logging /
+    the stats endpoint.  The write is atomic (temp file + rename +
+    directory fsync), so a crash mid-save leaves the previous snapshot
+    intact.
+    """
+    registered = store.graph(name)
+    payload = build_snapshot_payload(store, name, warm=warm)
+    session_state = payload["session_state"]
+    result = payload["result"]
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     temp = path.with_name(path.name + ".tmp")
@@ -179,10 +195,34 @@ def restore_snapshot(
     (restore whatever was saved).
     """
     payload = load_snapshot(path)
+    return adopt_snapshot_payload(
+        store, payload, graph=graph, name=name, config=config,
+        replace=replace, origin=str(path),
+    )
+
+
+def adopt_snapshot_payload(
+    store: GraphStore,
+    payload: dict,
+    graph: Optional[LabeledDigraph] = None,
+    name: Optional[str] = None,
+    config: Optional[FSimConfig] = None,
+    replace: bool = False,
+    origin: Optional[str] = None,
+) -> RegisteredGraph:
+    """Adopt an in-memory snapshot payload (see :func:`restore_snapshot`).
+
+    The wire-bootstrap path: a replication follower receives the
+    primary's :func:`build_snapshot_payload` dicts over the socket and
+    adopts them here -- identical validation and warm-state adoption as
+    a disk restore, no file required.  ``origin`` labels error messages
+    (the snapshot path, or the primary's address).
+    """
+    origin = origin or "<payload>"
     if config is not None and config_key(config) != config_key(
             payload["config"]):
         raise SnapshotError(
-            f"snapshot {path} is stale: it was computed under a "
+            f"snapshot {origin} is stale: it was computed under a "
             f"different config than the one being served"
         )
     session_state = payload["session_state"]
@@ -200,12 +240,13 @@ def restore_snapshot(
     live = graph_fingerprint(graph, config)
     if live != payload["fingerprint"]:
         raise SnapshotError(
-            f"snapshot {path} is stale: fingerprint {payload['fingerprint'][:12]} "
-            f"does not match the live graph ({live[:12]})"
+            f"snapshot {origin} is stale: fingerprint "
+            f"{payload['fingerprint'][:12]} does not match the live "
+            f"graph ({live[:12]})"
         )
     registered = store.register(
         name or payload["name"], graph, config, replace=replace,
-        source={"snapshot": str(path)},
+        source={"snapshot": origin},
     )
     registered.wal_seq = int(payload.get("wal_seq", 0))
     if payload.get("plan") is not None:

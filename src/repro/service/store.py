@@ -39,7 +39,12 @@ from repro.core.config import FSimConfig
 from repro.core.engine import FSimResult, vectorized_fallback_reason
 from repro.core.plan import plan_cache_stats
 from repro.core.topk import TopKResult, TopKSearch
-from repro.exceptions import ConfigError, ReproError, ServiceError
+from repro.exceptions import (
+    ConfigError,
+    ReplicaReadOnlyError,
+    ReproError,
+    ServiceError,
+)
 from repro.graph.digraph import LabeledDigraph
 from repro.service.wal import DEFAULT_COMPACT_BYTES, WriteAheadLog
 from repro.simulation.base import Variant
@@ -283,6 +288,14 @@ class GraphStore:
         #: rid -> outcome of the mutation that carried it (bounded).
         self._applied_rids: "OrderedDict[str, dict]" = OrderedDict()
         self.deduped_mutations = 0
+        #: Set to the primary's ``host:port`` on a read replica: every
+        #: direct write (register/unregister/mutate) outside the
+        #: replication apply path raises
+        #: :class:`~repro.exceptions.ReplicaReadOnlyError` carrying the
+        #: redirect target.  The replay path sets ``_wal_replaying``
+        #: and passes the gate -- replicated records are the one
+        #: legitimate writer.
+        self.replica_primary: Optional[str] = None
 
     # ------------------------------------------------------------------
     # registry
@@ -300,6 +313,7 @@ class GraphStore:
         if not name or not isinstance(name, str):
             raise ServiceError(f"graph name must be a non-empty string, "
                                f"got {name!r}")
+        self._guard_writable()
         with self._lock:
             if name in self._graphs and not replace:
                 raise ServiceError(f"graph {name!r} is already registered")
@@ -318,6 +332,7 @@ class GraphStore:
             return registered
 
     def unregister(self, name: str) -> None:
+        self._guard_writable()
         with self._lock:
             if name in self._graphs and self.wal is not None \
                     and not self._wal_replaying:
@@ -508,6 +523,7 @@ class GraphStore:
         replayed instead, making retries after an ack-lost crash
         exactly-once.
         """
+        self._guard_writable()
         for op in ops:
             if op.kind not in OP_KINDS:
                 raise ServiceError(f"unknown mutation kind {op.kind!r}")
@@ -540,6 +556,10 @@ class GraphStore:
     # ------------------------------------------------------------------
     # durability: request-id dedup, WAL commit, compaction
     # ------------------------------------------------------------------
+    def _guard_writable(self) -> None:
+        if self.replica_primary is not None and not self._wal_replaying:
+            raise ReplicaReadOnlyError(self.replica_primary)
+
     def _rid_outcome(self, rid: str) -> Optional[Dict[str, int]]:
         """The replayed response for an already-applied request id."""
         with self._lock:
@@ -652,6 +672,8 @@ class GraphStore:
             "executors": executor_registry_stats(),
             "restored_snapshots": self.restored_snapshots,
         }
+        if self.replica_primary is not None:
+            report["replica_primary"] = self.replica_primary
         if self.wal is not None:
             report["wal"] = dict(
                 self.wal.stats(),

@@ -51,7 +51,7 @@ import zlib
 from pathlib import Path
 from typing import Dict, List, NamedTuple, Optional, Union
 
-from repro.exceptions import WalCorruptionError, WalError
+from repro.exceptions import WalCompactedError, WalCorruptionError, WalError
 
 PathLike = Union[str, Path]
 
@@ -60,6 +60,12 @@ WAL_FILENAME = "service.wal"
 
 #: Record kinds a WAL may contain.
 RECORD_KINDS = ("mutate", "register", "unregister", "checkpoint")
+
+#: Control-plane record kinds: in ``batch`` sync mode these fsync
+#: immediately instead of waiting for the next ``commit()`` -- an
+#: unregister or checkpoint sitting in an unflushed batch window
+#: across a crash would resurrect dropped state on recovery.
+CONTROL_KINDS = ("unregister", "checkpoint")
 
 #: Compact the WAL once it grows past this many bytes (default; the
 #: store/CLI can override).  Snapshots bound recovery time -- replay
@@ -97,7 +103,22 @@ ROTATE_FAULTS = (
     "crash-before-rotate-rename",  # temp written, old log still active
 )
 
-KNOWN_FAULTS = APPEND_FAULTS + ROTATE_FAULTS
+#: Replication faults on the primary side, triggering on the Nth WAL
+#: record shipped down a ``replicate`` stream.
+SHIP_FAULTS = (
+    "crash-mid-ship",   # primary dies mid-stream (whole process)
+    "torn-ship",        # half a frame on the wire, then the stream dies
+)
+
+#: Replication faults on the follower side, triggering on the Nth
+#: record received from the stream.
+APPLY_FAULTS = (
+    "crash-mid-apply",  # follower dies between receive and apply
+    "partition",        # connection dropped without crashing (heals by
+                        # reconnect-and-resume from the watermark)
+)
+
+KNOWN_FAULTS = APPEND_FAULTS + ROTATE_FAULTS + SHIP_FAULTS + APPLY_FAULTS
 
 
 class FaultInjector:
@@ -132,6 +153,8 @@ class FaultInjector:
             self.faults.append((name, int(nth)))
         self.appends = 0
         self.rotations = 0
+        self.ships = 0
+        self.applies = 0
         self.tripped: List[str] = []
 
     @classmethod
@@ -157,6 +180,16 @@ class FaultInjector:
     def on_rotate(self) -> List[str]:
         self.rotations += 1
         return self._active(self.rotations, ROTATE_FAULTS)
+
+    def on_ship(self) -> List[str]:
+        """Advance the shipped-record counter (primary stream side)."""
+        self.ships += 1
+        return self._active(self.ships, SHIP_FAULTS)
+
+    def on_apply(self) -> List[str]:
+        """Advance the applied-record counter (follower stream side)."""
+        self.applies += 1
+        return self._active(self.applies, APPLY_FAULTS)
 
     @staticmethod
     def corrupt(line: bytes) -> bytes:
@@ -242,6 +275,33 @@ def read_wal(path: PathLike) -> WalReadResult:
     return WalReadResult(records, offset, len(data))
 
 
+def read_wal_since(path: PathLike, after_seq: int) -> List[dict]:
+    """The contiguous WAL suffix with ``seq > after_seq``.
+
+    The tailing contract (property-tested in
+    ``tests/test_replication.py``): a reader positioned at any
+    ``after_seq`` either gets every record after it -- consecutive
+    sequence numbers, no skips, torn tails excluded like
+    :func:`read_wal` -- or a typed
+    :class:`~repro.exceptions.WalCompactedError` when compaction has
+    already folded the requested range into snapshots (the reader then
+    re-bootstraps from a snapshot instead).  Concurrent appends and
+    rotations are safe: appends are atomic line writes and rotation is
+    an atomic ``os.replace``, so any single read observes either the
+    old or the new log, never a mix.
+    """
+    after_seq = int(after_seq)
+    records = read_wal(path).records
+    if records and records[0]["seq"] > after_seq + 1:
+        raise WalCompactedError(
+            f"records after seq {after_seq} were compacted away "
+            f"(oldest still in the log: {records[0]['seq']}); "
+            f"re-bootstrap from a snapshot",
+            first_seq=records[0]["seq"],
+        )
+    return [record for record in records if record["seq"] > after_seq]
+
+
 def repair_wal(path: PathLike) -> int:
     """Physically truncate a torn tail; returns the bytes removed.
 
@@ -301,7 +361,15 @@ class WriteAheadLog:
         self._dirty = False
         self.appended = 0
         self.syncs = 0
+        self.control_syncs = 0
         self.rotations = 0
+        #: Optional subscriber hook: called with every record dict
+        #: (``seq`` assigned) right after it is durably appended, and
+        #: with each rotation's checkpoint record.  The replication hub
+        #: feeds live ``replicate`` streams from it; it runs under the
+        #: log mutex, so implementations must be fast and non-blocking
+        #: (the hub only enqueues onto per-follower queues).
+        self.on_record = None
 
     # ------------------------------------------------------------------
     @property
@@ -320,6 +388,7 @@ class WriteAheadLog:
             "bytes": self.size_bytes(),
             "appended": self.appended,
             "syncs": self.syncs,
+            "control_syncs": self.control_syncs,
             "rotations": self.rotations,
             "repaired_bytes": self.repaired_bytes,
         }
@@ -384,8 +453,14 @@ class WriteAheadLog:
                 self.fault.crash()
             if self.sync == "always":
                 self._fsync()
+            elif self.sync == "batch" \
+                    and record.get("kind") in CONTROL_KINDS:
+                self._fsync()
+                self.control_syncs += 1
             if "crash-after-fsync" in active:
                 self.fault.crash()
+            if self.on_record is not None:
+                self.on_record(dict(record, seq=seq))
             return seq
 
     def _fsync(self) -> None:
@@ -440,6 +515,8 @@ class WriteAheadLog:
             self._handle = open(self.path, "ab")
             self._dirty = False
             self.rotations += 1
+            if self.on_record is not None:
+                self.on_record(dict(checkpoint, seq=seq))
             return {"reclaimed_bytes": old_bytes - len(line),
                     "checkpoint_seq": seq}
 
