@@ -47,6 +47,7 @@ from repro.core.plan import clear_plan_caches, plan_cache_stats  # noqa: E402
 from repro.core.topk import TopKSearch  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
 from repro.graph.noise import densify  # noqa: E402
+from repro.obs import metrics as obs_metrics  # noqa: E402
 from repro.service import GraphStore, ServerThread, ServiceClient  # noqa: E402
 from repro.service.client import wire_partners, wire_scores  # noqa: E402
 from repro.service.snapshot import restore_snapshot, save_snapshot  # noqa: E402
@@ -104,16 +105,24 @@ class ClientPool:
 
 def _drive_queries(pool: ClientPool, queries, k: int, clients: int):
     """Issue one top-k request per query from ``clients`` threads (each
-    on its own persistent connection); returns
-    (wall seconds, {query: response})."""
+    on its own persistent connection); returns (wall seconds,
+    {query: response}, client-side latency histogram)."""
     responses = {}
     errors = []
     shards = [queries[i::clients] for i in range(clients)]
+    # A private registry: client-observed round-trip latency per
+    # request, percentile-summarized by the bounded histogram type the
+    # service itself reports through (repro.obs.metrics).
+    latency = obs_metrics.MetricsRegistry(enabled=True).histogram(
+        "client_latency_seconds"
+    )
 
     def run_shard(client, shard):
         try:
             for query in shard:
+                t0 = time.perf_counter()
                 responses[query] = client.topk(GRAPH_NAME, query, k=k)
+                latency.observe(time.perf_counter() - t0)
         except Exception as exc:  # pragma: no cover - surfaced below
             errors.append(exc)
 
@@ -128,7 +137,16 @@ def _drive_queries(pool: ClientPool, queries, k: int, clients: int):
     elapsed = time.perf_counter() - start
     if errors:
         raise errors[0]
-    return elapsed, responses
+    return elapsed, responses, latency
+
+
+def _metric_series(stats: dict, name: str, **labels):
+    """One series' percentile snapshot out of ``stats["metrics"]``."""
+    for series in stats.get("metrics", {}).get(name, {}).get("series", ()):
+        if all(series["labels"].get(k) == v for k, v in labels.items()):
+            return {key: series.get(key)
+                    for key in ("count", "sum", "p50", "p95", "p99")}
+    return None
 
 
 def _assert_topk_parity(responses, replica, k: int) -> None:
@@ -152,22 +170,26 @@ def run_throughput(factor: float, num_queries: int, clients: int,
     try:
         with ClientPool(baseline_server.port, size=1) as pool:
             pool.clients[0].topk(GRAPH_NAME, queries[0], k=k)  # warm compile
-            baseline_time, baseline_responses = _drive_queries(
-                pool, queries, k, clients=1
+            baseline_time, baseline_responses, baseline_latency = (
+                _drive_queries(pool, queries, k, clients=1)
             )
     finally:
         baseline_server.stop()
     _assert_topk_parity(baseline_responses, replica, k)
 
+    # Fresh process-wide metrics so the scraped queue-wait / execute
+    # percentiles below cover only the batched phase.
+    obs_metrics.REGISTRY.reset()
     batched_server = _start_server(factor, window=window,
                                    max_batch=max_batch)
     try:
         with ClientPool(batched_server.port, size=clients) as pool:
             pool.clients[0].topk(GRAPH_NAME, queries[0], k=k)  # warm compile
-            batched_time, batched_responses = _drive_queries(
-                pool, queries, k, clients=clients
+            batched_time, batched_responses, batched_latency = (
+                _drive_queries(pool, queries, k, clients=clients)
             )
-            scheduler_stats = pool.clients[0].stats()["scheduler"]
+            server_stats = pool.clients[0].stats()
+            scheduler_stats = server_stats["scheduler"]
     finally:
         batched_server.stop()
     _assert_topk_parity(batched_responses, replica, k)
@@ -186,6 +208,16 @@ def run_throughput(factor: float, num_queries: int, clients: int,
         "coalesced_batches": scheduler_stats["coalesced_batches"],
         "largest_batch": scheduler_stats["largest_batch"],
         "parity": "bitwise (asserted per request)",
+        "latency": {
+            "baseline_client": baseline_latency.snapshot(),
+            "batched_client": batched_latency.snapshot(),
+            "queue_wait": _metric_series(
+                server_stats, "repro_sched_queue_wait_seconds"
+            ),
+            "execute": _metric_series(
+                server_stats, "repro_sched_execute_seconds", op="topk"
+            ),
+        },
     }
 
 
@@ -206,7 +238,7 @@ def run_mixed_traffic(factor: float, rounds: int, clients: int,
                 queries = list(replica.nodes())[
                     round_index * clients:(round_index + 1) * clients
                 ]
-                _, responses = _drive_queries(pool, queries, 3, clients)
+                _, responses, _ = _drive_queries(pool, queries, 3, clients)
                 _assert_topk_parity(responses, replica, 3)
                 edge = list(replica.edges())[round_index * 13]
                 mutator.mutate(GRAPH_NAME, [("remove_edge", *edge)])
@@ -306,6 +338,18 @@ def render(report: dict) -> str:
         f"speedup            {through['speedup']:8.2f}x "
         f"(largest batch {through['largest_batch']}, "
         f"{through['coalesced_batches']} coalesced)",
+    ]
+    for label, key in (("client latency", "batched_client"),
+                       ("queue wait", "queue_wait"),
+                       ("execute", "execute")):
+        dist = through["latency"].get(key)
+        if dist and dist.get("count"):
+            lines.append(
+                f"{label:<18} p50 {dist['p50'] * 1000:7.2f}ms  "
+                f"p95 {dist['p95'] * 1000:7.2f}ms  "
+                f"p99 {dist['p99'] * 1000:7.2f}ms  (n={dist['count']})"
+            )
+    lines += [
         "",
         "# mixed query/mutation traffic",
         f"rounds             {mixed['rounds']} "

@@ -288,12 +288,16 @@ def _cmd_serve(args) -> int:
             except Exception as exc:  # snapshot failure must not block exit
                 print(f"# {name}: snapshot failed: {exc}")
 
+    from repro.obs import log as obs_log
+
+    obs_log.configure()
     server = FSimServer(
         store, host=args.host, port=args.port, window=args.window,
         max_batch=args.max_batch, max_pending=args.max_pending,
         on_stop=_on_stop if (snapshot_dir or args.wal_dir) else None,
         drain_timeout=args.drain_timeout,
         replicate_from=replicate_from,
+        slow_query_ms=args.slow_query_ms,
     )
     role = f"replica of {replicate_from}" if replicate_from else "primary"
     print(f"# serving on {args.host}:{args.port or '(ephemeral)'} "
@@ -376,6 +380,66 @@ def _cmd_replicas(args) -> int:
               f"lag_seconds={shown}\t"
               f"reconnects={tail.get('reconnects')}\t"
               f"bootstraps={tail.get('bootstraps')}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Pretty-print a running server's health/metrics/tracing report."""
+    from repro.obs.metrics import parse_exposition
+    from repro.service import ServiceClient
+    from repro.service.client import _split_address
+
+    host, port = _split_address(args.address)
+    with ServiceClient(host, port) as client:
+        if args.exposition:
+            text = client.metrics()["exposition"]
+            parse_exposition(text)  # fail loudly on a malformed scrape
+            sys.stdout.write(text)
+            return 0
+        stats = client.stats()
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps(stats, indent=2, default=str))
+        return 0
+    health = stats.get("health", {})
+    server = stats.get("server", {})
+    print(f"# {host}:{port} health={health.get('status', 'unknown')}")
+    for reason in health.get("reasons", []):
+        print(f"#   - {reason}")
+    print(f"requests_served={server.get('requests_served', 0)}\t"
+          f"connections={server.get('connections', 0)}\t"
+          f"rejected={health.get('rejected_requests', 0)}\t"
+          f"aborted={health.get('aborted_requests', 0)}\t"
+          f"peak_pending={health.get('peak_pending', 0)}")
+    scheduler = stats.get("scheduler", {})
+    print(f"batches={scheduler.get('batches', 0)}\t"
+          f"coalesced={scheduler.get('coalesced_requests', 0)}\t"
+          f"largest_batch={scheduler.get('largest_batch', 0)}")
+    tracing_stats = stats.get("tracing", {})
+    print(f"traces={tracing_stats.get('traces', 0)}\t"
+          f"slow_queries={tracing_stats.get('slow_queries', 0)}\t"
+          f"slow_ms={tracing_stats.get('slow_ms')}")
+    for name, registered in sorted(stats.get("graphs", {}).items()):
+        print(f"graph {name}: nodes={registered.get('nodes')} "
+              f"edges={registered.get('edges')} "
+              f"version={registered.get('version')} "
+              f"mutations={registered.get('mutations')}")
+    metrics_report = stats.get("metrics", {})
+    for name in sorted(metrics_report):
+        family = metrics_report[name]
+        for series in family.get("series", []):
+            labels = ",".join(f"{k}={v}"
+                              for k, v in sorted(series["labels"].items()))
+            shown = f"{name}{{{labels}}}" if labels else name
+            if family.get("type") == "histogram":
+                p50, p95, p99 = (series.get("p50"), series.get("p95"),
+                                 series.get("p99"))
+                fmt = (lambda v: "-" if v is None else f"{v:.6f}")
+                print(f"{shown}: count={series.get('count', 0)} "
+                      f"p50={fmt(p50)} p95={fmt(p95)} p99={fmt(p99)}")
+            else:
+                print(f"{shown}: {series.get('value', 0)}")
     return 0
 
 
@@ -675,6 +739,12 @@ def build_parser() -> argparse.ArgumentParser:
              "bootstrap warm, tail its WAL, serve reads, redirect "
              "writes (excludes --graph and --wal-dir)",
     )
+    serve.add_argument(
+        "--slow-query-ms", type=float, default=None,
+        help="slow-query log threshold: traced requests at or above "
+             "this many milliseconds enter the slow ring served by the "
+             "`trace` op (default: slow log off)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     recover = commands.add_parser(
@@ -704,6 +774,20 @@ def build_parser() -> argparse.ArgumentParser:
     replicas.add_argument("--host", default="127.0.0.1")
     replicas.add_argument("--port", type=int, default=7464)
     replicas.set_defaults(handler=_cmd_replicas)
+
+    stats = commands.add_parser(
+        "stats", help="pretty-print a running server's health, metrics "
+                      "and tracing report"
+    )
+    stats.add_argument("address", metavar="HOST:PORT",
+                       help="service address, e.g. 127.0.0.1:7464")
+    stats.add_argument("--json", action="store_true",
+                       help="dump the raw structured stats as JSON")
+    stats.add_argument(
+        "--exposition", action="store_true",
+        help="print the Prometheus text exposition (validated scrape)",
+    )
+    stats.set_defaults(handler=_cmd_stats)
 
     query = commands.add_parser(
         "query", help="one-shot client against a running service"

@@ -942,4 +942,7 @@ def compile_fsim(graph1: LabeledDigraph, graph2: LabeledDigraph,
     Raises no errors for unsupported configurations -- callers gate on
     :func:`repro.core.engine.vectorized_fallback_reason` first.
     """
-    return CompiledFSim(graph1, graph2, config)
+    from repro.obs.profiling import phase
+
+    with phase("engine.compile"):
+        return CompiledFSim(graph1, graph2, config)

@@ -167,12 +167,15 @@ def _register_eviction_hook(graph: LabeledDigraph) -> None:
 
 def lower_graph(graph: LabeledDigraph) -> GraphPlan:
     """The cached lowering of ``graph`` (recomputed after any mutation)."""
+    from repro.obs.profiling import phase
+
     entry = _PLAN_CACHE.get(graph)
     if entry is not None and entry[0] == graph.version:
         _STATS["plan_hits"] += 1
         return entry[1]
     _STATS["plan_misses"] += 1
-    plan = GraphPlan(graph)
+    with phase("plan.lower"):
+        plan = GraphPlan(graph)
     _register_eviction_hook(graph)
     _PLAN_CACHE[graph] = (graph.version, plan)
     return plan

@@ -363,29 +363,33 @@ class VectorizedFSimEngine:
             upd = np.unique(np.asarray(upd0, dtype=np.int64))
         if trajectory is not None:
             trajectory.append(scores.copy())
+        from repro.obs.profiling import observe_iterations, phase
+
         deltas: List[float] = []
         converged = False
         iterations = 0
         epsilon = compiled.config.epsilon
-        for _ in range(compiled.config.iteration_budget()):
-            iterations += 1
-            if upd.size:
-                new_values = sweep(scores, upd)
-                arena_ids = compiled.upd_arena[upd]
-                change = np.abs(new_values - scores[arena_ids])
-                delta = float(change.max())
-                scores[arena_ids] = new_values
-                dirty = arena_ids[change > self.dirty_tolerance]
-            else:
-                delta = 0.0
-                dirty = np.empty(0, dtype=np.int64)
-            deltas.append(delta)
-            if trajectory is not None:
-                trajectory.append(scores.copy())
-            if delta < epsilon:
-                converged = True
-                break
-            upd = compiled.dependents(dirty)
+        with phase("engine.iterate"):
+            for _ in range(compiled.config.iteration_budget()):
+                iterations += 1
+                if upd.size:
+                    new_values = sweep(scores, upd)
+                    arena_ids = compiled.upd_arena[upd]
+                    change = np.abs(new_values - scores[arena_ids])
+                    delta = float(change.max())
+                    scores[arena_ids] = new_values
+                    dirty = arena_ids[change > self.dirty_tolerance]
+                else:
+                    delta = 0.0
+                    dirty = np.empty(0, dtype=np.int64)
+                deltas.append(delta)
+                if trajectory is not None:
+                    trajectory.append(scores.copy())
+                if delta < epsilon:
+                    converged = True
+                    break
+                upd = compiled.dependents(dirty)
+        observe_iterations(iterations, converged)
         return scores, iterations, converged, deltas
 
     def iterate_incremental(
@@ -424,6 +428,8 @@ class VectorizedFSimEngine:
         converged, deltas)`` is bitwise identical to a cold
         :meth:`iterate` on the same compiled instance.
         """
+        from repro.obs.profiling import observe_iterations, phase
+
         compiled = self.compiled
         sweep = sweep or self.sweep
         epsilon = compiled.config.epsilon
@@ -436,39 +442,41 @@ class VectorizedFSimEngine:
         deltas: List[float] = []
         converged = False
         iterations = 0
-        for level in range(1, compiled.config.iteration_budget() + 1):
-            iterations += 1
-            prev = trajectory[level - 1]
-            if level >= len(trajectory):
-                # Beyond the previous run's horizon: no history to
-                # replay against, fall back to full sweeps.
-                cur = prev.copy()
-                trajectory.append(cur)
-                upd = np.arange(num_updatable, dtype=np.int64)
-            else:
-                cur = trajectory[level]
-                deps = compiled.dependents(dirty_arena)
-                if deps.size >= num_updatable:
-                    upd = deps  # full sweep; touched is a subset
+        with phase("engine.iterate"):
+            for level in range(1, compiled.config.iteration_budget() + 1):
+                iterations += 1
+                prev = trajectory[level - 1]
+                if level >= len(trajectory):
+                    # Beyond the previous run's horizon: no history to
+                    # replay against, fall back to full sweeps.
+                    cur = prev.copy()
+                    trajectory.append(cur)
+                    upd = np.arange(num_updatable, dtype=np.int64)
                 else:
-                    upd = np.union1d(touched, deps)
-            if upd.size:
-                new_values = sweep(prev, upd)
-                arena_ids = compiled.upd_arena[upd]
-                previous_run = cur[arena_ids]
-                cur[arena_ids] = new_values
-                # NaN history compares unequal to everything, so pairs
-                # without usable history always propagate.
-                with np.errstate(invalid="ignore"):
-                    changed = new_values != previous_run
-                dirty_arena = arena_ids[changed]
-            else:
-                dirty_arena = np.empty(0, dtype=np.int64)
-            delta = float(np.abs(cur - prev).max()) if cur.size else 0.0
-            deltas.append(delta)
-            if delta < epsilon:
-                converged = True
-                break
+                    cur = trajectory[level]
+                    deps = compiled.dependents(dirty_arena)
+                    if deps.size >= num_updatable:
+                        upd = deps  # full sweep; touched is a subset
+                    else:
+                        upd = np.union1d(touched, deps)
+                if upd.size:
+                    new_values = sweep(prev, upd)
+                    arena_ids = compiled.upd_arena[upd]
+                    previous_run = cur[arena_ids]
+                    cur[arena_ids] = new_values
+                    # NaN history compares unequal to everything, so
+                    # pairs without usable history always propagate.
+                    with np.errstate(invalid="ignore"):
+                        changed = new_values != previous_run
+                    dirty_arena = arena_ids[changed]
+                else:
+                    dirty_arena = np.empty(0, dtype=np.int64)
+                delta = float(np.abs(cur - prev).max()) if cur.size else 0.0
+                deltas.append(delta)
+                if delta < epsilon:
+                    converged = True
+                    break
+        observe_iterations(iterations, converged)
         del trajectory[iterations + 1:]
         return trajectory[iterations], iterations, converged, deltas
 

@@ -1,0 +1,135 @@
+"""The shared structured logging config: one logger tree, one format.
+
+Every subsystem that narrates state transitions (replication
+reconnects, bootstraps, lag changes, WAL compaction, shutdown drains)
+logs through this module instead of configuring its own ad-hoc logger:
+
+- :func:`get_logger` hands out children of the one ``repro`` logger
+  tree, so a single :func:`configure` call controls level and handler
+  for the whole stack;
+- :func:`log_event` emits one machine-parseable line per event:
+  ``event=<name> key=value ...`` with deterministic key order and
+  quoted values where needed.  Events carrying a ``trace_id`` tie a
+  log line back to the trace the ``trace`` op serves;
+- every emitted event also bumps the
+  ``repro_log_events_total{event=...}`` counter, so event rates are
+  scrapeable without parsing logs.
+
+:func:`parse_event` inverts the format (tests assert on parsed fields,
+not on substring matches).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, Optional
+
+from repro.obs import metrics
+
+#: The root of the shared logger tree.
+ROOT_LOGGER = "repro"
+
+EVENT_COUNTER = "repro_log_events_total"
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the shared ``repro`` tree (``get_logger("service.x")``
+    -> ``repro.service.x``)."""
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure(level: int = logging.INFO, stream=None,
+              force: bool = False) -> logging.Logger:
+    """Attach one stream handler with the shared format (idempotent).
+
+    The CLI's ``serve`` calls this once at startup; library users who
+    already configure :mod:`logging` themselves are untouched unless
+    they pass ``force=True``.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    if force:
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+    if not root.handlers:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    root.setLevel(level)
+    return root
+
+
+def _format_value(value) -> str:
+    text = str(value)
+    if text == "" or any(c in text for c in ' "=\n'):
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"') \
+            .replace("\n", "\\n")
+        return f'"{escaped}"'
+    return text
+
+
+def format_event(event: str, fields: Dict[str, object]) -> str:
+    parts = [f"event={_format_value(event)}"]
+    for key in sorted(fields):
+        value = fields[key]
+        if value is None:
+            continue
+        parts.append(f"{key}={_format_value(value)}")
+    return " ".join(parts)
+
+
+def log_event(logger: logging.Logger, event: str,
+              level: int = logging.INFO, **fields) -> str:
+    """Emit one structured event line; returns the formatted message."""
+    message = format_event(event, fields)
+    logger.log(level, "%s", message)
+    if metrics.REGISTRY.enabled:
+        metrics.counter(
+            EVENT_COUNTER, "Structured log events emitted, by event name.",
+            event=event,
+        ).inc()
+    return message
+
+
+def parse_event(message: str) -> Optional[Dict[str, str]]:
+    """Parse one ``key=value`` event line back into a dict (or ``None``
+    when the line is not a structured event)."""
+    if not message.startswith("event="):
+        return None
+    fields: Dict[str, str] = {}
+    index = 0
+    length = len(message)
+    while index < length:
+        equals = message.find("=", index)
+        if equals < 0:
+            break
+        key = message[index:equals]
+        index = equals + 1
+        if index < length and message[index] == '"':
+            index += 1
+            value_chars = []
+            while index < length:
+                char = message[index]
+                if char == "\\" and index + 1 < length:
+                    escaped = message[index + 1]
+                    value_chars.append("\n" if escaped == "n" else escaped)
+                    index += 2
+                    continue
+                if char == '"':
+                    index += 1
+                    break
+                value_chars.append(char)
+                index += 1
+            fields[key] = "".join(value_chars)
+        else:
+            space = message.find(" ", index)
+            if space < 0:
+                space = length
+            fields[key] = message[index:space]
+            index = space
+        while index < length and message[index] == " ":
+            index += 1
+    return fields

@@ -1,0 +1,405 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+Every layer of the service stack (server, scheduler, store, WAL,
+replication, engine, runtime) reports through one
+:class:`MetricsRegistry`.  Three design constraints drive the shape:
+
+- **bounded memory** -- a :class:`Histogram` never stores samples: it
+  counts observations into a fixed set of log-spaced buckets (plus
+  running count/sum/min/max) and answers p50/p95/p99 by linear
+  interpolation inside the bucket that crosses the rank.  A histogram
+  is ~25 machine words regardless of traffic;
+- **near-zero overhead when off** -- every mutator checks one boolean
+  on the owning registry and returns.  ``configure(enabled=False)`` (or
+  ``REPRO_OBS=off`` in the environment) turns the whole subsystem into
+  that single branch, which is what lets
+  ``benchmarks/bench_observability.py`` gate instrumented vs no-op
+  throughput within a few percent;
+- **two read surfaces** -- :meth:`MetricsRegistry.exposition` renders
+  the Prometheus text format (served by the ``metrics`` op) and
+  :meth:`MetricsRegistry.report` returns the same data as structured
+  dicts (folded into the ``stats`` op next to the store's own
+  counters).
+
+Metric handles are interned per ``(name, labels)``: calling
+``counter("repro_requests_total", op="fsim")`` twice returns the same
+child, so hot call sites may either cache the handle or just re-resolve
+(one dict lookup).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default buckets for duration-valued histograms (seconds): 1-2.5-5
+#: per decade from 10us to 10s -- the span between a cache hit and a
+#: cold compile of a large pair.
+TIME_BUCKETS: Tuple[float, ...] = tuple(
+    base * (10.0 ** exponent)
+    for exponent in range(-5, 2)
+    for base in (1.0, 2.5, 5.0)
+) + (100.0,)
+
+#: Default buckets for small-count histograms (batch sizes, iteration
+#: counts): powers of two up to 1024.
+COUNT_BUCKETS: Tuple[float, ...] = tuple(
+    float(2 ** exponent) for exponent in range(0, 11)
+)
+
+
+def _label_key(labels: Dict[str, str]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...],
+                   extra: Optional[Tuple[Tuple[str, str], ...]] = None
+                   ) -> str:
+    pairs = list(labels) + list(extra or ())
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared base: a named child bound to one label set."""
+
+    kind = "untyped"
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 labels: Tuple[Tuple[str, str], ...]):
+        self._registry = registry
+        self.name = name
+        self.labels = labels
+
+
+class Counter(_Metric):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, registry, name, labels):
+        super().__init__(registry, name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        with self._registry._lock:
+            self.value += amount
+
+    def samples(self) -> List[tuple]:
+        return [(self.name, self.labels, self.value)]
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depths, lag, connections)."""
+
+    kind = "gauge"
+
+    def __init__(self, registry, name, labels):
+        super().__init__(registry, name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._registry.enabled:
+            return
+        with self._registry._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def samples(self) -> List[tuple]:
+        return [(self.name, self.labels, self.value)]
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram(_Metric):
+    """A bounded-memory distribution with percentile estimation.
+
+    ``buckets`` are the inclusive upper bounds of each bin (ascending);
+    an implicit ``+Inf`` bin catches the overflow.  Percentiles
+    interpolate linearly inside the crossing bucket, clamped to the
+    observed ``min``/``max`` so a distribution narrower than its bucket
+    never reports a bound it has not seen.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, registry, name, labels,
+                 buckets: Sequence[float] = TIME_BUCKETS):
+        super().__init__(registry, name, labels)
+        self.bounds: Tuple[float, ...] = tuple(sorted(set(buckets)))
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        if not self._registry.enabled:
+            return
+        value = float(value)
+        with self._registry._lock:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The estimated ``q``-quantile (``q`` in [0, 1])."""
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = (self.bounds[index]
+                         if index < len(self.bounds) else self.max)
+                if upper is None:  # pragma: no cover - count>0 sets max
+                    upper = lower
+                fraction = (rank - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * max(0.0,
+                                                         min(fraction, 1.0))
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                return estimate
+            cumulative += bucket_count
+        return self.max
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def samples(self) -> List[tuple]:
+        rows = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            rows.append((f"{self.name}_bucket", self.labels,
+                         float(cumulative), (("le", _format_value(bound)),)))
+        rows.append((f"{self.name}_bucket", self.labels, float(self.count),
+                     (("le", "+Inf"),)))
+        rows.append((f"{self.name}_sum", self.labels, self.sum))
+        rows.append((f"{self.name}_count", self.labels, float(self.count)))
+        return rows
+
+
+class MetricsRegistry:
+    """Interned metric families, one per process (see module docstring)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._lock = threading.RLock()
+        #: family name -> {"kind", "help", "children": {label_key: metric}}
+        self._families: "Dict[str, dict]" = {}
+
+    # ------------------------------------------------------------------
+    # handle resolution
+    # ------------------------------------------------------------------
+    def _child(self, name: str, kind: str, help_text: str, labels: dict,
+               factory):
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = {"kind": kind, "help": help_text, "children": {}}
+                self._families[name] = family
+            elif family["kind"] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{family['kind']}, not {kind}"
+                )
+            child = family["children"].get(key)
+            if child is None:
+                child = family["children"][key] = factory(key)
+            return child
+
+    def counter(self, name: str, help_text: str = "", **labels) -> Counter:
+        return self._child(name, "counter", help_text, labels,
+                           lambda key: Counter(self, name, key))
+
+    def gauge(self, name: str, help_text: str = "", **labels) -> Gauge:
+        return self._child(name, "gauge", help_text, labels,
+                           lambda key: Gauge(self, name, key))
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = TIME_BUCKETS,
+                  **labels) -> Histogram:
+        return self._child(name, "histogram", help_text, labels,
+                           lambda key: Histogram(self, name, key, buckets))
+
+    def get(self, name: str, **labels):
+        """The existing child, or ``None`` (tests, report assembly)."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family["children"].get(_label_key(labels))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._families.clear()
+
+    # ------------------------------------------------------------------
+    # read surfaces
+    # ------------------------------------------------------------------
+    def exposition(self) -> str:
+        """The Prometheus text exposition format (``metrics`` op)."""
+        lines: List[str] = []
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                if family["help"]:
+                    lines.append(f"# HELP {name} {family['help']}")
+                lines.append(f"# TYPE {name} {family['kind']}")
+                for key in sorted(family["children"]):
+                    for row in family["children"][key].samples():
+                        sample_name, labels, value = row[0], row[1], row[2]
+                        extra = row[3] if len(row) > 3 else None
+                        lines.append(
+                            f"{sample_name}{_format_labels(labels, extra)} "
+                            f"{_format_value(value)}"
+                        )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def report(self) -> dict:
+        """The same data as structured dicts (``stats`` op)."""
+        out: Dict[str, dict] = {}
+        with self._lock:
+            for name, family in self._families.items():
+                series = []
+                for key in sorted(family["children"]):
+                    child = family["children"][key]
+                    series.append(dict({"labels": dict(key)},
+                                       **child.snapshot()))
+                out[name] = {"type": family["kind"], "series": series}
+        return out
+
+
+#: The process-wide default registry.  ``REPRO_OBS=off`` (or ``0`` /
+#: ``false``) starts it disabled; ``configure()`` flips it at runtime.
+REGISTRY = MetricsRegistry(
+    enabled=os.environ.get("REPRO_OBS", "on").lower()
+    not in ("off", "0", "false", "no")
+)
+
+
+def configure(enabled: bool) -> None:
+    """Enable/disable the default registry (the no-op-mode switch)."""
+    REGISTRY.enabled = bool(enabled)
+
+
+def enabled() -> bool:
+    return REGISTRY.enabled
+
+
+def counter(name: str, help_text: str = "", **labels) -> Counter:
+    return REGISTRY.counter(name, help_text, **labels)
+
+
+def gauge(name: str, help_text: str = "", **labels) -> Gauge:
+    return REGISTRY.gauge(name, help_text, **labels)
+
+
+def histogram(name: str, help_text: str = "",
+              buckets: Sequence[float] = TIME_BUCKETS,
+              **labels) -> Histogram:
+    return REGISTRY.histogram(name, help_text, buckets=buckets, **labels)
+
+
+def parse_exposition(text: str) -> Dict[str, dict]:
+    """Parse the text exposition back into ``{family: {type, samples}}``.
+
+    Deliberately strict -- the CI scrape smoke and the client's pretty
+    printer both run every scraped line through it, so a malformed line
+    fails loudly instead of being skipped.
+    """
+    families: Dict[str, dict] = {}
+    current: Optional[str] = None
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            name = line.split(None, 3)[2]
+            families.setdefault(name, {"type": None, "help": "",
+                                       "samples": []})
+            families[name]["help"] = line.split(None, 3)[3] \
+                if len(line.split(None, 3)) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {line_number}: malformed TYPE line")
+            name, kind = parts[2], parts[3]
+            families.setdefault(name, {"type": None, "help": "",
+                                       "samples": []})
+            families[name]["type"] = kind
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ValueError(f"line {line_number}: unbalanced braces")
+            sample_name = line[:brace]
+            labels_body = line[brace + 1:close]
+            value_text = line[close + 1:].strip()
+        else:
+            sample_name, _, value_text = line.partition(" ")
+            labels_body = ""
+        if not sample_name or not value_text:
+            raise ValueError(f"line {line_number}: malformed sample")
+        value = math.inf if value_text == "+Inf" else float(value_text)
+        family = current if current and sample_name.startswith(current) \
+            else sample_name
+        families.setdefault(family, {"type": None, "help": "",
+                                     "samples": []})
+        families[family]["samples"].append(
+            (sample_name, labels_body, value)
+        )
+    return families

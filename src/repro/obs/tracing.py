@@ -1,0 +1,266 @@
+"""Request tracing: trace ids, spans, and the slow-query ring buffer.
+
+A trace is born in a client (:mod:`repro.service.client` stamps every
+request with a ``trace`` field when tracing is on), rides the NDJSON
+protocol as an opaque hex id, and accumulates **spans** -- named,
+wall-clock-anchored intervals -- at every layer it crosses: the
+server's dispatch, the scheduler's queue/lock/execute stages, the
+store, the engine's compile/iterate phases, WAL fsyncs, and (for
+mutations) the replication apply on each follower.
+
+The plumbing is deliberately explicit where threads are crossed and
+ambient where they are not:
+
+- the server creates one :class:`TraceHandle` per traced request and
+  hands it down the call chain (scheduler items carry it);
+- synchronous layers below the scheduler (store -> engine -> WAL) see
+  the handle through a :data:`contextvars.ContextVar` **span sink**
+  installed for the duration of a batch (:func:`use_sink`); a batch
+  that coalesced n requests fans every span out to all n handles, so
+  each client sees the shared execution it rode on;
+- finished traces land in the owning server's :class:`TraceRecorder`
+  -- two bounded ring buffers (recent + slow).  The ``trace`` op reads
+  them; nothing is ever written to disk.
+
+Spans carry ``time.time()`` starts (comparable across processes, which
+is what makes the client -> replica -> primary hop mergeable) and
+``perf_counter`` durations (immune to clock steps).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def new_trace_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class TraceHandle:
+    """One traced request's span accumulator (thread-safe)."""
+
+    __slots__ = ("trace_id", "op", "started", "spans", "status", "_lock")
+
+    def __init__(self, trace_id: str, op: str):
+        self.trace_id = str(trace_id)
+        self.op = op
+        self.started = time.time()
+        self.spans: List[dict] = []
+        self.status = "ok"
+        self._lock = threading.Lock()
+
+    def add_span(self, name: str, start: float, duration: float,
+                 **tags) -> None:
+        span = {"name": name, "start": start, "duration": duration}
+        if tags:
+            span["tags"] = {k: v for k, v in tags.items() if v is not None}
+        with self._lock:
+            self.spans.append(span)
+
+    @contextmanager
+    def span(self, name: str, **tags):
+        start = time.time()
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_span(name, start, time.perf_counter() - t0, **tags)
+
+    def duration(self) -> float:
+        """The root span's duration (longest recorded span)."""
+        with self._lock:
+            if not self.spans:
+                return 0.0
+            return max(span["duration"] for span in self.spans)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            spans = sorted(self.spans, key=lambda s: s["start"])
+            return {
+                "trace_id": self.trace_id,
+                "op": self.op,
+                "started": self.started,
+                "status": self.status,
+                "duration": max((s["duration"] for s in spans),
+                                default=0.0),
+                "spans": spans,
+            }
+
+
+class TraceRecorder:
+    """Bounded ring buffers of finished traces (recent + slow).
+
+    ``slow_ms`` is the slow-query threshold: a finished trace whose
+    root duration meets it enters the slow ring (queryable via the
+    ``trace`` op with ``slow=true``) and bumps the slow-query counter.
+    ``None`` disables the slow log.
+    """
+
+    def __init__(self, capacity: int = 256, slow_capacity: int = 64,
+                 slow_ms: Optional[float] = None):
+        self.capacity = int(capacity)
+        self.slow_ms = None if slow_ms is None else float(slow_ms)
+        self._recent: "deque[TraceHandle]" = deque(maxlen=self.capacity)
+        self._slow: "deque[TraceHandle]" = deque(maxlen=int(slow_capacity))
+        self._lock = threading.Lock()
+        self.traces = 0
+        self.slow_queries = 0
+
+    def begin(self, trace_id: str, op: str) -> TraceHandle:
+        return TraceHandle(trace_id, op)
+
+    def finish(self, handle: TraceHandle, status: str = "ok") -> None:
+        handle.status = status
+        with self._lock:
+            self.traces += 1
+            self._recent.append(handle)
+            if self.slow_ms is not None \
+                    and handle.duration() * 1000.0 >= self.slow_ms:
+                self.slow_queries += 1
+                self._slow.append(handle)
+
+    # -- queries (the ``trace`` op) ------------------------------------
+    def get(self, trace_id: str) -> Optional[dict]:
+        """Every recorded span of ``trace_id``, merged across requests.
+
+        One trace id can finish several requests on one server (a
+        failover retry, a read after a write); their spans merge into
+        one span list sorted by wall-clock start.
+        """
+        matches = []
+        with self._lock:
+            for handle in self._recent:
+                if handle.trace_id == trace_id:
+                    matches.append(handle)
+        if not matches:
+            return None
+        spans: List[dict] = []
+        for handle in matches:
+            spans.extend(handle.to_dict()["spans"])
+        spans.sort(key=lambda s: s["start"])
+        first = matches[0]
+        return {
+            "trace_id": trace_id,
+            "op": first.op,
+            "started": min(h.started for h in matches),
+            "status": matches[-1].status,
+            "duration": max((s["duration"] for s in spans), default=0.0),
+            "spans": spans,
+        }
+
+    def recent(self, limit: int = 32) -> List[dict]:
+        with self._lock:
+            handles = list(self._recent)[-int(limit):]
+        return [handle.to_dict() for handle in handles]
+
+    def slow(self, limit: int = 32) -> List[dict]:
+        with self._lock:
+            handles = list(self._slow)[-int(limit):]
+        return [handle.to_dict() for handle in handles]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "traces": self.traces,
+                "slow_queries": self.slow_queries,
+                "buffered": len(self._recent),
+                "slow_buffered": len(self._slow),
+                "capacity": self.capacity,
+                "slow_ms": self.slow_ms,
+            }
+
+
+# ----------------------------------------------------------------------
+# the ambient span sink (crosses the synchronous layers)
+# ----------------------------------------------------------------------
+_SINK: "ContextVar[Tuple[TraceHandle, ...]]" = ContextVar(
+    "repro_obs_span_sink", default=()
+)
+_TRACE_ID: "ContextVar[Optional[str]]" = ContextVar(
+    "repro_obs_trace_id", default=None
+)
+
+
+def active_handles() -> Tuple[TraceHandle, ...]:
+    return _SINK.get()
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id of the request being executed, if exactly one is
+    (WAL records stamp it so replication applies stay traceable)."""
+    return _TRACE_ID.get()
+
+
+@contextmanager
+def use_sink(handles: Sequence[Optional[TraceHandle]]):
+    """Install ``handles`` as the ambient span sink for this context.
+
+    The scheduler wraps a batch execution in the sink of all its
+    members' handles; every span emitted below (store, engine, WAL)
+    fans out to each.  ``None`` entries (untraced batch members) are
+    dropped; an all-``None`` batch installs an empty sink, keeping the
+    fast path branch-cheap.
+    """
+    filtered = tuple(h for h in handles if h is not None)
+    sink_token = _SINK.set(filtered)
+    id_token = _TRACE_ID.set(
+        filtered[0].trace_id if len(filtered) == 1 else None
+    )
+    try:
+        yield filtered
+    finally:
+        _SINK.reset(sink_token)
+        _TRACE_ID.reset(id_token)
+
+
+def emit_span(name: str, start: float, duration: float, **tags) -> None:
+    """Record a completed interval into every handle of the sink."""
+    for handle in _SINK.get():
+        handle.add_span(name, start, duration, **tags)
+
+
+class _SpanTimer:
+    __slots__ = ("name", "tags", "start", "_t0")
+
+    def __init__(self, name: str, tags: Dict[str, object]):
+        self.name = name
+        self.tags = tags
+
+    def __enter__(self) -> "_SpanTimer":
+        self.start = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        emit_span(self.name, self.start, time.perf_counter() - self._t0,
+                  **self.tags)
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_TIMER = _NullTimer()
+
+
+def span(name: str, **tags):
+    """A context manager timing one span into the ambient sink.
+
+    Free (no clock reads) when no sink is installed -- untraced
+    requests pay one ContextVar read and a truth test.
+    """
+    if not _SINK.get():
+        return _NULL_TIMER
+    return _SpanTimer(name, tags)

@@ -859,8 +859,13 @@ class SharedMemoryExecutor(Executor):
             return self._pool
 
     def _publish(self, payload: bytes) -> _PayloadBlock:
+        from repro.obs.profiling import phase
+
         self._sessions += 1
-        return _PayloadBlock(payload, self._sessions)
+        # The shared-memory broadcast: one copy of the pickled session
+        # state into a block every worker maps.
+        with phase("runtime.broadcast"):
+            return _PayloadBlock(payload, self._sessions)
 
     def _release_worker_state(self) -> None:
         """Best-effort reclamation of worker-side session state.

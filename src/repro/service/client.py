@@ -37,9 +37,12 @@ import json
 import random
 import socket
 import threading
+import time
 import uuid
+from collections import deque
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.obs import tracing as obs_tracing
 from repro.exceptions import (
     ReplicaLaggingError,
     ReplicaReadOnlyError,
@@ -120,12 +123,30 @@ def _wire_mutation_ops(ops: Sequence) -> List[list]:
     return wire_ops
 
 
+#: Ops that are themselves observability reads -- auto-tracing them
+#: would pollute the trace log with meta-traffic.
+_UNTRACED_OPS = ("metrics", "trace", "stats", "ping")
+
+
 class ServiceClient:
-    """Blocking NDJSON-over-TCP client (see the module docstring)."""
+    """Blocking NDJSON-over-TCP client (see the module docstring).
+
+    With ``tracing=True`` every query/mutation is stamped with a fresh
+    ``trace`` id (unless the caller passed one), the client-side
+    round-trip is recorded as a ``client.request`` span in the local
+    ``trace_log`` ring, and ``last_trace_id`` names the most recent
+    trace -- fetch the server-side spans with ``trace_query``.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7464,
-                 timeout: float = 120.0):
+                 timeout: float = 120.0, tracing: bool = False,
+                 trace_log_capacity: int = 64):
         self.timeout = timeout
+        self.tracing = bool(tracing)
+        self.trace_log: "deque[dict]" = deque(
+            maxlen=int(trace_log_capacity)
+        )
+        self.last_trace_id: Optional[str] = None
         try:
             self._sock = socket.create_connection(
                 (host, port), timeout=timeout
@@ -154,17 +175,35 @@ class ServiceClient:
             message.update(
                 {k: v for k, v in fields.items() if v is not None}
             )
+            if self.tracing and "trace" not in message \
+                    and op not in _UNTRACED_OPS:
+                message["trace"] = obs_tracing.new_trace_id()
+            trace_id = message.get("trace")
+            start_wall = time.time()
+            t0 = time.perf_counter()
             try:
-                self._file.write(
-                    json.dumps(message, separators=(",", ":")).encode()
-                    + b"\n"
-                )
-                self._file.flush()
-                line = self._file.readline()
-            except _TRANSPORT_ERRORS as exc:
-                raise ServiceConnectionError(
-                    f"transport failure during {op!r}: {exc!r}"
-                ) from exc
+                try:
+                    self._file.write(
+                        json.dumps(message, separators=(",", ":")).encode()
+                        + b"\n"
+                    )
+                    self._file.flush()
+                    line = self._file.readline()
+                except _TRANSPORT_ERRORS as exc:
+                    raise ServiceConnectionError(
+                        f"transport failure during {op!r}: {exc!r}"
+                    ) from exc
+            finally:
+                if trace_id is not None:
+                    self.last_trace_id = str(trace_id)
+                    self.trace_log.append({
+                        "trace_id": str(trace_id), "op": op,
+                        "spans": [{
+                            "name": "client.request", "start": start_wall,
+                            "duration": time.perf_counter() - t0,
+                            "tags": {"op": op},
+                        }],
+                    })
         if not line:
             raise ServiceConnectionError("server closed the connection")
         return _parse_response(line, request_id)
@@ -192,6 +231,19 @@ class ServiceClient:
 
     def stats(self) -> dict:
         return self.request("stats")
+
+    def metrics(self) -> dict:
+        """The ``metrics`` op: Prometheus text exposition + enabled flag."""
+        return self.request("metrics")
+
+    def trace_query(self, trace_id: Optional[str] = None,
+                    slow: bool = False, limit: int = 32) -> dict:
+        """One merged trace by id (defaults to ``last_trace_id``), or
+        the server's slow/recent trace rings."""
+        if trace_id is None and not slow:
+            trace_id = self.last_trace_id
+        return self.request("trace", trace_id=trace_id,
+                            slow=slow or None, limit=limit)
 
     def shutdown(self) -> dict:
         return self.request("shutdown")
@@ -284,7 +336,8 @@ class AsyncServiceClient:
     def __init__(self, host: str = "127.0.0.1", port: int = 7464,
                  timeout: float = 120.0, max_retries: int = 5,
                  backoff: float = 0.05, max_backoff: float = 2.0,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 tracing: bool = False, trace_log_capacity: int = 64):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
@@ -297,6 +350,11 @@ class AsyncServiceClient:
         self._lock = asyncio.Lock()
         self._next_id = 0
         self.stats = {"requests": 0, "reconnects": 0, "retries": 0}
+        self.tracing = bool(tracing)
+        self.trace_log: "deque[dict]" = deque(
+            maxlen=int(trace_log_capacity)
+        )
+        self.last_trace_id: Optional[str] = None
 
     # ------------------------------------------------------------------
     # connection management
@@ -370,25 +428,47 @@ class AsyncServiceClient:
             message.update(
                 {k: v for k, v in fields.items() if v is not None}
             )
+            if self.tracing and "trace" not in message \
+                    and op not in _UNTRACED_OPS:
+                message["trace"] = obs_tracing.new_trace_id()
+            trace_id = message.get("trace")
+            start_wall = time.time()
+            t0 = time.perf_counter()
             self.stats["requests"] += 1
             last_error: Optional[Exception] = None
-            for attempt in range(self.max_retries + 1):
-                if attempt:
-                    self.stats["retries"] += 1
-                    delay = min(self.backoff * (2 ** (attempt - 1)),
-                                self.max_backoff)
-                    await asyncio.sleep(self._rng.uniform(0.0, delay))
-                try:
-                    return await self._roundtrip(message, request_id)
-                except Exception as exc:
-                    if not is_retryable(exc):
-                        raise
-                    last_error = exc
-                    await self._drop_connection()
-            raise ServiceRetryError(
-                f"{op!r} failed after {self.max_retries + 1} attempt(s): "
-                f"{last_error}"
-            ) from last_error
+            try:
+                for attempt in range(self.max_retries + 1):
+                    if attempt:
+                        self.stats["retries"] += 1
+                        delay = min(self.backoff * (2 ** (attempt - 1)),
+                                    self.max_backoff)
+                        await asyncio.sleep(self._rng.uniform(0.0, delay))
+                    try:
+                        return await self._roundtrip(message, request_id)
+                    except Exception as exc:
+                        if not is_retryable(exc):
+                            raise
+                        last_error = exc
+                        await self._drop_connection()
+                raise ServiceRetryError(
+                    f"{op!r} failed after {self.max_retries + 1} "
+                    f"attempt(s): {last_error}"
+                ) from last_error
+            finally:
+                if trace_id is not None:
+                    # The trace id is stable across every resend, so
+                    # retried hops merge into one trace server-side.
+                    self.last_trace_id = str(trace_id)
+                    self.trace_log.append({
+                        "trace_id": str(trace_id), "op": op,
+                        "spans": [{
+                            "name": "client.request", "start": start_wall,
+                            "duration": time.perf_counter() - t0,
+                            "tags": {"op": op,
+                                     "target":
+                                     f"{self.host}:{self.port}"},
+                        }],
+                    })
 
     # ------------------------------------------------------------------
     # ops
@@ -401,6 +481,16 @@ class AsyncServiceClient:
 
     async def stats_report(self) -> dict:
         return await self.request("stats")
+
+    async def metrics(self) -> dict:
+        return await self.request("metrics")
+
+    async def trace_query(self, trace_id: Optional[str] = None,
+                          slow: bool = False, limit: int = 32) -> dict:
+        if trace_id is None and not slow:
+            trace_id = self.last_trace_id
+        return await self.request("trace", trace_id=trace_id,
+                                  slow=slow or None, limit=limit)
 
     async def shutdown(self) -> dict:
         return await self.request("shutdown")
@@ -506,15 +596,23 @@ class ReplicaSetClient:
                  max_lag: Optional[int] = None,
                  max_lag_seconds: Optional[float] = None,
                  cooldown: float = 1.0,
-                 rng: Optional[random.Random] = None):
-        import time as _time
-
-        self._time = _time.monotonic
+                 rng: Optional[random.Random] = None,
+                 tracing: bool = False, trace_log_capacity: int = 64):
+        self._time = time.monotonic
+        self.tracing = bool(tracing)
+        self.trace_log: "deque[dict]" = deque(
+            maxlen=int(trace_log_capacity)
+        )
+        self.last_trace_id: Optional[str] = None
         host, port = _split_address(primary)
         self.primary_address = f"{host}:{port}"
+        # Writes trace through the primary client's own stamping; reads
+        # are stamped here (one id per logical read, shared by every
+        # failover hop), so replica clients stay tracing=False.
         self.primary = AsyncServiceClient(
             host, port, timeout=timeout, max_retries=max_retries,
             backoff=backoff, max_backoff=max_backoff, rng=rng,
+            tracing=tracing,
         )
         self.max_lag = max_lag
         self.max_lag_seconds = max_lag_seconds
@@ -569,30 +667,51 @@ class ReplicaSetClient:
     async def _read(self, op: str, **fields) -> dict:
         fields.setdefault("max_lag", self.max_lag)
         fields.setdefault("max_lag_seconds", self.max_lag_seconds)
-        attempted = False
-        for offset in range(len(self._replicas)):
-            entry = self._replicas[
-                (self._cursor + offset) % len(self._replicas)
-            ]
-            if not self._healthy(entry):
-                continue
-            attempted = True
-            try:
-                result = await entry["client"].request(op, **fields)
-            except self.READ_FAILOVER:
-                self._mark_down(entry)
-                continue
-            self._cursor = (self._cursor + offset + 1) \
-                % len(self._replicas)
-            entry["reads"] += 1
-            self.stats["replica_reads"] += 1
-            return result
-        if attempted or self._replicas:
-            self.stats["failovers"] += 1
-        # The primary satisfies any staleness bound by definition (its
-        # dispatcher ignores the fields), so they ride along untouched.
-        self.stats["primary_reads"] += 1
-        return await self.primary.request(op, **fields)
+        if self.tracing and fields.get("trace") is None:
+            # One id for the whole logical read: the replica attempt(s)
+            # and a primary failover all record under the same trace.
+            fields["trace"] = obs_tracing.new_trace_id()
+        trace_id = fields.get("trace")
+        if trace_id is not None:
+            self.last_trace_id = str(trace_id)
+        start_wall = time.time()
+        t0 = time.perf_counter()
+        try:
+            attempted = False
+            for offset in range(len(self._replicas)):
+                entry = self._replicas[
+                    (self._cursor + offset) % len(self._replicas)
+                ]
+                if not self._healthy(entry):
+                    continue
+                attempted = True
+                try:
+                    result = await entry["client"].request(op, **fields)
+                except self.READ_FAILOVER:
+                    self._mark_down(entry)
+                    continue
+                self._cursor = (self._cursor + offset + 1) \
+                    % len(self._replicas)
+                entry["reads"] += 1
+                self.stats["replica_reads"] += 1
+                return result
+            if attempted or self._replicas:
+                self.stats["failovers"] += 1
+            # The primary satisfies any staleness bound by definition
+            # (its dispatcher ignores the fields), so they ride along
+            # untouched.
+            self.stats["primary_reads"] += 1
+            return await self.primary.request(op, **fields)
+        finally:
+            if trace_id is not None:
+                self.trace_log.append({
+                    "trace_id": str(trace_id), "op": op,
+                    "spans": [{
+                        "name": "client.request", "start": start_wall,
+                        "duration": time.perf_counter() - t0,
+                        "tags": {"op": op},
+                    }],
+                })
 
     # -- reads ---------------------------------------------------------
     async def fsim(self, graph1: str, graph2: Optional[str] = None,
@@ -623,17 +742,85 @@ class ReplicaSetClient:
     async def mutate(self, graph: str, ops: Sequence,
                      rid: Optional[str] = None) -> dict:
         self.stats["writes"] += 1
-        return await self.primary.mutate(graph, ops, rid=rid)
+        try:
+            return await self.primary.mutate(graph, ops, rid=rid)
+        finally:
+            if self.primary.last_trace_id is not None:
+                self.last_trace_id = self.primary.last_trace_id
 
     async def register(self, *args, **kwargs) -> dict:
         self.stats["writes"] += 1
-        return await self.primary.register(*args, **kwargs)
+        try:
+            return await self.primary.register(*args, **kwargs)
+        finally:
+            if self.primary.last_trace_id is not None:
+                self.last_trace_id = self.primary.last_trace_id
 
     async def graphs(self) -> List[str]:
         return await self.primary.graphs()
 
     async def stats_report(self) -> dict:
         return await self.primary.stats_report()
+
+    async def metrics(self) -> dict:
+        return await self.primary.metrics()
+
+    # -- traces --------------------------------------------------------
+    async def fetch_trace(self, trace_id: Optional[str] = None
+                          ) -> Optional[dict]:
+        """The merged end-to-end trace for ``trace_id`` (defaults to
+        the last read/write issued through this client).
+
+        Queries the ``trace`` op on every endpoint -- a read that was
+        served by a replica left its server-side spans there, a write
+        (or a failed-over read) left them on the primary, and a
+        replicated mutation left ``replica.apply`` spans on each
+        follower -- then splices in the client-side ``client.request``
+        spans and sorts everything by wall-clock start.
+        """
+        if trace_id is None:
+            trace_id = self.last_trace_id or self.primary.last_trace_id
+        if trace_id is None:
+            return None
+        trace_id = str(trace_id)
+        merged: List[dict] = []
+        op = None
+        started = None
+        status = "ok"
+        clients = [entry["client"] for entry in self._replicas]
+        clients.append(self.primary)
+        for client in clients:
+            try:
+                result = await client.request("trace", trace_id=trace_id)
+            except ServiceError:
+                continue
+            if not result.get("found"):
+                continue
+            found = result["trace"]
+            merged.extend(found.get("spans", ()))
+            op = op or found.get("op")
+            if found.get("started") is not None:
+                started = found["started"] if started is None \
+                    else min(started, found["started"])
+            if found.get("status") == "error":
+                status = "error"
+        for local in (*self.trace_log, *self.primary.trace_log):
+            if local["trace_id"] == trace_id:
+                merged.extend(local["spans"])
+                op = op or local.get("op")
+        if not merged:
+            return None
+        merged.sort(key=lambda span: span["start"])
+        if started is None:
+            started = merged[0]["start"]
+        return {
+            "trace_id": trace_id,
+            "op": op,
+            "started": started,
+            "status": status,
+            "duration": max(span["duration"] for span in merged),
+            "spans": merged,
+        }
 
     # ------------------------------------------------------------------
     async def close(self) -> None:

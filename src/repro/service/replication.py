@@ -58,13 +58,14 @@ from __future__ import annotations
 import asyncio
 import base64
 import json
-import logging
 import pickle
 import random
 import time
 import zlib
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import log as obs_log
+from repro.obs import metrics, tracing
 from repro.exceptions import (
     ReplicaLaggingError,
     ServiceConnectionError,
@@ -80,7 +81,7 @@ from repro.service.wal import (
     read_wal_since,
 )
 
-logger = logging.getLogger("repro.service.replication")
+logger = obs_log.get_logger("service.replication")
 
 #: Stream-control frame kind (not a WAL record; never applied).
 HEARTBEAT_KIND = "heartbeat"
@@ -306,7 +307,17 @@ class ReplicationTail:
     resets after any healthy stream, so a long-lived follower recovers
     from a blip in ~``base`` seconds while a hard-down primary is not
     hammered.
+
+    State transitions emit structured ``replica.*`` events through the
+    shared :mod:`repro.obs.log` tree, each stamped with a
+    per-connection trace id, and lag crossings use hysteresis: a
+    ``replica.lag`` ``state=behind`` event fires when record lag
+    reaches :data:`LAG_EVENT_THRESHOLD` and ``state=caught_up`` only
+    once lag returns to zero -- no event storm while hovering.
     """
+
+    #: Record-lag hysteresis threshold for ``replica.lag`` events.
+    LAG_EVENT_THRESHOLD = 64
 
     def __init__(self, server, primary: str,
                  fault_injector: Optional[FaultInjector] = None,
@@ -349,6 +360,16 @@ class ReplicationTail:
         self.applied_records = 0
         self.heartbeats = 0
         self._replayer = self._fresh_replayer()
+        #: Trace id of the current connection attempt: rides every
+        #: request to the primary and every structured event below.
+        self._conn_trace = tracing.new_trace_id()
+        self._lag_behind = False
+        self._m_lag = metrics.gauge(
+            "repro_replica_lag_records",
+            "Records this replica is behind its primary.")
+        self._m_connected = metrics.gauge(
+            "repro_replica_connected",
+            "1 while the replication stream is live.")
 
     # ------------------------------------------------------------------
     # lag / staleness
@@ -416,6 +437,7 @@ class ReplicationTail:
         attempt = 0
         while not self._stopping:
             self._session_streamed = False
+            self._conn_trace = tracing.new_trace_id()
             try:
                 await self._tail_once()
             except asyncio.CancelledError:
@@ -423,12 +445,17 @@ class ReplicationTail:
             except (ConnectionError, OSError, EOFError,
                     asyncio.TimeoutError, asyncio.IncompleteReadError,
                     ServiceError, WalError) as exc:
-                logger.info("replication stream to %s failed: %s",
-                            self.primary, exc)
+                obs_log.log_event(
+                    logger, "replica.disconnected",
+                    primary=self.primary, error=str(exc) or repr(exc),
+                    streamed=self._session_streamed,
+                    trace_id=self._conn_trace,
+                )
             except Exception:  # pragma: no cover - defensive
                 logger.exception("replication tail error; reconnecting")
             finally:
                 self.connected = False
+                self._m_connected.set(0)
             if self._stopping:
                 break
             # A session that reached streaming resets the backoff: a
@@ -468,7 +495,13 @@ class ReplicationTail:
                 )
             self._observe_head(int(header["result"]["head"]))
             self.connected = True
+            self._m_connected.set(1)
             self._session_streamed = True
+            obs_log.log_event(
+                logger, "replica.connected",
+                primary=self.primary, after=self.applied_seq,
+                head=self.head_seq, trace_id=self._conn_trace,
+            )
             while True:
                 line = await asyncio.wait_for(
                     reader.readline(), timeout=self.stall_timeout
@@ -501,9 +534,26 @@ class ReplicationTail:
         seq = int(frame["seq"])
         names = [frame["graph"]] if "graph" in frame \
             else self.store.graph_names()
+        trace_id = frame.get("trace")
+
+        def _apply() -> None:
+            # Worker thread: a record stamped with its originating
+            # trace id records its apply into THIS server's recorder,
+            # so the client's merged trace shows the replica hop.
+            if trace_id is None:
+                self._replayer.apply(frame)
+                return
+            handle = self.server.recorder.begin(str(trace_id),
+                                                "replica.apply")
+            with tracing.use_sink((handle,)), \
+                    handle.span("replica.apply",
+                                graph=frame.get("graph"), seq=seq):
+                self._replayer.apply(frame)
+            self.server.recorder.finish(handle)
+
         loop = asyncio.get_running_loop()
         async with self.server.scheduler.exclusive(names):
-            await loop.run_in_executor(None, self._replayer.apply, frame)
+            await loop.run_in_executor(None, _apply)
         self.applied_seq = max(self.applied_seq, seq)
         self.applied_records += 1
         self._observe_head(seq)
@@ -512,6 +562,22 @@ class ReplicationTail:
         self.head_seq = max(self.head_seq or 0, head)
         if self.applied_seq >= self.head_seq:
             self.freshness_ts = time.time()
+        lag = max(0, self.head_seq - self.applied_seq)
+        self._m_lag.set(lag)
+        if not self._lag_behind and lag >= self.LAG_EVENT_THRESHOLD:
+            self._lag_behind = True
+            obs_log.log_event(
+                logger, "replica.lag", state="behind",
+                lag_records=lag, primary=self.primary,
+                trace_id=self._conn_trace,
+            )
+        elif self._lag_behind and lag == 0:
+            self._lag_behind = False
+            obs_log.log_event(
+                logger, "replica.lag", state="caught_up",
+                lag_records=0, primary=self.primary,
+                trace_id=self._conn_trace,
+            )
 
     # ------------------------------------------------------------------
     # bootstrap
@@ -538,9 +604,10 @@ class ReplicationTail:
         self._replayer = self._fresh_replayer()
         self._need_bootstrap = False
         self.bootstraps += 1
-        logger.info(
-            "bootstrapped %d graph(s) from %s at seq %d",
-            len(payloads), self.primary, self.applied_seq,
+        obs_log.log_event(
+            logger, "replica.bootstrap",
+            graphs=len(payloads), primary=self.primary,
+            seq=self.applied_seq, trace_id=self._conn_trace,
         )
 
     def _adopt(self, payloads: Dict[str, dict]) -> None:
@@ -573,7 +640,8 @@ class ReplicationTail:
     # primary RPC
     # ------------------------------------------------------------------
     async def _request(self, reader, writer, op: str, **fields) -> dict:
-        message = dict({"id": f"tail-{op}", "op": op}, **fields)
+        message = dict({"id": f"tail-{op}", "op": op,
+                        "trace": self._conn_trace}, **fields)
         writer.write(
             json.dumps(message, separators=(",", ":")).encode() + b"\n"
         )

@@ -35,10 +35,12 @@ coalesce more work while a batch computes.
 from __future__ import annotations
 
 import asyncio
+import time
 from contextlib import asynccontextmanager
 from typing import Dict, List, Optional, Sequence
 
 from repro.exceptions import ServiceError, ServiceOverloadedError
+from repro.obs import metrics, tracing
 from repro.service.store import GraphStore
 from repro.streaming.delta import DeltaOp
 
@@ -78,7 +80,29 @@ class MicroBatchScheduler:
             "coalesced_requests": 0,
             "largest_batch": 0,
             "aborted_requests": 0,
+            "peak_pending": 0,
         }
+        # Interned once; each mutator below is a single enabled-check
+        # when the registry is in no-op mode.
+        self._m_queue_depth = metrics.gauge(
+            "repro_sched_queue_depth",
+            "Requests currently queued or in flight.")
+        self._m_rejected = metrics.counter(
+            "repro_sched_rejected_total",
+            "Requests rejected by admission control (max_pending).")
+        self._m_aborted = metrics.counter(
+            "repro_sched_aborted_total",
+            "Queued requests aborted at shutdown.")
+        self._m_batch_size = metrics.histogram(
+            "repro_sched_batch_size",
+            "Coalesced requests per flushed batch.",
+            buckets=metrics.COUNT_BUCKETS)
+        self._m_queue_wait = metrics.histogram(
+            "repro_sched_queue_wait_seconds",
+            "Time a request waits in its coalescing bucket.")
+        self._m_lock_wait = metrics.histogram(
+            "repro_sched_lock_wait_seconds",
+            "Time a flushed batch waits on its per-graph locks.")
 
     # ------------------------------------------------------------------
     # locks
@@ -112,18 +136,23 @@ class MicroBatchScheduler:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    async def submit(self, op: str, request: dict):
+    async def submit(self, op: str, request: dict,
+                     trace: Optional[tracing.TraceHandle] = None):
         """Enqueue one request; resolves to the store-level result.
 
         ``request`` is the normalized form the server builds (graph
         names resolved, ops parsed); the returned value is whatever the
         corresponding :class:`~repro.service.store.GraphStore` method
-        returns for this single request.
+        returns for this single request.  ``trace`` (when the request
+        carries one) receives ``sched.queue`` / ``sched.lock_wait`` /
+        ``sched.execute`` spans plus every store/engine span emitted
+        while its batch runs.
         """
         if op not in BATCHED_OPS:
             raise ServiceError(f"op {op!r} is not schedulable")
         if self._pending >= self.max_pending:
             self.stats["rejected"] += 1
+            self._m_rejected.inc()
             raise ServiceOverloadedError(
                 f"{self._pending} requests pending "
                 f"(max_pending={self.max_pending}); retry later"
@@ -133,18 +162,25 @@ class MicroBatchScheduler:
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._pending += 1
+        if self._pending > self.stats["peak_pending"]:
+            self.stats["peak_pending"] = self._pending
+        self._m_queue_depth.set(self._pending)
         try:
             bucket = self._buckets.get(key)
             if bucket is None:
                 bucket = {"op": op, "items": [], "event": asyncio.Event()}
                 self._buckets[key] = bucket
                 asyncio.ensure_future(self._flush_after(key, bucket))
-            bucket["items"].append((request, future))
+            bucket["items"].append(
+                (request, future, trace,
+                 (time.time(), time.perf_counter()))
+            )
             if len(bucket["items"]) >= self.max_batch:
                 bucket["event"].set()
             return await future
         finally:
             self._pending -= 1
+            self._m_queue_depth.set(self._pending)
 
     def _classify(self, op: str, request: dict) -> tuple:
         """The coalescing bucket key: requests sharing it must resolve
@@ -195,7 +231,7 @@ class MicroBatchScheduler:
         classify and retry against the restarted server."""
         aborted = 0
         for bucket in list(self._buckets.values()):
-            for _, future in bucket["items"]:
+            for _, future, _, _ in bucket["items"]:
                 if not future.done():
                     future.set_exception(ServiceError(reason))
                     aborted += 1
@@ -205,6 +241,7 @@ class MicroBatchScheduler:
         # Surfaced in the server's ``health`` stats section: a nonzero
         # count marks a shutdown that outran its drain timeout.
         self.stats["aborted_requests"] += aborted
+        self._m_aborted.inc(aborted)
         return aborted
 
     # ------------------------------------------------------------------
@@ -222,26 +259,41 @@ class MicroBatchScheduler:
         items = bucket["items"]
         if not items:
             return
+        op = bucket["op"]
         self.stats["batches"] += 1
         if len(items) > 1:
             self.stats["coalesced_batches"] += 1
             self.stats["coalesced_requests"] += len(items) - 1
         if len(items) > self.stats["largest_batch"]:
             self.stats["largest_batch"] = len(items)
+        self._m_batch_size.observe(len(items))
+        flushed = time.perf_counter()
+        for _, _, trace, (enq_wall, enq_perf) in items:
+            wait = flushed - enq_perf
+            self._m_queue_wait.observe(wait)
+            if trace is not None:
+                trace.add_span("sched.queue", enq_wall, wait, op=op)
         loop = asyncio.get_running_loop()
-        names = self._touched_graphs(bucket["op"],
-                                     [request for request, _ in items])
+        names = self._touched_graphs(op, [item[0] for item in items])
         try:
+            lock_wall = time.time()
+            lock_start = time.perf_counter()
             async with self.exclusive(names):
+                lock_wait = time.perf_counter() - lock_start
+                self._m_lock_wait.observe(lock_wait)
+                for _, _, trace, _ in items:
+                    if trace is not None:
+                        trace.add_span("sched.lock_wait", lock_wall,
+                                       lock_wait, graphs=len(names))
                 outcomes = await loop.run_in_executor(
-                    None, self._execute, bucket["op"], items
+                    None, self._execute, op, items
                 )
         except Exception as exc:  # store-level failure: fail the batch
-            for _, future in items:
+            for _, future, _, _ in items:
                 if not future.done():
                     future.set_exception(_clone_exception(exc))
             return
-        for (_, future), outcome in zip(items, outcomes):
+        for (_, future, _, _), outcome in zip(items, outcomes):
             if future.done():
                 continue
             if isinstance(outcome, BaseException):
@@ -253,6 +305,33 @@ class MicroBatchScheduler:
     # batched execution (worker thread)
     # ------------------------------------------------------------------
     def _execute(self, op: str, items: List[tuple]) -> List[object]:
+        """Worker-thread entry: run the batch with every member's trace
+        handle installed as the span sink.
+
+        ``run_in_executor`` does not propagate contextvars, so the sink
+        must be (re-)installed here, inside the worker thread; every
+        store/engine/WAL span emitted below then fans out to each
+        coalesced request's trace.
+        """
+        handles = tuple(item[2] for item in items)
+        start_wall = time.time()
+        start = time.perf_counter()
+        with tracing.use_sink(handles):
+            outcomes = self._run_batch(op, items)
+        duration = time.perf_counter() - start
+        if metrics.REGISTRY.enabled:
+            metrics.histogram(
+                "repro_sched_execute_seconds",
+                "Store-level execution time of a flushed batch.",
+                op=op,
+            ).observe(duration)
+        for handle in handles:
+            if handle is not None:
+                handle.add_span("sched.execute", start_wall, duration,
+                                op=op, batch=len(items))
+        return outcomes
+
+    def _run_batch(self, op: str, items: List[tuple]) -> List[object]:
         store = self.store
         first = items[0][0]
         if op == "fsim":
@@ -263,7 +342,7 @@ class MicroBatchScheduler:
             )
             return [result] * len(items)
         if op == "topk":
-            queries = [request["query"] for request, _ in items]
+            queries = [item[0]["query"] for item in items]
             try:
                 return list(store.topk(
                     first["graph1"], first["graph2"], queries,
@@ -274,17 +353,17 @@ class MicroBatchScheduler:
                 # batch peers: degrade to per-request execution.
                 return [
                     self._attempt(
-                        lambda r=request: store.topk(
+                        lambda r=item[0]: store.topk(
                             r["graph1"], r["graph2"], [r["query"]],
                             r["k"], r.get("params"),
                         )[0]
                     )
-                    for request, _ in items
+                    for item in items
                 ]
         if op == "matrix":
             combined: List[str] = []
-            for request, _ in items:
-                combined.extend(request["graphs1"])
+            for item in items:
+                combined.extend(item[0]["graphs1"])
             try:
                 results = store.matrix(
                     combined, first["graph2"], first.get("params")
@@ -292,31 +371,37 @@ class MicroBatchScheduler:
             except ServiceError:
                 return [
                     self._attempt(
-                        lambda r=request: store.matrix(
+                        lambda r=item[0]: store.matrix(
                             r["graphs1"], r["graph2"], r.get("params")
                         )
                     )
-                    for request, _ in items
+                    for item in items
                 ]
             outcomes: List[object] = []
             cursor = 0
-            for request, _ in items:
-                count = len(request["graphs1"])
+            for item in items:
+                count = len(item[0]["graphs1"])
                 outcomes.append(results[cursor:cursor + count])
                 cursor += count
             return outcomes
         # mutate: strictly in arrival order, each with its own outcome.
+        # Each mutation runs under its *own* single-handle sink so the
+        # WAL record it appends is stamped with that request's trace id
+        # (not its batch peers').
         outcomes = []
-        for request, _ in items:
-            outcomes.append(self._attempt(
-                lambda r=request: store.mutate(
-                    r["graph"],
-                    [DeltaOp(*op_fields) for op_fields in r["ops"]],
-                    rid=r.get("rid"),
-                )
-            ))
+        for request, _, trace, _ in items:
+            with tracing.use_sink((trace,)):
+                outcomes.append(self._attempt(
+                    lambda r=request: store.mutate(
+                        r["graph"],
+                        [DeltaOp(*op_fields) for op_fields in r["ops"]],
+                        rid=r.get("rid"),
+                    )
+                ))
         # One fsync covers the whole coalesced batch (wal_sync="batch"):
         # no ack below resolves until every record above is durable.
+        # Emitted under the outer all-handles sink, the wal.fsync span
+        # lands in every member's trace.
         store.commit_wal()
         return outcomes
 

@@ -30,12 +30,15 @@ from __future__ import annotations
 
 import asyncio
 import json
-import logging
 import threading
+import time
 import warnings
 from typing import List, Optional
 
-logger = logging.getLogger("repro.service")
+from repro.obs import log as obs_log
+from repro.obs import metrics, profiling, tracing
+
+logger = obs_log.get_logger("service")
 
 from repro.core.engine import FSimResult
 from repro.core.topk import TopKResult
@@ -100,6 +103,7 @@ class FSimServer:
         drain_timeout: float = 30.0,
         compact_interval: float = 1.0,
         replicate_from: Optional[str] = None,
+        slow_query_ms: Optional[float] = None,
     ):
         #: Callback run during :meth:`stop` after draining, *before*
         #: the store is closed -- the CLI writes shutdown snapshots
@@ -121,6 +125,11 @@ class FSimServer:
         self._compact_task: Optional[asyncio.Task] = None
         self.connections = 0
         self.requests_served = 0
+        #: Per-server trace ring buffers (NOT process-global: a primary
+        #: and its replica embedded in one test process must keep
+        #: separate slow-query thresholds and ``trace`` op views).
+        self.recorder = tracing.TraceRecorder(slow_ms=slow_query_ms)
+        self.slow_query_ms = slow_query_ms
         # Inline autocompaction is only safe single-threaded: the
         # server compacts from its own background task instead, under
         # the exclusive locks of every graph (a snapshot of a graph a
@@ -306,18 +315,26 @@ class FSimServer:
     async def _respond(self, writer: asyncio.StreamWriter,
                        write_lock: asyncio.Lock, line: bytes) -> None:
         request_id = None
+        op = None
+        trace: Optional[tracing.TraceHandle] = None
+        start_wall = time.time()
+        start = time.perf_counter()
         try:
             request = json.loads(line)
             if not isinstance(request, dict):
                 raise ServiceError("request must be a JSON object")
             request_id = request.get("id")
-            if request.get("op") == "replicate":
+            op = request.get("op")
+            if op == "replicate":
                 # The one op that takes over its connection: after the
                 # single header response the socket becomes a one-way
                 # frame stream (see repro.service.replication).
                 await self._serve_replicate(request, writer, write_lock)
                 return
-            result = await self._dispatch(request)
+            trace_id = request.get("trace")
+            if trace_id is not None:
+                trace = self.recorder.begin(str(trace_id), str(op))
+            result = await self._dispatch(request, trace)
             response = {"id": request_id, "ok": True, "result": result}
         except ServiceOverloadedError as exc:
             response = {"id": request_id, "ok": False,
@@ -335,6 +352,23 @@ class FSimServer:
         except Exception as exc:  # pragma: no cover - defensive
             response = {"id": request_id, "ok": False,
                         "error": f"internal error: {exc!r}"}
+        duration = time.perf_counter() - start
+        if op is not None and metrics.REGISTRY.enabled:
+            metrics.counter(
+                "repro_requests_total",
+                "Requests received, by op.", op=str(op),
+            ).inc()
+            metrics.histogram(
+                "repro_request_seconds",
+                "Server-side request latency (parse to response built).",
+                op=str(op),
+            ).observe(duration)
+        if trace is not None:
+            trace.add_span("server.dispatch", start_wall, duration,
+                           op=str(op))
+            self.recorder.finish(
+                trace, "ok" if response.get("ok") else "error"
+            )
         payload = json.dumps(response, separators=(",", ":")).encode()
         try:
             async with write_lock:
@@ -347,12 +381,20 @@ class FSimServer:
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    async def _dispatch(self, request: dict):
+    async def _dispatch(self, request: dict,
+                        trace: Optional[tracing.TraceHandle] = None):
         op = request.get("op")
         if op == "ping":
             return {"pong": True}
         if op == "graphs":
             return {"graphs": self.store.graph_names()}
+        if op == "metrics":
+            # Prometheus text exposition -- scrape with
+            # ``ServiceClient.metrics()`` or ``repro stats``.
+            return {"enabled": metrics.REGISTRY.enabled,
+                    "exposition": metrics.REGISTRY.exposition()}
+        if op == "trace":
+            return self._trace_query(request)
         if op == "stats":
             stats = self.store.stats()
             stats["scheduler"] = dict(self.scheduler.stats)
@@ -369,6 +411,8 @@ class FSimServer:
             elif self.store.wal is not None:
                 stats["replication"] = dict(self.replication.stats(),
                                             role="primary")
+            stats["metrics"] = metrics.REGISTRY.report()
+            stats["tracing"] = self.recorder.stats()
             stats["health"] = self._health()
             return stats
         if op == "shutdown":
@@ -381,7 +425,7 @@ class FSimServer:
         if op == "snapshot_save":
             return await self._snapshot_save(request)
         if op == "snapshot_restore":
-            return await self._snapshot_restore(request)
+            return await self._snapshot_restore(request, trace)
         if op == "replica_bootstrap":
             return await self._replica_bootstrap()
         if op in BATCHED_OPS:
@@ -398,9 +442,23 @@ class FSimServer:
                     request.get("max_lag"), request.get("max_lag_seconds")
                 )
             normalized = self._normalize(op, request)
-            outcome = await self.scheduler.submit(op, normalized)
+            outcome = await self.scheduler.submit(op, normalized,
+                                                  trace=trace)
             return self._wire(op, request, outcome)
         raise ServiceError(f"unknown op {op!r}")
+
+    def _trace_query(self, request: dict) -> dict:
+        """The ``trace`` op: one merged trace by id, or the slow /
+        recent ring buffer contents."""
+        trace_id = request.get("trace_id")
+        if trace_id is not None:
+            found = self.recorder.get(str(trace_id))
+            return {"found": found is not None, "trace": found}
+        limit = int(request.get("limit", 32))
+        if request.get("slow"):
+            return {"traces": self.recorder.slow(limit),
+                    "slow_ms": self.recorder.slow_ms}
+        return {"traces": self.recorder.recent(limit)}
 
     async def _stop_soon(self) -> None:
         # Let the shutdown response flush before tearing the loop down.
@@ -518,7 +576,9 @@ class FSimServer:
                 None, save_snapshot, self.store, name, path
             )
 
-    async def _snapshot_restore(self, request: dict) -> dict:
+    async def _snapshot_restore(self, request: dict,
+                                trace: Optional[tracing.TraceHandle] = None
+                                ) -> dict:
         from repro.service.snapshot import load_snapshot, restore_snapshot
 
         path = _require(request, "path")
@@ -532,10 +592,14 @@ class FSimServer:
             name = payload.get("name")
 
         def _restore():
-            registered = restore_snapshot(
-                self.store, path, name=name,
-                replace=bool(request.get("replace", False)),
-            )
+            # The sink is installed inside the worker thread --
+            # run_in_executor does not carry contextvars across.
+            with tracing.use_sink((trace,)), \
+                    profiling.phase("snapshot.restore"):
+                registered = restore_snapshot(
+                    self.store, path, name=name,
+                    replace=bool(request.get("replace", False)),
+                )
             return {"name": registered.name,
                     "nodes": registered.graph.num_nodes,
                     "edges": registered.graph.num_edges}
@@ -682,6 +746,8 @@ class FSimServer:
             "reasons": reasons,
             "aborted_requests": aborted,
             "rejected_requests": self.scheduler.stats["rejected"],
+            "peak_pending": self.scheduler.stats["peak_pending"],
+            "slow_queries": self.recorder.slow_queries,
             "graphs": graphs,
             "deduped_mutations": store.deduped_mutations,
             "applied_rids": len(store._applied_rids),

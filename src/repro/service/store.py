@@ -46,6 +46,7 @@ from repro.exceptions import (
     ServiceError,
 )
 from repro.graph.digraph import LabeledDigraph
+from repro.obs import profiling, tracing
 from repro.service.wal import DEFAULT_COMPACT_BYTES, WriteAheadLog
 from repro.simulation.base import Variant
 from repro.streaming.delta import DeltaLog, DeltaOp, OP_KINDS, apply_script_op
@@ -202,6 +203,10 @@ class PairState:
         self.reg2 = reg2
         self.config = config
         self.results = LruCache(cache_size)
+        #: Per-(graph, config) phase accumulators (plan lowering,
+        #: compile, iterate, broadcast, iterations-to-converge) --
+        #: active while this pair executes, surfaced in ``stats()``.
+        self.profile = profiling.PhaseProfile()
         self.session: Optional[IncrementalFSim] = None
         self.synced1 = reg1.graph.version
         self.synced2 = reg2.graph.version
@@ -427,18 +432,20 @@ class GraphStore:
         config = self.resolve_config(name1, params)
         pair = self.pair(name1, name2, config)
         key = ("fsim", pair.versions())
-        cached = pair.results.get(key)
-        if cached is not None:
-            return cached
-        try:
-            if pair.session is not None:
-                pair.sync_session()
-                result = pair.session.compute()
-            else:
-                result = fsim_matrix(pair.reg1.graph, pair.reg2.graph,
-                                     config=config)
-        except ReproError as exc:
-            raise ServiceError(str(exc)) from exc
+        with tracing.span("store.fsim", graph1=name1, graph2=name2):
+            cached = pair.results.get(key)
+            if cached is not None:
+                return cached
+            try:
+                with profiling.profiled(pair.profile):
+                    if pair.session is not None:
+                        pair.sync_session()
+                        result = pair.session.compute()
+                    else:
+                        result = fsim_matrix(pair.reg1.graph,
+                                             pair.reg2.graph, config=config)
+            except ReproError as exc:
+                raise ServiceError(str(exc)) from exc
         pair.results.put(key, result)
         return result
 
@@ -459,9 +466,12 @@ class GraphStore:
                 missing.append(query)
         if missing:
             try:
-                fresh = TopKSearch(
-                    pair.reg1.graph, pair.reg2.graph, config
-                ).search_many(missing, int(k))
+                with tracing.span("store.topk", graph1=name1, graph2=name2,
+                                  queries=len(missing)), \
+                        profiling.profiled(pair.profile):
+                    fresh = TopKSearch(
+                        pair.reg1.graph, pair.reg2.graph, config
+                    ).search_many(missing, int(k))
             except ReproError as exc:
                 raise ServiceError(str(exc)) from exc
             for result in fresh:
@@ -498,10 +508,13 @@ class GraphStore:
                 missing.append(position)
         if missing:
             try:
-                fresh = fsim_matrix_many(
-                    [pairs[position].reg1.graph for position in missing],
-                    self.graph(name2).graph, config=config,
-                )
+                with tracing.span("store.matrix", graph2=name2,
+                                  queries=len(missing)), \
+                        profiling.profiled(pairs[missing[0]].profile):
+                    fresh = fsim_matrix_many(
+                        [pairs[position].reg1.graph for position in missing],
+                        self.graph(name2).graph, config=config,
+                    )
             except ReproError as exc:
                 raise ServiceError(str(exc)) from exc
             for position, result in zip(missing, fresh):
@@ -533,14 +546,21 @@ class GraphStore:
                 return cached
         registered = self.graph(name)
         if self.wal is not None and not self._wal_replaying:
-            seq = self.wal.append({
+            record = {
                 "kind": "mutate", "graph": name,
                 "ops": [[op.kind, op.a, op.b] for op in ops],
                 "rid": rid,
-            })
+            }
+            # Stamp the record with the requesting trace so replica
+            # applies stay attributable to the originating query.
+            tid = tracing.current_trace_id()
+            if tid is not None:
+                record["trace"] = tid
+            seq = self.wal.append(record)
             registered.wal_seq = seq
         try:
-            outcome = registered.apply_ops(ops)
+            with tracing.span("store.mutate", graph=name, ops=len(ops)):
+                outcome = registered.apply_ops(ops)
         except ServiceError as exc:
             if rid is not None:
                 self._remember_rid(rid, {"error": str(exc)})
@@ -663,6 +683,8 @@ class GraphStore:
                 entry["session"] = (state.session is not None)
                 if state.session is not None:
                     entry["session_stats"] = dict(state.session.stats)
+                if state.profile:
+                    entry["profile"] = state.profile.snapshot()
                 pairs[label] = entry
         report = {
             "graphs": graphs,

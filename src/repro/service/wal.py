@@ -464,7 +464,10 @@ class WriteAheadLog:
             return seq
 
     def _fsync(self) -> None:
-        os.fsync(self._handle.fileno())
+        from repro.obs.profiling import phase
+
+        with phase("wal.fsync"):
+            os.fsync(self._handle.fileno())
         self._dirty = False
         self.syncs += 1
 

@@ -1,0 +1,602 @@
+"""Tests for repro.obs and its integration across the service stack.
+
+The observability contract has two halves:
+
+- **it observes**: a query traced through a ReplicaSetClient yields one
+  trace whose spans cover client -> server -> scheduler -> store ->
+  engine across the replica hop; overload events land in counters that
+  agree with the scheduler's own stats; replication narrates its state
+  transitions as parseable ``event=...`` lines carrying trace ids;
+- **it never perturbs**: disabling the registry turns every mutator
+  into a no-op, and instrumented responses stay bitwise identical to
+  uninstrumented ones (asserted in bench_observability on the full
+  workload; the unit tests here pin the mechanisms).
+
+The metrics registry is process-global, so every test that asserts on
+counter values runs under the ``fresh_registry`` fixture.
+"""
+
+import asyncio
+import json
+import logging
+import threading
+import time
+
+import pytest
+
+from repro.core import FSimConfig
+from repro.exceptions import ServiceError, ServiceOverloadedError
+from repro.graph.generators import random_graph, uniform_labels
+from repro.obs import log as obs_log
+from repro.obs import metrics, profiling, tracing
+from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry, parse_exposition
+from repro.service import (
+    GraphStore,
+    MicroBatchScheduler,
+    ReplicaSetClient,
+    ServerThread,
+    ServiceClient,
+    WriteAheadLog,
+)
+from repro.simulation import Variant
+
+
+def make_graph(num_nodes=18, num_edges=45, labels=3, seed=5):
+    """Deterministic graph; calling twice yields bitwise-equal twins."""
+    return random_graph(
+        num_nodes, num_edges,
+        uniform_labels(num_nodes, labels, seed=seed), seed=seed + 1,
+    )
+
+
+def numpy_config(**overrides):
+    options = dict(variant=Variant.B, label_function="indicator",
+                   backend="numpy")
+    options.update(overrides)
+    return FSimConfig(**options)
+
+
+def register_durable(store, name="g", graph=None):
+    if graph is None:
+        graph = make_graph()
+    source = {
+        "nodes": [[node, graph.label(node)] for node in graph.nodes()],
+        "edges": [list(edge) for edge in graph.edges()],
+    }
+    store.register(name, graph, source=source)
+    return graph
+
+
+def wait_for(predicate, timeout=30.0, interval=0.05, message="condition"):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    raise AssertionError(f"timed out waiting for {message}")
+
+
+@pytest.fixture
+def fresh_registry():
+    """A clean, enabled process-global registry; restores prior mode."""
+    prior = metrics.enabled()
+    metrics.configure(enabled=True)
+    metrics.REGISTRY.reset()
+    yield metrics.REGISTRY
+    metrics.REGISTRY.reset()
+    metrics.configure(enabled=prior)
+
+
+# ----------------------------------------------------------------------
+# metrics primitives
+# ----------------------------------------------------------------------
+class TestMetricsPrimitives:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry(enabled=True)
+        requests = registry.counter("requests_total", "Requests.", op="x")
+        requests.inc()
+        requests.inc(3)
+        assert requests.value == 4
+        depth = registry.gauge("depth")
+        depth.set(7)
+        depth.inc(2)
+        depth.dec(4)
+        assert depth.value == 5
+
+    def test_counter_is_interned_per_label_set(self):
+        registry = MetricsRegistry(enabled=True)
+        a1 = registry.counter("c", op="a")
+        a2 = registry.counter("c", op="a")
+        b = registry.counter("c", op="b")
+        assert a1 is a2 and a1 is not b
+        a1.inc()
+        assert registry.get("c", op="a").value == 1
+        assert registry.get("c", op="b").value == 0
+        assert registry.get("c", op="missing") is None
+
+    def test_histogram_percentiles_bracket_the_data(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("latency_seconds")
+        values = [0.001 * (i + 1) for i in range(100)]  # 1ms .. 100ms
+        for value in values:
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 100
+        assert snap["sum"] == pytest.approx(sum(values))
+        assert snap["min"] == values[0] and snap["max"] == values[-1]
+        # interpolated percentiles stay inside the observed range and
+        # are monotone
+        assert values[0] <= snap["p50"] <= snap["p95"] <= snap["p99"]
+        assert snap["p99"] <= values[-1]
+        # p50 lands near the median, within one log-spaced bucket
+        assert 0.025 <= snap["p50"] <= 0.1
+
+    def test_histogram_single_observation_clamps_to_it(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("h")
+        hist.observe(0.0123)
+        snap = hist.snapshot()
+        assert snap["p50"] == snap["p99"] == 0.0123
+
+    def test_count_buckets_for_batch_sizes(self):
+        registry = MetricsRegistry(enabled=True)
+        hist = registry.histogram("batch", buckets=COUNT_BUCKETS)
+        for size in (1, 1, 2, 8, 32):
+            hist.observe(size)
+        snap = hist.snapshot()
+        assert snap["count"] == 5 and snap["max"] == 32
+
+    def test_disabled_registry_mutators_are_noops(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        hist = registry.histogram("h")
+        counter.inc(10)
+        gauge.set(5)
+        hist.observe(1.0)
+        assert counter.value == 0
+        assert gauge.value == 0
+        assert hist.snapshot()["count"] == 0
+        # flipping the switch re-arms the same children
+        registry.enabled = True
+        counter.inc()
+        assert counter.value == 1
+
+    def test_exposition_parses_back(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("reqs_total", "Requests served.", op="topk").inc(3)
+        registry.gauge("depth", "Queue depth.").set(2)
+        hist = registry.histogram("lat_seconds", "Latency.")
+        hist.observe(0.004)
+        hist.observe(0.02)
+        families = parse_exposition(registry.exposition())
+        assert families["reqs_total"]["type"] == "counter"
+        assert families["depth"]["type"] == "gauge"
+        assert families["lat_seconds"]["type"] == "histogram"
+        names = {name for name, _, _ in families["lat_seconds"]["samples"]}
+        assert {"lat_seconds_bucket", "lat_seconds_sum",
+                "lat_seconds_count"} <= names
+        count = [value for name, _, value
+                 in families["lat_seconds"]["samples"]
+                 if name == "lat_seconds_count"]
+        assert count == [2.0]
+
+    def test_report_mirrors_snapshot(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("c", op="a").inc(2)
+        report = registry.report()
+        assert report["c"]["type"] == "counter"
+        assert report["c"]["series"] == [{"labels": {"op": "a"},
+                                          "value": 2}]
+
+
+# ----------------------------------------------------------------------
+# tracing primitives
+# ----------------------------------------------------------------------
+class TestTracing:
+    def test_span_requires_a_sink(self):
+        handle = tracing.TraceHandle("t1", "topk")
+        with tracing.span("store.topk"):
+            pass  # no sink installed: the shared null timer, no record
+        assert not handle.spans
+        with tracing.use_sink((handle,)):
+            with tracing.span("store.topk", batch=3):
+                pass
+        assert [s["name"] for s in handle.spans] == ["store.topk"]
+        assert handle.spans[0]["tags"] == {"batch": 3}
+
+    def test_use_sink_fans_out_and_scopes_trace_id(self):
+        one = tracing.TraceHandle("aaa", "fsim")
+        two = tracing.TraceHandle("bbb", "fsim")
+        with tracing.use_sink((one, None, two)):
+            # a coalesced batch (two traced members): spans fan out to
+            # both, but there is no single ambient trace id
+            assert tracing.current_trace_id() is None
+            tracing.emit_span("store.fsim", time.time(), 0.01)
+            with tracing.use_sink((one,)):
+                assert tracing.current_trace_id() == "aaa"
+            assert tracing.current_trace_id() is None
+        assert tracing.current_trace_id() is None
+        assert [s["name"] for s in one.spans] == ["store.fsim"]
+        assert [s["name"] for s in two.spans] == ["store.fsim"]
+
+    def test_handle_to_dict_sorts_spans(self):
+        handle = tracing.TraceHandle("t", "topk")
+        handle.add_span("later", 200.0, 0.5)
+        handle.add_span("earlier", 100.0, 0.1, op="topk")
+        trace = handle.to_dict()
+        assert [s["name"] for s in trace["spans"]] == ["earlier", "later"]
+        assert trace["duration"] == 0.5
+        assert trace["spans"][0]["tags"] == {"op": "topk"}
+
+    def test_recorder_slow_ring_and_merge(self):
+        recorder = tracing.TraceRecorder(slow_ms=50.0)
+        fast = recorder.begin("id1", "topk")
+        fast.add_span("server.dispatch", 1.0, 0.001)
+        recorder.finish(fast)
+        slow = recorder.begin("id1", "topk")  # same logical trace
+        slow.add_span("server.dispatch", 2.0, 0.2)
+        recorder.finish(slow)
+        assert recorder.stats()["traces"] == 2
+        assert recorder.stats()["slow_queries"] == 1
+        assert [t["trace_id"] for t in recorder.slow()] == ["id1"]
+        merged = recorder.get("id1")
+        assert len(merged["spans"]) == 2
+        assert merged["duration"] == 0.2
+        assert recorder.get("nope") is None
+
+
+# ----------------------------------------------------------------------
+# profiling hooks
+# ----------------------------------------------------------------------
+class TestProfiling:
+    def test_phase_records_profile_metrics_and_spans(self, fresh_registry):
+        profile = profiling.PhaseProfile()
+        handle = tracing.TraceHandle("t", "fsim")
+        with tracing.use_sink((handle,)):
+            with profiling.profiled(profile):
+                with profiling.phase("engine.iterate"):
+                    pass
+                with profiling.phase("engine.iterate"):
+                    pass
+        snap = profile.snapshot()
+        assert snap["engine.iterate"]["count"] == 2
+        assert [s["name"] for s in handle.spans] == ["engine.iterate"] * 2
+        hist = fresh_registry.get(profiling.PHASE_HISTOGRAM,
+                                  phase="engine.iterate")
+        assert hist is not None and hist.snapshot()["count"] == 2
+
+    def test_phase_is_null_when_nothing_listens(self, fresh_registry):
+        metrics.configure(enabled=False)
+        timer = profiling.phase("engine.iterate")
+        assert timer.__class__.__name__ == "_NullTimer"
+
+    def test_iterations_histogram_labels_convergence(self, fresh_registry):
+        profiling.observe_iterations(7, converged=True)
+        profiling.observe_iterations(100, converged=False)
+        converged = fresh_registry.get(profiling.ITERATIONS_HISTOGRAM,
+                                       converged="true")
+        diverged = fresh_registry.get(profiling.ITERATIONS_HISTOGRAM,
+                                      converged="false")
+        assert converged.snapshot()["count"] == 1
+        assert diverged.snapshot()["max"] == 100
+
+
+# ----------------------------------------------------------------------
+# structured logging
+# ----------------------------------------------------------------------
+class TestStructuredLog:
+    def test_format_parse_round_trip(self):
+        fields = {
+            "primary": "127.0.0.1:9000",
+            "error": 'connection "reset" by peer = sad',
+            "lag": 12,
+            "note": "two words",
+            "empty": "",
+            "skipped": None,
+        }
+        message = obs_log.format_event("replica.disconnected", fields)
+        parsed = obs_log.parse_event(message)
+        assert parsed["event"] == "replica.disconnected"
+        assert parsed["primary"] == "127.0.0.1:9000"
+        assert parsed["error"] == 'connection "reset" by peer = sad'
+        assert parsed["lag"] == "12"
+        assert parsed["note"] == "two words"
+        assert parsed["empty"] == ""
+        assert "skipped" not in parsed
+        assert obs_log.parse_event("plain message") is None
+
+    def test_log_event_emits_and_counts(self, fresh_registry, caplog):
+        logger = obs_log.get_logger("service.replication")
+        assert logger.name == "repro.service.replication"
+        with caplog.at_level(logging.INFO, logger="repro"):
+            obs_log.log_event(logger, "replica.lag", state="behind",
+                              lag=80, trace_id="abc123")
+        parsed = obs_log.parse_event(caplog.records[-1].getMessage())
+        assert parsed == {"event": "replica.lag", "lag": "80",
+                          "state": "behind", "trace_id": "abc123"}
+        counter = fresh_registry.get(obs_log.EVENT_COUNTER,
+                                     event="replica.lag")
+        assert counter.value == 1
+
+
+# ----------------------------------------------------------------------
+# single-server integration: metrics / trace / stats ops
+# ----------------------------------------------------------------------
+class TestServerObservability:
+    def test_metrics_op_scrapes_and_stats_fold_in(self, fresh_registry):
+        store = GraphStore(default_config=numpy_config())
+        store.register("g", make_graph())
+        with ServerThread(store, window=0.001) as server:
+            with ServiceClient(port=server.port, tracing=True) as client:
+                client.topk("g", make_graph().nodes()[0], k=2)
+                scrape = client.metrics()
+                stats = client.stats()
+        assert scrape["enabled"] is True
+        families = parse_exposition(scrape["exposition"])
+        assert "repro_requests_total" in families
+        assert "repro_request_seconds" in families
+        assert "repro_sched_batch_size" in families
+        report = stats["metrics"]
+        served = [series for series in
+                  report["repro_requests_total"]["series"]
+                  if series["labels"] == {"op": "topk"}]
+        assert served and served[0]["value"] >= 1
+        assert stats["tracing"]["traces"] >= 1
+        assert "peak_pending" in stats["health"]
+        assert "slow_queries" in stats["health"]
+
+    def test_trace_op_returns_the_request_spans(self, fresh_registry):
+        store = GraphStore(default_config=numpy_config())
+        store.register("g", make_graph())
+        with ServerThread(store, window=0.001) as server:
+            with ServiceClient(port=server.port, tracing=True) as client:
+                client.topk("g", make_graph().nodes()[0], k=2)
+                assert client.last_trace_id is not None
+                found = client.trace_query()  # defaults to last_trace_id
+        assert found["found"] is True
+        trace = found["trace"]
+        assert trace["trace_id"] == client.last_trace_id
+        names = [span["name"] for span in trace["spans"]]
+        assert {"server.dispatch", "sched.queue", "sched.lock_wait",
+                "sched.execute", "store.topk"} <= set(names)
+        # the client recorded its own side of the same trace
+        local = [entry for entry in client.trace_log
+                 if entry["trace_id"] == client.last_trace_id]
+        assert local
+        assert local[0]["spans"][0]["name"] == "client.request"
+
+    def test_untraced_requests_stay_off_the_recorder(self, fresh_registry):
+        store = GraphStore(default_config=numpy_config())
+        store.register("g", make_graph())
+        with ServerThread(store, window=0.001) as server:
+            with ServiceClient(port=server.port) as client:  # tracing off
+                client.topk("g", make_graph().nodes()[0], k=2)
+                stats = client.stats()
+        assert stats["tracing"]["traces"] == 0
+
+    def test_slow_query_ring_over_the_wire(self, fresh_registry):
+        store = GraphStore(default_config=numpy_config())
+        store.register("g", make_graph())
+        with ServerThread(store, window=0.001,
+                          slow_query_ms=0.0) as server:
+            with ServiceClient(port=server.port, tracing=True) as client:
+                for query in make_graph().nodes()[:3]:
+                    client.topk("g", query, k=2)
+                slow = client.trace_query(slow=True)
+                health = client.stats()["health"]
+        assert slow["slow_ms"] == 0.0
+        assert len(slow["traces"]) == 3
+        assert health["slow_queries"] == 3
+
+
+# ----------------------------------------------------------------------
+# overload accounting (admission control under concurrent load)
+# ----------------------------------------------------------------------
+class TestOverloadAccounting:
+    def test_rejections_and_peaks_agree_with_counters(self,
+                                                      fresh_registry):
+        store = GraphStore(default_config=numpy_config())
+        graph = make_graph(num_nodes=30, num_edges=90)
+        store.register("g", graph)
+        rejected, completed = [], []
+        with ServerThread(store, window=0.3, max_pending=1) as server:
+
+            def ask(index):
+                try:
+                    with ServiceClient(port=server.port) as client:
+                        completed.append(
+                            client.topk("g", graph.nodes()[index], k=2)
+                        )
+                except ServiceOverloadedError as exc:
+                    rejected.append(exc)
+
+            threads = [threading.Thread(target=ask, args=(i,))
+                       for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            with ServiceClient(port=server.port) as probe:
+                stats = probe.stats()
+        assert rejected and completed
+        sched = stats["scheduler"]
+        # the scheduler's own stats and the registry tell one story
+        assert sched["rejected"] == len(rejected)
+        assert fresh_registry.get(
+            "repro_sched_rejected_total"
+        ).value == len(rejected)
+        assert sched["peak_pending"] == 1  # admission cap held
+        assert stats["health"]["peak_pending"] == sched["peak_pending"]
+        # the queue fully drained: gauge agrees
+        assert fresh_registry.get("repro_sched_queue_depth").value == 0
+        served = fresh_registry.get("repro_requests_total", op="topk")
+        assert served.value == len(completed) + len(rejected)
+
+    def test_abort_pending_accounts_and_faults_callers(self,
+                                                       fresh_registry):
+        store = GraphStore(default_config=numpy_config())
+        store.register("g", make_graph())
+
+        async def _run():
+            scheduler = MicroBatchScheduler(store, window=30.0,
+                                            max_batch=64)
+            request = {"graph1": "g", "graph2": "g", "query": 0, "k": 2,
+                       "params": None}
+            tasks = [asyncio.ensure_future(
+                scheduler.submit("topk", dict(request))
+            ) for _ in range(3)]
+            await asyncio.sleep(0.05)  # let all three enqueue
+            aborted = scheduler.abort_pending("shutdown drain timed out")
+            outcomes = await asyncio.gather(*tasks,
+                                            return_exceptions=True)
+            return scheduler, aborted, outcomes
+
+        scheduler, aborted, outcomes = asyncio.run(_run())
+        assert aborted == 3
+        assert all(isinstance(o, ServiceError) for o in outcomes)
+        assert scheduler.stats["aborted_requests"] == 3
+        assert fresh_registry.get("repro_sched_aborted_total").value == 3
+        assert fresh_registry.get("repro_sched_queue_depth").value == 0
+
+
+# ----------------------------------------------------------------------
+# CLI: `repro stats HOST:PORT` and `serve --slow-query-ms`
+# ----------------------------------------------------------------------
+class TestCliStats:
+    def test_pretty_json_and_exposition(self, fresh_registry, capsys):
+        from repro.cli import main
+
+        store = GraphStore(default_config=numpy_config())
+        store.register("g", make_graph())
+        with ServerThread(store, window=0.001) as server:
+            with ServiceClient(port=server.port, tracing=True) as client:
+                client.topk("g", make_graph().nodes()[0], k=2)
+            address = f"127.0.0.1:{server.port}"
+            assert main(["stats", address]) == 0
+            pretty = capsys.readouterr().out
+            assert main(["stats", address, "--json"]) == 0
+            raw = capsys.readouterr().out
+            assert main(["stats", address, "--exposition"]) == 0
+            scrape = capsys.readouterr().out
+        assert "requests" in pretty and "g" in pretty
+        parsed = json.loads(raw)
+        assert "scheduler" in parsed and "metrics" in parsed
+        assert "repro_requests_total" in parse_exposition(scrape)
+
+    def test_serve_parser_accepts_slow_query_ms(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--graph", "g=/tmp/g.txt", "--slow-query-ms", "25"]
+        )
+        assert args.slow_query_ms == 25.0
+        assert build_parser().parse_args(
+            ["serve", "--graph", "g=/tmp/g.txt"]
+        ).slow_query_ms is None
+
+
+# ----------------------------------------------------------------------
+# replication: structured events + the cross-hop trace (acceptance)
+# ----------------------------------------------------------------------
+class TestReplicationObservability:
+    @staticmethod
+    def _start_pair(tmp_path):
+        store = GraphStore(default_config=numpy_config(),
+                           wal=WriteAheadLog(tmp_path, sync="always"))
+        register_durable(store)
+        primary = ServerThread(store, window=0.001).start()
+        replica_store = GraphStore(default_config=numpy_config())
+        replica = ServerThread(
+            replica_store, window=0.001,
+            replicate_from=f"127.0.0.1:{primary.port}",
+        ).start()
+        return primary, replica
+
+    @staticmethod
+    def _wait_caught_up(replica_port, seq):
+        with ServiceClient(port=replica_port, timeout=30.0) as client:
+            def _caught_up():
+                tail = client.stats()["replication"]["tail"]
+                return tail["connected"] and tail["applied_seq"] >= seq \
+                    and tail["lag_records"] == 0
+            wait_for(_caught_up, message=f"replica catch-up to seq {seq}")
+
+    def test_replica_lifecycle_emits_traceable_events(self, tmp_path,
+                                                      fresh_registry,
+                                                      caplog):
+        with caplog.at_level(logging.INFO, logger="repro"):
+            primary, replica = self._start_pair(tmp_path)
+            try:
+                self._wait_caught_up(replica.port, seq=1)
+            finally:
+                replica.stop()
+                primary.stop()
+        events = [obs_log.parse_event(record.getMessage())
+                  for record in caplog.records
+                  if record.name == "repro.service.replication"]
+        events = [e for e in events if e]
+        by_name = {e["event"] for e in events}
+        assert {"replica.connected", "replica.bootstrap"} <= by_name
+        # every lifecycle event ties back to the connection's trace id
+        assert all(e.get("trace_id") for e in events)
+        connected = next(e for e in events
+                         if e["event"] == "replica.connected")
+        assert connected["primary"].endswith(str(primary.port))
+        counter = fresh_registry.get(obs_log.EVENT_COUNTER,
+                                     event="replica.connected")
+        assert counter is not None and counter.value >= 1
+
+    def test_cross_hop_trace_covers_the_whole_stack(self, tmp_path,
+                                                    fresh_registry):
+        primary, replica = self._start_pair(tmp_path)
+        try:
+            self._wait_caught_up(replica.port, seq=1)
+
+            async def _exercise():
+                client = ReplicaSetClient(
+                    f"127.0.0.1:{primary.port}",
+                    [f"127.0.0.1:{replica.port}"],
+                    timeout=30.0, tracing=True,
+                )
+                try:
+                    # --- traced read over the replica hop (cold: the
+                    # engine compiles and sweeps on this very request)
+                    await client.fsim("g")
+                    read_id = client.last_trace_id
+                    assert read_id is not None
+                    read_trace = await client.fetch_trace()
+                    assert client.stats["replica_reads"] == 1
+
+                    # --- traced write through the primary, applied on
+                    # the follower under the same trace id
+                    await client.mutate("g", [("add_node", 999, 0)])
+                    write_id = client.last_trace_id
+                    assert write_id is not None and write_id != read_id
+                    self._wait_caught_up(replica.port, seq=2)
+                    write_trace = await client.fetch_trace()
+                    return read_trace, write_trace
+                finally:
+                    await client.close()
+
+            read_trace, write_trace = asyncio.run(_exercise())
+        finally:
+            replica.stop()
+            primary.stop()
+
+        # one read trace spanning client -> server -> scheduler ->
+        # store -> engine sweep, retrieved via the ``trace`` op
+        read_names = [span["name"] for span in read_trace["spans"]]
+        assert {"client.request", "server.dispatch", "sched.queue",
+                "sched.lock_wait", "sched.execute", "store.fsim",
+                "engine.iterate"} <= set(read_names)
+        # wall-clock ordering across the hop: the client span starts
+        # first and the server work nests inside it
+        assert read_names[0] == "client.request"
+
+        # the write trace additionally crosses the WAL and the
+        # follower's apply path
+        write_names = {span["name"] for span in write_trace["spans"]}
+        assert {"client.request", "server.dispatch", "store.mutate",
+                "wal.fsync", "replica.apply"} <= write_names
