@@ -48,7 +48,7 @@ from repro.core.topk import TopKSearch  # noqa: E402
 from repro.datasets import load_dataset  # noqa: E402
 from repro.graph.noise import densify  # noqa: E402
 from repro.obs import metrics as obs_metrics  # noqa: E402
-from repro.service import GraphStore, ServerThread, ServiceClient  # noqa: E402
+from repro.service import ClientPool, GraphStore, ServerThread  # noqa: E402
 from repro.service.client import wire_partners, wire_scores  # noqa: E402
 from repro.service.snapshot import restore_snapshot, save_snapshot  # noqa: E402
 from repro.simulation import Variant  # noqa: E402
@@ -78,29 +78,6 @@ def _start_server(factor: float, window: float, max_batch: int):
     store = GraphStore(default_config=_config())
     store.register(GRAPH_NAME, _build_graph(factor))
     return ServerThread(store, window=window, max_batch=max_batch).start()
-
-
-class ClientPool:
-    """One pipelined keep-alive connection per concurrent worker.
-
-    Opening a fresh TCP connection per request (or per round) measures
-    connect/teardown latency, not the service: each worker thread owns
-    one :class:`ServiceClient` for the server's whole lifetime, reused
-    across every round and phase that talks to that server.
-    """
-
-    def __init__(self, port: int, size: int):
-        self.clients = [ServiceClient(port=port) for _ in range(size)]
-
-    def __enter__(self):
-        return self
-
-    def __exit__(self, *exc):
-        self.close()
-
-    def close(self) -> None:
-        for client in self.clients:
-            client.close()
 
 
 def _drive_queries(pool: ClientPool, queries, k: int, clients: int):

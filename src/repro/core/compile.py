@@ -34,7 +34,12 @@ see ``tie_rank`` and docs/PERF.md for the tie-breaking contract.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Tuple
+import copy
+import os
+import shutil
+import tempfile
+import weakref
+from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -234,6 +239,55 @@ class DirectionTerm:
         self.structures = structures
 
 
+def _file_backed(array) -> bool:
+    """True for arrays that live on a memmap file (an unpickled memmap
+    loses its file and arrives as plain in-memory data)."""
+    return (
+        isinstance(array, np.memmap)
+        and getattr(array, "filename", None) is not None
+    )
+
+
+class _SlabStore:
+    """Directory of memory-mapped slab files backing one compiled instance.
+
+    Files live under ``$REPRO_ARENA_DIR`` (default: the system temp
+    directory) and are removed when the owning compiled instance is
+    garbage collected.
+    """
+
+    def __init__(self):
+        root = os.environ.get("REPRO_ARENA_DIR") or tempfile.gettempdir()
+        os.makedirs(root, exist_ok=True)
+        self.path = tempfile.mkdtemp(prefix="repro-arena-", dir=root)
+        self._counter = 0
+        self._finalizer = weakref.finalize(
+            self, shutil.rmtree, self.path, True
+        )
+
+    def __getstate__(self):
+        # A store names files on *this* machine owned by *this* process.
+        # Shipping it to a worker (sharded slices pickle the compiled
+        # instance wholesale) would have every unpickler share one
+        # directory and one file counter, so concurrent workers truncate
+        # each other's live mappings (SIGBUS on the next page fault).
+        # An unpickled store is therefore a fresh, empty one.
+        return {}
+
+    def __setstate__(self, state):
+        self.__init__()
+
+    def materialize(self, array: np.ndarray) -> np.ndarray:
+        """Spill one array to a memmap file (same dtype/shape/content)."""
+        if array.size == 0 or _file_backed(array):
+            return array
+        self._counter += 1
+        path = os.path.join(self.path, f"slab-{self._counter}.bin")
+        data = np.ascontiguousarray(array)
+        data.tofile(path)
+        return np.memmap(path, dtype=data.dtype, mode="r+", shape=data.shape)
+
+
 #: CSR lowering now lives in :mod:`repro.core.plan`; the alias keeps the
 #: historical name used throughout this module's signatures.
 _Csr = CsrAdjacency
@@ -289,6 +343,9 @@ class CompiledFSim:
         self.in1 = plan1.in_csr
         self.out2 = plan2.out_csr
         self.in2 = plan2.in_csr
+        #: Per-CSR label-count matrices (see :meth:`_label_count_matrix`);
+        #: keyed by CSR identity, so re-attaching plans invalidates it.
+        self._lcm_cache: Dict[tuple, np.ndarray] = {}
 
     def _build_label_tables(self):
         self.lsim_table = label_similarity_table(
@@ -328,21 +385,46 @@ class CompiledFSim:
         )
         if self.n1:
             counts = vlen[self.nlab1]
-            self.arena_v = all_v[
-                ragged_indices(vstart[self.nlab1], counts)
-            ].astype(np.int32)
         else:
             counts = np.zeros(0, dtype=np.int64)
-            self.arena_v = np.empty(0, dtype=np.int32)
-        self.arena_u = np.repeat(
-            np.arange(self.n1, dtype=np.int32), counts
-        )
-        self.num_feasible = len(self.arena_u)
-        self.arena_label = (
-            self.lsim_table[self.nlab1[self.arena_u], self.nlab2[self.arena_v]]
-            if self.num_feasible
-            else np.empty(0, dtype=np.float64)
-        )
+        #: True when the arena holds only the survivors of the Equation-6
+        #: prune: with ``alpha == 0`` a pruned pair's score is frozen at
+        #: exactly 0.0, so dropping its slot (and its occurrences in
+        #: every entry list) leaves all sequential sums, group maxima and
+        #: greedy matchings bit-identical -- the pair contributes nothing
+        #: that adding 0.0 would not.  Pair-id lookups must then tolerate
+        #: misses (:meth:`_lookup_arena_checked`).
+        self.pruned_compact = cfg.use_upper_bound and cfg.alpha == 0.0
+        if self.pruned_compact:
+            self._build_arena_blocked(all_v, vstart, counts)
+        else:
+            if self.n1:
+                self.arena_v = all_v[
+                    ragged_indices(vstart[self.nlab1], counts)
+                ].astype(np.int32)
+            else:
+                self.arena_v = np.empty(0, dtype=np.int32)
+            self.arena_u = np.repeat(
+                np.arange(self.n1, dtype=np.int32), counts
+            )
+            self.num_feasible = len(self.arena_u)
+            self.arena_label = (
+                self.lsim_table[
+                    self.nlab1[self.arena_u], self.nlab2[self.arena_v]
+                ]
+                if self.num_feasible
+                else np.empty(0, dtype=np.float64)
+            )
+            if cfg.use_upper_bound:
+                self.ub = self._bound_pairs(
+                    self.arena_u.astype(np.int64),
+                    self.arena_v.astype(np.int64),
+                    self.arena_label,
+                )
+                self.maintained = self.ub > cfg.beta
+            else:
+                self.ub = None
+                self.maintained = np.ones(self.num_feasible, dtype=bool)
         # pair-id lookup: sorted flat keys u * n2 + v -> arena id, plus a
         # dense (u, v) -> id table when the cell count is small enough
         # (one gather then answers feasibility and id at once).
@@ -358,13 +440,6 @@ class CompiledFSim:
         else:
             self._pair_id_dense = None
 
-        if cfg.use_upper_bound:
-            self.ub = self._upper_bounds()
-            self.maintained = self.ub > cfg.beta
-        else:
-            self.ub = None
-            self.maintained = np.ones(self.num_feasible, dtype=bool)
-
         scores0 = np.zeros(self.num_feasible, dtype=np.float64)
         scores0[self.maintained] = self.arena_label[self.maintained]
         if cfg.use_upper_bound and cfg.alpha > 0.0:
@@ -373,11 +448,90 @@ class CompiledFSim:
         self.scores0 = scores0
         self.num_candidates = int(self.maintained.sum())
 
+    def _build_arena_blocked(self, all_v: np.ndarray, vstart: np.ndarray,
+                             counts: np.ndarray) -> None:
+        """Blocked candidate pruning for the compact (``alpha == 0``)
+        upper-bound lowering.
+
+        Enumerates the theta-feasible pair space in bounded G1-node
+        blocks, evaluates the Equation-6 bound per block and keeps only
+        the survivors -- plus pinned pairs, whose frozen (possibly
+        nonzero) values neighbor entry lists still read -- so peak
+        compile memory tracks the kept arena rather than the full
+        candidate cross-product.
+        """
+        cfg = self.config
+        pinned = cfg.pinned_pairs or {}
+        pinned_keys = np.unique(np.asarray(
+            [
+                self.index1[a] * max(self.n2, 1) + self.index2[b]
+                for (a, b) in pinned
+                if a in self.index1 and b in self.index2
+            ],
+            dtype=np.int64,
+        )) if pinned else np.empty(0, dtype=np.int64)
+        keep_u: List[np.ndarray] = []
+        keep_v: List[np.ndarray] = []
+        keep_label: List[np.ndarray] = []
+        keep_ub: List[np.ndarray] = []
+        keep_main: List[np.ndarray] = []
+        for start, end in self._iter_chunks(counts):
+            cnt = counts[start:end]
+            total = int(cnt.sum())
+            if total == 0:
+                continue
+            u_blk = np.repeat(np.arange(start, end, dtype=np.int64), cnt)
+            v_blk = all_v[
+                ragged_indices(vstart[self.nlab1[start:end]], cnt)
+            ].astype(np.int64)
+            lab_blk = self.lsim_table[self.nlab1[u_blk], self.nlab2[v_blk]]
+            ub_blk = self._bound_pairs(u_blk, v_blk, lab_blk)
+            main_blk = ub_blk > cfg.beta
+            keep = main_blk
+            if pinned_keys.size:
+                keep = keep | np.isin(
+                    u_blk * max(self.n2, 1) + v_blk, pinned_keys
+                )
+            if not keep.any():
+                continue
+            keep_u.append(u_blk[keep].astype(np.int32))
+            keep_v.append(v_blk[keep].astype(np.int32))
+            keep_label.append(lab_blk[keep])
+            keep_ub.append(ub_blk[keep])
+            keep_main.append(main_blk[keep])
+        if keep_u:
+            self.arena_u = np.concatenate(keep_u)
+            self.arena_v = np.concatenate(keep_v)
+            self.arena_label = np.concatenate(keep_label)
+            self.ub = np.concatenate(keep_ub)
+            self.maintained = np.concatenate(keep_main)
+        else:
+            self.arena_u = np.empty(0, dtype=np.int32)
+            self.arena_v = np.empty(0, dtype=np.int32)
+            self.arena_label = np.empty(0, dtype=np.float64)
+            self.ub = np.empty(0, dtype=np.float64)
+            self.maintained = np.empty(0, dtype=bool)
+        self.num_feasible = len(self.arena_u)
+
     def _lookup_arena(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
         """Arena pair-ids of feasible ``(u, v)`` index pairs (must exist)."""
         keys = us.astype(np.int64) * max(self.n2, 1) + vs
         pos = np.searchsorted(self._sorted_keys, keys)
         return self._key_order[pos]
+
+    def _lookup_arena_checked(self, us: np.ndarray,
+                              vs: np.ndarray) -> np.ndarray:
+        """Like :meth:`_lookup_arena`, but -1 for pairs not in the arena
+        (compact arenas drop pruned pairs, so feasibility no longer
+        implies membership)."""
+        if not len(self._sorted_keys):
+            return np.full(len(us), -1, dtype=np.int64)
+        keys = us.astype(np.int64) * max(self.n2, 1) + vs
+        pos = np.searchsorted(self._sorted_keys, keys)
+        pos = np.minimum(pos, len(self._sorted_keys) - 1)
+        ids = self._key_order[pos].astype(np.int64)
+        ids[self._sorted_keys[pos] != keys] = -1
+        return ids
 
     def _apply_pinning(self):
         """Freeze pinned pair-ids; collect pins outside the arena/graphs."""
@@ -420,16 +574,17 @@ class CompiledFSim:
     # ------------------------------------------------------------------
     # Equation-6 upper bounds, in bulk
     # ------------------------------------------------------------------
-    def _upper_bounds(self) -> np.ndarray:
+    def _bound_pairs(self, us: np.ndarray, vs: np.ndarray,
+                     labels: np.ndarray) -> np.ndarray:
+        """Equation-6 bound for an explicit pair set (elementwise, so
+        blockwise evaluation is bitwise identical to one full pass)."""
         cfg = self.config
-        us = self.arena_u.astype(np.int64)
-        vs = self.arena_v.astype(np.int64)
         out_bound = self._term_bounds(self.out1, self.out2, us, vs)
         in_bound = self._term_bounds(self.in1, self.in2, us, vs)
         bound = (
             cfg.w_out * out_bound
             + cfg.w_in * in_bound
-            + cfg.w_label * self.arena_label
+            + cfg.w_label * labels
         )
         return np.minimum(bound, 1.0)
 
@@ -454,11 +609,21 @@ class CompiledFSim:
 
     def _label_count_matrix(self, csr: _Csr, nlab: np.ndarray,
                             num_labels: int, n: int) -> np.ndarray:
-        """Dense ``(node, label) -> neighbor count`` for one direction."""
+        """Dense ``(node, label) -> neighbor count`` for one direction.
+
+        Cached per CSR (reset when plans are re-attached): the blocked
+        pruner and the streaming patcher evaluate bounds many times per
+        plan generation and the matrix only depends on the plan.
+        """
+        key = (id(csr), n, num_labels)
+        cached = self._lcm_cache.get(key)
+        if cached is not None:
+            return cached
         counts = np.zeros((n, max(num_labels, 1)), dtype=np.int64)
         if len(csr.indices):
             rows = np.repeat(np.arange(n, dtype=np.int64), csr.degrees)
             np.add.at(counts, (rows, nlab[csr.indices]), 1)
+        self._lcm_cache[key] = counts
         return counts
 
     def _mapping_sizes(self, variant, csr1: _Csr, csr2: _Csr,
@@ -535,16 +700,27 @@ class CompiledFSim:
         else:
             family = "sb"
         self.family = family
-        if family == "match":
+        if family == "match" and getattr(self, "tie_rank", None) is None:
+            # Arena-level and immutable under edge patches, so row-subset
+            # clones (build_row_subset) reuse the parent's ranks verbatim.
             self.tie_rank = self._tie_ranks()
+        # Spilling each direction as soon as it is built (memmap
+        # backend) keeps at most one direction's slabs in RAM during
+        # compilation, so the compile-time high-water mark is roughly
+        # half the all-in-RAM peak.
+        spill = cfg.arena_backend == "memmap"
         self.out_term = (
             self._build_direction(self.out1, self.out2, family, variant)
             if cfg.w_out > 0.0 else None
         )
+        if spill and self.out_term is not None:
+            self._spill_term(self.out_term)
         self.in_term = (
             self._build_direction(self.in1, self.in2, family, variant)
             if cfg.w_in > 0.0 else None
         )
+        if spill and self.in_term is not None:
+            self._spill_term(self.in_term)
 
     def _tie_ranks(self) -> np.ndarray:
         """Rank of ``repr((u, v))`` per arena pair.
@@ -656,7 +832,19 @@ class CompiledFSim:
                 mask = self.feas[self.nlab1[a_node], self.nlab2[b_node]]
                 if not mask.any():
                     continue
-                arena = self._lookup_arena(a_node[mask], b_node[mask])
+                if self.pruned_compact:
+                    ids = self._lookup_arena_checked(
+                        a_node[mask], b_node[mask]
+                    )
+                    hit = ids >= 0
+                    if not hit.any():
+                        continue
+                    sel = np.flatnonzero(mask)[hit]
+                    mask = np.zeros(len(a_node), dtype=bool)
+                    mask[sel] = True
+                    arena = ids[hit]
+                else:
+                    arena = self._lookup_arena(a_node[mask], b_node[mask])
             yield pair_pos[mask], a_local[mask], b_local[mask], arena
 
     def _cross_entries(self, csr1: _Csr, csr2: _Csr, outer: str,
@@ -864,6 +1052,166 @@ class CompiledFSim:
             out[pair] = value
         return out
 
+    # ------------------------------------------------------------------
+    # row-subset views (sharded runtime)
+    # ------------------------------------------------------------------
+    def build_row_subset(self, positions: np.ndarray) -> "CompiledFSim":
+        """A compiled instance updating only the given ``upd_arena`` rows.
+
+        ``positions`` indexes ``upd_arena`` (the partitioner's shard
+        slices, :mod:`repro.core.partition`).  The clone shares the
+        immutable arena-level arrays with its parent but owns subset
+        entry lists, slot layouts and a dependency CSR covering just its
+        rows, so a sharded worker's dominant resident state is O(shard
+        entries), not O(arena entries).  Global arena pair-ids remain
+        the coordinate system: a full-size score vector drives the
+        clone's sweeps and its updates land at the same arena ids the
+        parent would write, which is what makes shard-local sweeps
+        bitwise composable into the unsharded iteration.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        clone = copy.copy(self)
+        clone.upd_arena = self.upd_arena[positions]
+        clone.upd_u = self.upd_u[positions]
+        clone.upd_v = self.upd_v[positions]
+        clone.upd_label = self.upd_label[positions]
+        for cached in ("_result_pairs", "_result_ids"):
+            clone.__dict__.pop(cached, None)
+        clone._lcm_cache = {}
+        clone._build_terms()
+        clone._build_dependencies()
+        return clone
+
+    # ------------------------------------------------------------------
+    # storage backends
+    # ------------------------------------------------------------------
+    #: Per-entry slab fields of each structure class -- the O(entries)
+    #: arrays that dominate a compiled instance's footprint, plus the
+    #: O(rows) companions that live next to them.
+    _SLAB_FIELDS = {
+        SBStructure: SBStructure.__slots__,
+        MatchStructure: (
+            "ent_arena", "ent_count", "ent_start", "ent_lslot", "ent_rslot",
+            "ba_indptr", "ba_prob", "ba_lslot", "ba_rslot", "cap",
+        ),
+        CrossStructure: CrossStructure.__slots__,
+    }
+
+    def release_resident_slabs(self) -> "CompiledFSim":
+        """Drop file-backed slab pages from this process's resident set.
+
+        ``madvise(MADV_DONTNEED)`` on each memmap slab evicts its pages
+        from this process's RSS; the data stays intact in the file (the
+        mappings are ``MAP_SHARED``, dirty pages are preserved) and
+        re-faults transparently on the next access.  A sharded-session
+        parent calls this after broadcasting worker slices: it keeps the
+        full compiled instance for O(delta) patching but rarely touches
+        the entry slabs again, so there is no reason to stay charged for
+        them.  No-op for RAM-backed slabs and on platforms without
+        ``madvise``.
+        """
+        import mmap as _mmap
+
+        advice = getattr(_mmap, "MADV_DONTNEED", None)
+        if advice is None:  # pragma: no cover - platform without madvise
+            return self
+        released: set = set()
+
+        def release(array):
+            mapping = getattr(array, "_mmap", None)
+            if (
+                _file_backed(array) and mapping is not None
+                and id(mapping) not in released
+            ):
+                released.add(id(mapping))
+                try:
+                    mapping.madvise(advice)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+
+        for structure in self._dep_structures():
+            for name in self._SLAB_FIELDS[type(structure)]:
+                release(getattr(structure, name))
+        for term in (self.out_term, self.in_term):
+            if term is not None:
+                release(term.conv)
+                release(term.denom)
+        release(self.dep_indptr)
+        if self._dep_targets is not None:
+            release(self._dep_targets)
+        return self
+
+    def _spill_term(self, term: "DirectionTerm") -> None:
+        """Move one direction term's slabs onto memmap storage."""
+        store = getattr(self, "_slab_store", None)
+        if store is None:
+            store = self._slab_store = _SlabStore()
+        for structure in term.structures:
+            if structure is None:
+                continue
+            for name in self._SLAB_FIELDS[type(structure)]:
+                setattr(
+                    structure, name,
+                    store.materialize(getattr(structure, name)),
+                )
+        term.conv = store.materialize(term.conv)
+        term.denom = store.materialize(term.denom)
+
+    def convert_to_memmap(self) -> "CompiledFSim":
+        """Move the per-entry slabs onto ``numpy.memmap`` storage.
+
+        The arrays keep their dtype, shape and plain ndarray interface
+        (``np.memmap`` is an ndarray subclass), so every consumer --
+        sweeps, streaming patches, the dependency gather -- works
+        unchanged while the OS pages entry lists in and out on demand.
+        Idempotent.  Pickling a converted instance materializes the data
+        back into bytes (numpy reconstructs memmaps as in-memory
+        arrays), so workers re-convert after unpickling when
+        ``config.arena_backend == "memmap"``.
+        """
+        store = getattr(self, "_slab_store", None)
+        if store is None:
+            store = self._slab_store = _SlabStore()
+        for term in (self.out_term, self.in_term):
+            if term is not None:
+                self._spill_term(term)
+        if self._dep_targets is not None:
+            self._dep_targets = store.materialize(self._dep_targets)
+        self.dep_indptr = store.materialize(self.dep_indptr)
+        return self
+
+    def arena_nbytes(self) -> Dict[str, int]:
+        """Compiled-slab bytes by storage kind (``ram`` / ``memmap``).
+
+        Covers the arena-level arrays, the per-entry structure slabs and
+        the dependency CSR -- everything whose footprint scales with the
+        candidate space.  Feeds the ``repro_arena_bytes{kind}`` gauge.
+        """
+        totals = {"ram": 0, "memmap": 0}
+        seen: set = set()
+
+        def add(array):
+            if isinstance(array, np.ndarray) and id(array) not in seen:
+                seen.add(id(array))
+                kind = "memmap" if _file_backed(array) else "ram"
+                totals[kind] += int(array.nbytes)
+
+        for name in (
+            "arena_u", "arena_v", "arena_label", "scores0", "maintained",
+            "frozen", "ub", "upd_arena", "upd_u", "upd_v", "upd_label",
+            "tie_rank", "_key_order", "_sorted_keys", "_pair_id_dense",
+            "dep_indptr", "_dep_targets",
+        ):
+            add(getattr(self, name, None))
+        for structure in self._dep_structures():
+            for field in self._SLAB_FIELDS[type(structure)]:
+                add(getattr(structure, field))
+        for term in (self.out_term, self.in_term):
+            if term is not None:
+                add(term.conv)
+                add(term.denom)
+        return totals
+
 
 # ----------------------------------------------------------------------
 # Table 3 operators in array form
@@ -942,7 +1290,18 @@ def compile_fsim(graph1: LabeledDigraph, graph2: LabeledDigraph,
     Raises no errors for unsupported configurations -- callers gate on
     :func:`repro.core.engine.vectorized_fallback_reason` first.
     """
+    from repro.obs.metrics import gauge
     from repro.obs.profiling import phase
 
     with phase("engine.compile"):
-        return CompiledFSim(graph1, graph2, config)
+        compiled = CompiledFSim(graph1, graph2, config)
+        if config.arena_backend == "memmap":
+            compiled.convert_to_memmap()
+    sizes = compiled.arena_nbytes()
+    for kind in ("ram", "memmap"):
+        gauge(
+            "repro_arena_bytes",
+            "Bytes of compiled candidate-arena slabs by storage kind.",
+            kind=kind,
+        ).set(float(sizes[kind]))
+    return compiled

@@ -448,7 +448,7 @@ class FSimEngine:
         return min(max(score, 0.0), 1.0)
 
     def run(self, workers: Optional[int] = None,
-            executor=None) -> FSimResult:
+            executor=None, shards: Optional[int] = None) -> FSimResult:
         """Run Algorithm 1 to convergence and return the scores.
 
         The computation is dispatched to the backend selected by
@@ -458,13 +458,19 @@ class FSimEngine:
         iteration's pair updates over the :mod:`repro.runtime` executor
         (``executor`` -- a kind name or an
         :class:`~repro.runtime.executor.Executor` instance -- overrides
-        ``config.executor``); parallel results are bitwise identical to
-        serial iteration on both backends.
+        ``config.executor``); ``shards > 1`` (overriding
+        ``config.shards``; numpy backend only) runs the persistent
+        sharded runtime of :mod:`repro.runtime.sharded` instead, where
+        workers own pair-space slices and only boundary scores cross
+        processes per iteration.  Parallel and sharded results are
+        bitwise identical to serial iteration on both backends.
         """
         from repro.runtime import resolve_executor
 
         if workers is not None and workers < 1:
             raise ConfigError(f"workers must be positive, got {workers}")
+        if shards is not None and shards < 1:
+            raise ConfigError(f"shards must be positive, got {shards}")
         if self._resolve_backend() == "numpy":
             from repro.core.vectorized import run_vectorized
 
@@ -473,6 +479,7 @@ class FSimEngine:
                 executor=resolve_executor(
                     self.config, workers, executor, workload="sweep"
                 ),
+                shards=shards,
             )
         from repro.runtime.driver import run_reference_engine
 

@@ -24,6 +24,13 @@ Executors are resolved from ``FSimConfig(workers=..., executor=...)``
 are cached process-wide by :func:`get_executor` so repeated queries
 share one pool.  All executors produce results bitwise identical to
 serial iteration -- see ``tests/test_runtime.py``.
+
+:mod:`repro.runtime.sharded` layers *ownership* on top: with
+``FSimConfig(shards=...)`` the pair space is partitioned once per
+session and each shard's compiled rows live worker-local for the
+session's lifetime -- only boundary scores cross processes per Jacobi
+iteration (a shared-memory halo exchange), instead of re-broadcasting
+O(arena) state.  Sharded results are bitwise identical too.
 """
 
 from repro.runtime.executor import (
@@ -42,8 +49,18 @@ from repro.runtime.executor import (
     shutdown_executors,
     update_pairs,
 )
+from repro.runtime.sharded import (
+    InProcessShardRunner,
+    ShardedSweepRuntime,
+    open_sharded_runtime,
+    run_sharded,
+)
 
 __all__ = [
+    "InProcessShardRunner",
+    "ShardedSweepRuntime",
+    "open_sharded_runtime",
+    "run_sharded",
     "EXECUTOR_KINDS",
     "Executor",
     "ForkExecutor",

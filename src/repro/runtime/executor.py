@@ -158,6 +158,20 @@ class _PayloadBlock:
     def name(self) -> str:
         return self.shm.name
 
+    def seal(self) -> None:
+        """Release this process's mapping of the block.
+
+        The pages stay alive in the kernel under the block's name --
+        workers attach and read as usual, and :meth:`close` can still
+        unlink by name -- but they stop counting against the publishing
+        process's resident set.  A sealed block cannot be read locally
+        again, so only publish-and-forget payloads (sharded slices,
+        journal deltas) seal."""
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover
+            pass
+
     def close(self) -> None:
         try:
             self.shm.close()
@@ -834,6 +848,12 @@ class SharedMemoryExecutor(Executor):
         #: Live broadcast channels (closed with the executor so their
         #: shared-memory blocks never outlive the pool).
         self._channels: "weakref.WeakSet[SweepChannel]" = weakref.WeakSet()
+        #: Live sharded runtimes (:mod:`repro.runtime.sharded`) whose
+        #: lifecycle is tied to this executor: a registered runtime pins
+        #: the executor in the registry (its workers own resident arena
+        #: shards, which eviction would silently destroy) and is closed
+        #: with the executor.
+        self._shard_runtimes: "weakref.WeakSet" = weakref.WeakSet()
 
     # -- pool / arena lifecycle ---------------------------------------
     @property
@@ -892,7 +912,16 @@ class SharedMemoryExecutor(Executor):
         self._channels.add(channel)
         return channel
 
+    def register_shard_runtime(self, runtime) -> None:
+        """Tie a sharded runtime's lifecycle to this executor (see
+        :mod:`repro.runtime.sharded`): while the runtime is live the
+        executor is never reclaimed, and closing the executor closes
+        the runtime."""
+        self._shard_runtimes.add(runtime)
+
     def close(self) -> None:
+        for runtime in list(self._shard_runtimes):
+            runtime.close()
         for channel in list(self._channels):
             channel.close()
         if self._pool is not None:
@@ -1124,19 +1153,35 @@ _CACHE_LOCK = threading.Lock()
 MAX_CACHED_EXECUTORS = 4
 
 
+def _holds_live_shards(executor: Executor) -> bool:
+    """Whether any live sharded runtime is registered on this executor.
+
+    A sharded session's workers *own* their arena shards (slices of the
+    compiled state resident for the session's lifetime); reclaiming the
+    executor would destroy them mid-session, so such executors are
+    exempt even from :func:`shutdown_executors`.
+    """
+    runtimes = getattr(executor, "_shard_runtimes", None)
+    return bool(runtimes) and any(not rt.closed for rt in runtimes)
+
+
 def _reclaimable(executor: Executor) -> bool:
     """Whether eviction may close this executor right now.
 
-    Not mid-session, and not holding any live :class:`SweepChannel` --
-    a resident streaming session's channel carries its one-time state
+    Not mid-session, not holding any live :class:`SweepChannel` -- a
+    resident streaming session's channel carries its one-time state
     broadcast, and closing it would silently demote that session from
     O(delta) delta shipping back to full re-broadcasts (plus respawn
-    the pool outside the registry's reach on its next compute).
+    the pool outside the registry's reach on its next compute) -- and
+    not holding any live sharded runtime, whose workers own resident
+    arena shards.
     """
     if executor.active_sessions:
         return False
     channels = getattr(executor, "_channels", None)
     if channels and any(not channel.closed for channel in channels):
+        return False
+    if _holds_live_shards(executor):
         return False
     return True
 
@@ -1213,17 +1258,35 @@ def executor_registry_stats() -> Dict[str, object]:
 
 
 def shutdown_executors() -> None:
-    """Close every cached executor (pools, shared-memory arenas)."""
+    """Close every cached executor (pools, shared-memory arenas).
+
+    Executors holding a live sharded session are skipped -- their
+    workers own resident arena shards that a blanket shutdown (e.g. a
+    server housekeeping sweep) must not destroy mid-session.  They are
+    closed when their runtimes close, or at interpreter exit.
+    """
+    with _CACHE_LOCK:
+        for key in list(_CACHE):
+            cached = _CACHE[key]
+            if _holds_live_shards(cached):
+                continue
+            _CACHE.pop(key).close()
+
+
+#: Explicit alias for long-lived servers (the eviction API's big hammer).
+shutdown_all = shutdown_executors
+
+
+def _shutdown_at_exit() -> None:
+    """Interpreter exit: close everything, sharded sessions included
+    (closing an executor closes its registered shard runtimes)."""
     with _CACHE_LOCK:
         for cached in _CACHE.values():
             cached.close()
         _CACHE.clear()
 
 
-#: Explicit alias for long-lived servers (the eviction API's big hammer).
-shutdown_all = shutdown_executors
-
-atexit.register(shutdown_executors)
+atexit.register(_shutdown_at_exit)
 
 
 def resolve_executor(config=None, workers: Optional[int] = None,

@@ -45,6 +45,7 @@ throughput, never values.
 
 from repro.service.client import (
     AsyncServiceClient,
+    ClientPool,
     ReplicaSetClient,
     ServiceClient,
 )
@@ -63,6 +64,7 @@ from repro.service.wal import (
 
 __all__ = [
     "AsyncServiceClient",
+    "ClientPool",
     "FSimServer",
     "FaultInjector",
     "GraphStore",

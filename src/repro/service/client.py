@@ -317,6 +317,69 @@ class ServiceClient:
         )
 
 
+class ClientPool:
+    """A fixed-size pool of keep-alive :class:`ServiceClient` connections.
+
+    One :class:`ServiceClient` holds one pipelined TCP connection with
+    one request in flight, so a concurrent load source needs one client
+    per worker -- and opening a fresh connection per request measures
+    connect/teardown, not the service.  The pool opens ``size``
+    connections once and keeps them alive for its lifetime: worker
+    ``i`` uses ``pool.client(i)`` (or iterates ``pool``), every round
+    and phase reuses the same sockets, and one ``close()`` (or the
+    context manager exit) tears all of them down.
+
+    All connections are opened eagerly in the constructor; a connect
+    failure closes the already-opened ones before propagating, so a
+    half-built pool never leaks sockets.  Extra keyword arguments are
+    forwarded to every :class:`ServiceClient` (``timeout``,
+    ``tracing``, ...).
+    """
+
+    def __init__(self, port: int, size: int, host: str = "127.0.0.1",
+                 **client_kwargs):
+        if int(size) < 1:
+            raise ValueError(f"pool size must be positive, got {size}")
+        self.clients: List[ServiceClient] = []
+        try:
+            for _ in range(int(size)):
+                self.clients.append(
+                    ServiceClient(host=host, port=port, **client_kwargs)
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    def client(self, index: int) -> ServiceClient:
+        """The connection for worker ``index`` (wraps around)."""
+        return self.clients[index % len(self.clients)]
+
+    def __len__(self) -> int:
+        return len(self.clients)
+
+    def __iter__(self):
+        return iter(self.clients)
+
+    def __enter__(self) -> "ClientPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close every connection (idempotent; close errors on one
+        connection do not leak the rest)."""
+        clients, self.clients = self.clients, []
+        errors = []
+        for client in clients:
+            try:
+                client.close()
+            except Exception as exc:  # pragma: no cover - socket races
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+
+
 class AsyncServiceClient:
     """Self-healing asyncio client: reconnect + retry with backoff.
 

@@ -256,6 +256,7 @@ class GraphStore:
         session_mode: str = "replay",
         workers: Optional[int] = None,
         executor: Optional[str] = None,
+        shards: Optional[int] = None,
         wal: Optional[WriteAheadLog] = None,
         wal_compact_bytes: int = DEFAULT_COMPACT_BYTES,
     ):
@@ -265,6 +266,8 @@ class GraphStore:
             overrides["workers"] = int(workers)
         if executor is not None:
             overrides["executor"] = executor
+        if shards is not None:
+            overrides["shards"] = int(shards)
         if overrides:
             base = base.with_options(**overrides)
         self.default_config = base
