@@ -21,6 +21,12 @@ Scores must be **bitwise identical** between the two modes -- the
 instrumentation observes, never perturbs.  The gate compares
 median-of-rounds throughput.
 
+A second section gates the **shadow auditor** (repro.obs.audit): with
+both modes fully instrumented, 1% audit sampling must stay within the
+same ~5% throughput envelope of an audit-off server, and every audited
+request must re-execute to a bitwise-matching fingerprint (zero
+divergences, zero reference errors).
+
 Writes ``BENCH_observability.json``.  Run standalone:
 
     PYTHONPATH=src python benchmarks/bench_observability.py [--smoke]
@@ -55,6 +61,9 @@ RESULT_PATH = REPO_ROOT / "BENCH_observability.json"
 OVERHEAD_GATE_PCT = 5.0
 
 GRAPH_NAME = "nell"
+
+#: Production-shaped audit sampling rate for the overhead gate.
+AUDIT_SAMPLING = 0.01
 
 
 def _config() -> FSimConfig:
@@ -185,15 +194,123 @@ def run_overhead(factor: float, num_queries: int, clients: int,
     }
 
 
+def _run_audit_mode(audited: bool, factor: float, queries, k: int,
+                    clients: int, window: float, max_batch: int):
+    """One fully instrumented server, with or without the shadow
+    auditor tapped into the store; returns (wall, scores, audit stats).
+    """
+    obs_metrics.configure(enabled=True)
+    obs_metrics.REGISTRY.reset()
+    store = GraphStore(default_config=_config())
+    store.register(GRAPH_NAME, _build_graph(factor))
+    server = ServerThread(
+        store, window=window, max_batch=max_batch,
+        audit_sampling=AUDIT_SAMPLING if audited else 0.0,
+    ).start()
+    audit_stats = None
+    try:
+        elapsed, scores = _drive(server.port, queries, k, clients,
+                                 tracing=True)
+        if audited:
+            # Deterministic parity probe: 1% sampling may capture
+            # nothing on a short stream, so force one audited request
+            # after the timed window and drain the re-execution queue.
+            auditor = server.server.auditor
+            auditor.sampling = 1.0
+            with ServiceClient(port=server.port, tracing=True) as probe:
+                probe.topk(GRAPH_NAME, queries[0], k=k)
+            auditor.drain(timeout=120.0)
+            audit_stats = auditor.stats()
+            if audit_stats["diverged"] or audit_stats["error"]:
+                raise AssertionError(
+                    f"shadow audit diverged under benchmark load: "
+                    f"{audit_stats}"
+                )
+            if audit_stats["match"] < 1:
+                raise AssertionError(
+                    f"audit parity probe never executed: {audit_stats}"
+                )
+    finally:
+        server.stop()
+    return elapsed, scores, audit_stats
+
+
+def run_audit_overhead(factor: float, num_queries: int, clients: int,
+                       window: float, max_batch: int, rounds: int,
+                       k: int = 5) -> dict:
+    replica = _build_graph(factor)
+    queries = list(replica.nodes())[:num_queries]
+    prior_enabled = obs_metrics.enabled()
+
+    off_times, on_times = [], []
+    baseline_scores = None
+    last_audit = None
+    try:
+        for round_index in range(rounds):
+            order = ((False, True) if round_index % 2 == 0
+                     else (True, False))
+            round_times = {}
+            for audited in order:
+                elapsed, scores, audit_stats = _run_audit_mode(
+                    audited, factor, queries, k, clients,
+                    window, max_batch,
+                )
+                round_times[audited] = elapsed
+                if audit_stats is not None:
+                    last_audit = audit_stats
+                if baseline_scores is None:
+                    baseline_scores = scores
+                elif scores != baseline_scores:
+                    raise AssertionError(
+                        "audited and audit-off modes diverged bitwise"
+                    )
+            off_times.append(round_times[False])
+            on_times.append(round_times[True])
+    finally:
+        obs_metrics.configure(enabled=prior_enabled)
+        obs_metrics.REGISTRY.reset()
+
+    off_rps = num_queries / statistics.median(off_times)
+    on_rps = num_queries / statistics.median(on_times)
+    overhead_pct = (off_rps - on_rps) / off_rps * 100.0
+    return {
+        "workload": f"{GRAPH_NAME} x{factor:g}, FSimbj{{theta=1}}, "
+                    f"top-{k} of {num_queries} queries, "
+                    f"{clients} clients, {rounds} rounds",
+        "sampling": AUDIT_SAMPLING,
+        "clients": clients,
+        "rounds": rounds,
+        "no_audit_rps": off_rps,
+        "audited_rps": on_rps,
+        "no_audit_seconds": off_times,
+        "audited_seconds": on_times,
+        "overhead_pct": overhead_pct,
+        "gate_pct": OVERHEAD_GATE_PCT,
+        "audit_counts": {
+            key: (last_audit or {}).get(key)
+            for key in ("captured", "executed", "match", "diverged",
+                        "error", "dropped")
+        },
+        "audit_match_rate": (last_audit or {}).get("match_rate"),
+        "parity": "bitwise (client scores across modes + shadow "
+                  "re-execution fingerprints)",
+    }
+
+
 def run_benchmark(factor: float = 5.0, num_queries: int = 24,
                   clients: int = 8, window: float = 0.02,
                   max_batch: int = 32, rounds: int = 3) -> dict:
-    return {"overhead": run_overhead(factor, num_queries, clients,
-                                     window, max_batch, rounds)}
+    return {
+        "overhead": run_overhead(factor, num_queries, clients,
+                                 window, max_batch, rounds),
+        "audit": run_audit_overhead(factor, num_queries, clients,
+                                    window, max_batch, rounds),
+    }
 
 
 def render(report: dict) -> str:
     over = report["overhead"]
+    audit = report["audit"]
     return "\n".join([
         "# observability overhead (instrumented vs no-op)",
         f"workload           {over['workload']}",
@@ -203,6 +320,15 @@ def render(report: dict) -> str:
         f"overhead           {over['overhead_pct']:8.2f}% "
         f"(gate {over['gate_pct']:g}%)",
         f"parity             {over['parity']}",
+        "",
+        f"# shadow audit overhead ({audit['sampling']:g} sampling "
+        "vs audit-off, both instrumented)",
+        f"audit off          {audit['no_audit_rps']:8.1f} req/s",
+        f"audit on           {audit['audited_rps']:8.1f} req/s",
+        f"overhead           {audit['overhead_pct']:8.2f}% "
+        f"(gate {audit['gate_pct']:g}%)",
+        f"audit counts       {audit['audit_counts']}",
+        f"parity             {audit['parity']}",
     ])
 
 
@@ -239,12 +365,18 @@ def main(argv=None) -> int:
     if args.no_gate:
         print("overhead gate disabled (--no-gate); parity was asserted")
         return 0
+    status = 0
     overhead = report["overhead"]["overhead_pct"]
     if overhead > OVERHEAD_GATE_PCT:
         print(f"FAIL: instrumentation overhead {overhead:.2f}% "
               f"> {OVERHEAD_GATE_PCT:g}% gate")
-        return 1
-    return 0
+        status = 1
+    audit_overhead = report["audit"]["overhead_pct"]
+    if audit_overhead > OVERHEAD_GATE_PCT:
+        print(f"FAIL: shadow audit overhead {audit_overhead:.2f}% "
+              f"> {OVERHEAD_GATE_PCT:g}% gate")
+        status = 1
+    return status
 
 
 # ----------------------------------------------------------------------
@@ -255,9 +387,11 @@ def test_observability_overhead(benchmark):
 
     report = run_once(benchmark, run_benchmark)
     write_report(report)
-    # Parity is asserted inside run_overhead; wall clock on shared CI
-    # runners only has to stay sane, the 5% gate is the standalone run.
+    # Parity is asserted inside run_overhead / run_audit_overhead; wall
+    # clock on shared CI runners only has to stay sane, the 5% gate is
+    # the standalone run.
     assert report["overhead"]["overhead_pct"] < 50.0
+    assert report["audit"]["overhead_pct"] < 50.0
 
 
 if __name__ == "__main__":

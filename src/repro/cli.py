@@ -303,6 +303,11 @@ def _cmd_serve(args) -> int:
         drain_timeout=args.drain_timeout,
         replicate_from=replicate_from,
         slow_query_ms=args.slow_query_ms,
+        audit_sampling=args.audit_sampling,
+        flight_dir=args.flight_dir,
+        slo_interval=args.slo_interval,
+        slo_window_scale=args.slo_window_scale,
+        lag_slo_records=args.lag_slo_records,
     )
     role = f"replica of {replicate_from}" if replicate_from else "primary"
     print(f"# serving on {args.host}:{args.port or '(ephemeral)'} "
@@ -395,6 +400,8 @@ def _cmd_stats(args) -> int:
     from repro.service.client import _split_address
 
     host, port = _split_address(args.address)
+    if args.cluster:
+        return _stats_cluster(args, host, port)
     with ServiceClient(host, port) as client:
         if args.exposition:
             text = client.metrics()["exposition"]
@@ -405,7 +412,8 @@ def _cmd_stats(args) -> int:
     if args.json:
         import json as json_module
 
-        print(json_module.dumps(stats, indent=2, default=str))
+        print(json_module.dumps(stats, indent=2, sort_keys=True,
+                                default=str))
         return 0
     health = stats.get("health", {})
     server = stats.get("server", {})
@@ -425,6 +433,36 @@ def _cmd_stats(args) -> int:
     print(f"traces={tracing_stats.get('traces', 0)}\t"
           f"slow_queries={tracing_stats.get('slow_queries', 0)}\t"
           f"slow_ms={tracing_stats.get('slow_ms')}")
+    audit = stats.get("audit")
+    if audit:
+        rate = audit.get("match_rate")
+        print(f"audit: sampling={audit.get('sampling')} "
+              f"executed={audit.get('executed', 0)} "
+              f"match={audit.get('match', 0)} "
+              f"diverged={audit.get('diverged', 0)} "
+              f"skipped={audit.get('skipped_version_moved', 0)} "
+              f"dropped={audit.get('dropped', 0)} "
+              f"match_rate={'-' if rate is None else f'{rate:.4f}'}")
+    alerts = stats.get("alerts", {})
+    burn_fmt = (lambda v: "-" if v is None else f"{v:.2f}")
+    for name in sorted(alerts.get("objectives", {})):
+        objective = alerts["objectives"][name]
+        burns = objective.get("burns", {}) or {}
+        print(f"slo {name}: state={objective.get('state')} "
+              f"burn_fast={burn_fmt(burns.get('fast_short'))}/"
+              f"{burn_fmt(burns.get('fast_long'))} "
+              f"burn_slow={burn_fmt(burns.get('slow_short'))}/"
+              f"{burn_fmt(burns.get('slow_long'))} "
+              f"fired={objective.get('fired_total', 0)} "
+              f"resolved={objective.get('resolved_total', 0)}")
+    for name in alerts.get("firing", []):
+        print(f"ALERT firing: {name}")
+    flight = stats.get("flight")
+    if flight:
+        print(f"flight: triggered={flight.get('triggered', 0)} "
+              f"written={flight.get('written', 0)} "
+              f"suppressed={flight.get('suppressed', 0)} "
+              f"spool={flight.get('spool_dir') or '-'}")
     for name, registered in sorted(stats.get("graphs", {}).items()):
         print(f"graph {name}: nodes={registered.get('nodes')} "
               f"edges={registered.get('edges')} "
@@ -445,6 +483,107 @@ def _cmd_stats(args) -> int:
                       f"p50={fmt(p50)} p95={fmt(p95)} p99={fmt(p99)}")
             else:
                 print(f"{shown}: {series.get('value', 0)}")
+    return 0
+
+
+def _stats_cluster(args, host: str, port: int) -> int:
+    """``repro stats --cluster``: the federated fleet table."""
+    from repro.obs import federate
+    from repro.service import ServiceClient
+
+    with ServiceClient(host, port) as client:
+        view = client.cluster_metrics(replicas=args.replica)
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps(view, indent=2, sort_keys=True,
+                                default=str))
+        return 0
+    if args.exposition:
+        sys.stdout.write(view["exposition"])
+        return 0
+    print(federate.cluster_table(view["instances"]))
+    if view.get("down"):
+        print(f"# down: {', '.join(view['down'])}")
+    return 0
+
+
+def _cmd_flight(args) -> int:
+    """Inspect flight-recorder bundles spooled by a server."""
+    import json as json_module
+
+    from repro.obs.flight import bundle_kinds, list_bundles, read_bundle
+
+    if args.action == "list":
+        bundles = list_bundles(args.spool_dir)
+        if args.json:
+            print(json_module.dumps(bundles, indent=2, sort_keys=True,
+                                    default=str))
+            return 0
+        if not bundles:
+            print(f"# no flight bundles in {args.spool_dir}")
+            return 0
+        for bundle in bundles:
+            print(f"{bundle['name']}\treason={bundle['reason']}\t"
+                  f"ts={bundle['ts']}\t"
+                  f"trace={bundle.get('trace_id') or '-'}\t"
+                  f"bytes={bundle['bytes']}")
+        return 0
+
+    records = read_bundle(args.bundle)
+    if args.action == "diff":
+        # The forensic question a divergence bundle answers first: what
+        # exactly disagreed?
+        details = [record for record in records
+                   if record.get("kind") == "detail"]
+        shown = 0
+        for record in details:
+            detail = record.get("detail", {}) or {}
+            live = detail.get("live_fingerprint")
+            reference = detail.get("reference_fingerprint")
+            if live is None and reference is None:
+                continue
+            shown += 1
+            print(f"request: {json_module.dumps(detail.get('request'), sort_keys=True, default=str)}")
+            print(f"live:      {live}")
+            print(f"reference: {reference}")
+            print(f"verdict: {'DIVERGED' if live != reference else 'match'}")
+        if not shown:
+            print("# bundle carries no fingerprint pair "
+                  "(not an audit-divergence bundle)")
+            return 1
+        return 0
+
+    # show
+    if args.json:
+        print(json_module.dumps(records, indent=2, sort_keys=True,
+                                default=str))
+        return 0
+    header = records[0]
+    print(f"# bundle {header.get('seq')}: reason={header.get('reason')} "
+          f"ts={header.get('ts')} instance={header.get('instance') or '-'} "
+          f"trace={header.get('trace_id') or '-'}")
+    print(f"# records: {dict(bundle_kinds(records))}")
+    for record in records[1:]:
+        kind = record.get("kind")
+        if kind in ("metrics", "metrics_snapshot"):
+            lines = record.get("exposition", "").count("\n")
+            print(f"[{kind}] {lines} exposition line(s)")
+        elif kind == "trace":
+            trace = record.get("trace") or {}
+            print(f"[trace] id={trace.get('trace_id')} "
+                  f"op={trace.get('op')} "
+                  f"spans={len(trace.get('spans', ()))}")
+        elif kind == "event":
+            fields = record.get("fields", {}) or {}
+            flat = " ".join(f"{key}={fields[key]}"
+                            for key in sorted(fields))
+            print(f"[event] {record.get('event')} {flat}".rstrip())
+        else:
+            body = {key: value for key, value in record.items()
+                    if key != "kind"}
+            print(f"[{kind}] "
+                  f"{json_module.dumps(body, sort_keys=True, default=str)}")
     return 0
 
 
@@ -770,6 +909,30 @@ def build_parser() -> argparse.ArgumentParser:
              "this many milliseconds enter the slow ring served by the "
              "`trace` op (default: slow log off)",
     )
+    serve.add_argument(
+        "--audit-sampling", type=float, default=0.0,
+        help="shadow-audit this fraction of read requests against the "
+             "pure-python reference engine off the hot path "
+             "(0 = off, 1 = every read)",
+    )
+    serve.add_argument(
+        "--flight-dir", default=None,
+        help="spool flight-recorder bundles (audit divergence, SLO "
+             "alerts, overload, server errors) into this directory",
+    )
+    serve.add_argument(
+        "--slo-interval", type=float, default=1.0,
+        help="seconds between SLO burn-rate evaluations (default 1)",
+    )
+    serve.add_argument(
+        "--slo-window-scale", type=float, default=1.0,
+        help="scale every SLO alert window by this factor (tests and "
+             "chaos drills shrink the SRE 5m/1h/6h/3d windows)",
+    )
+    serve.add_argument(
+        "--lag-slo-records", type=float, default=64.0,
+        help="replication-lag SLO bound in records (default 64)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     recover = commands.add_parser(
@@ -812,7 +975,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--exposition", action="store_true",
         help="print the Prometheus text exposition (validated scrape)",
     )
+    stats.add_argument(
+        "--cluster", action="store_true",
+        help="federated fleet view: the primary scrapes itself and its "
+             "advertised followers; prints one table row per instance "
+             "(--json for the merged structured view, --exposition for "
+             "the relabeled merged scrape)",
+    )
+    stats.add_argument(
+        "--replica", action="append", metavar="HOST:PORT", default=None,
+        help="extra replica address to include in --cluster "
+             "(repeatable; normally discovered automatically)",
+    )
     stats.set_defaults(handler=_cmd_stats)
+
+    flight = commands.add_parser(
+        "flight", help="inspect flight-recorder forensic bundles"
+    )
+    flight_actions = flight.add_subparsers(dest="action", required=True)
+    flight_list = flight_actions.add_parser(
+        "list", help="list the bundles in a spool directory"
+    )
+    flight_list.add_argument("spool_dir", metavar="SPOOL_DIR")
+    flight_list.add_argument("--json", action="store_true")
+    flight_list.set_defaults(handler=_cmd_flight)
+    flight_show = flight_actions.add_parser(
+        "show", help="pretty-print one bundle's records"
+    )
+    flight_show.add_argument("bundle", metavar="BUNDLE_FILE")
+    flight_show.add_argument("--json", action="store_true")
+    flight_show.set_defaults(handler=_cmd_flight)
+    flight_diff = flight_actions.add_parser(
+        "diff", help="show the diverged request and both fingerprints "
+                     "from an audit-divergence bundle"
+    )
+    flight_diff.add_argument("bundle", metavar="BUNDLE_FILE")
+    flight_diff.set_defaults(handler=_cmd_flight)
 
     query = commands.add_parser(
         "query", help="one-shot client against a running service"

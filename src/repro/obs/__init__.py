@@ -26,11 +26,30 @@ catalog):
   ``event=... key=value`` lines with deterministic field order, tied
   to traces by ``trace_id`` fields.
 
+The second story (correctness + operability, see the same doc):
+
+- :mod:`repro.obs.audit` -- the :class:`ShadowAuditor` samples live
+  read requests and re-executes them on the pure-python reference
+  configuration off the hot path, asserting bitwise score parity in
+  production (``repro_audit_total{result=...}``);
+- :mod:`repro.obs.slo` -- declarative objectives evaluated over
+  rolling windows with multi-window multi-burn-rate alerting
+  (``repro_slo_burn_rate{slo=...}``, the ``alerts`` stats section);
+- :mod:`repro.obs.flight` -- the :class:`FlightRecorder` dumps a
+  self-contained NDJSON forensic bundle (traces, metrics, events,
+  config, the diverged request) on audit divergence, SLO alerts,
+  scheduler overload or unhandled server errors;
+- :mod:`repro.obs.federate` -- re-labels and merges per-instance
+  scrapes into one fleet view (``repro stats --cluster``, the
+  ``cluster_metrics`` op).
+
 Instrumentation never changes computed values: scores produced with
 observability on are bitwise identical to no-op mode (asserted by the
 overhead benchmark and the parity suites).
 """
 
+from repro.obs.audit import ShadowAuditor
+from repro.obs.flight import FlightRecorder, list_bundles, read_bundle
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     REGISTRY,
@@ -45,7 +64,9 @@ from repro.obs.metrics import (
     gauge,
     histogram,
     parse_exposition,
+    render_exposition,
 )
+from repro.obs.slo import Objective, SLOEngine, default_objectives
 from repro.obs.profiling import (
     PhaseProfile,
     observe_iterations,
@@ -65,26 +86,34 @@ from repro.obs.tracing import (
 __all__ = [
     "COUNT_BUCKETS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Objective",
     "PhaseProfile",
     "REGISTRY",
+    "SLOEngine",
+    "ShadowAuditor",
     "TIME_BUCKETS",
     "TraceHandle",
     "TraceRecorder",
     "configure",
     "counter",
     "current_trace_id",
+    "default_objectives",
     "emit_span",
     "enabled",
     "gauge",
     "histogram",
+    "list_bundles",
     "new_trace_id",
     "observe_iterations",
     "parse_exposition",
     "phase",
     "profiled",
+    "read_bundle",
+    "render_exposition",
     "span",
     "use_sink",
 ]

@@ -1,0 +1,218 @@
+"""Fleet federation: one metrics/health view across primary + replicas.
+
+Each server in a replica set exposes its own Prometheus text
+exposition and ``stats`` report.  This module turns N per-instance
+scrapes into one coherent picture:
+
+- :func:`relabel` stamps every sample of a parsed exposition with
+  ``instance``/``role`` labels (the Prometheus federation convention),
+  so per-instance series stay distinguishable after merging;
+- :func:`merge_scrapes` concatenates the relabeled families and
+  *aggregates* them across instances: counters and histogram buckets
+  sum (cumulative bucket counts across instances are themselves
+  cumulative), gauges take ``max`` or ``min`` per the
+  :data:`GAUGE_HINTS` aggregation hint (replication lag wants the
+  worst replica, connectivity wants the weakest link);
+- :func:`instance_summary` folds one server's ``stats`` report into
+  the one-line row ``repro stats --cluster`` prints: health, role,
+  lag, burn rates, audit match-rate, firing alerts.
+
+Consumed by :meth:`ReplicaSetClient.scrape_all` and the primary's
+``cluster_metrics`` op (which scrapes its followers' advertised
+addresses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import metrics
+
+#: Per-family aggregation hint for gauges (default: ``max`` -- alerts
+#: care about the worst instance).  ``min`` suits "weakest link"
+#: gauges where 0 on any instance is the story.
+GAUGE_HINTS: Dict[str, str] = {
+    "repro_replica_connected": "min",
+}
+
+DEFAULT_GAUGE_HINT = "max"
+
+#: Labels injected by :func:`relabel`; aggregation groups by the
+#: remaining (original) labels.
+FEDERATION_LABELS = ("instance", "role")
+
+
+def relabel(families: Dict[str, dict], instance: str,
+            role: str) -> Dict[str, dict]:
+    """A copy of parsed families with instance/role labels stamped on
+    every sample."""
+    out: Dict[str, dict] = {}
+    for name, family in families.items():
+        samples = []
+        for sample_name, labels, value in family.get("samples", ()):
+            stamped = dict(labels)
+            stamped["instance"] = instance
+            stamped["role"] = role
+            samples.append((sample_name, stamped, value))
+        out[name] = {"type": family.get("type"),
+                     "help": family.get("help", ""),
+                     "samples": samples}
+    return out
+
+
+def _strip_federation_labels(labels: Dict[str, str]) -> Tuple:
+    return tuple(sorted((key, value) for key, value in labels.items()
+                        if key not in FEDERATION_LABELS))
+
+
+def aggregate(families: Dict[str, dict]) -> Dict[str, dict]:
+    """Collapse the per-instance series of relabeled families.
+
+    Counters (and histogram ``_bucket``/``_sum``/``_count`` rows) sum
+    across instances; gauges take max/min per :data:`GAUGE_HINTS`.
+    Untyped families are left out (nothing sound to do with them).
+    """
+    out: Dict[str, dict] = {}
+    for name, family in families.items():
+        kind = family.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            continue
+        grouped: "Dict[Tuple, List[float]]" = {}
+        order: List[Tuple] = []
+        for sample_name, labels, value in family.get("samples", ()):
+            key = (sample_name, _strip_federation_labels(labels))
+            if key not in grouped:
+                grouped[key] = []
+                order.append(key)
+            grouped[key].append(float(value))
+        hint = GAUGE_HINTS.get(name, DEFAULT_GAUGE_HINT)
+        samples = []
+        for key in order:
+            sample_name, label_items = key
+            values = grouped[key]
+            if kind == "gauge":
+                merged = min(values) if hint == "min" else max(values)
+            else:
+                merged = sum(values)
+            samples.append((sample_name, dict(label_items), merged))
+        out[name] = {"type": kind, "help": family.get("help", ""),
+                     "samples": samples}
+    return out
+
+
+def merge_scrapes(scrapes: Sequence[dict]) -> dict:
+    """Merge per-instance scrape rows into one federated view.
+
+    Each row is ``{"instance", "role", "ok", "exposition"}`` (rows with
+    ``ok=False`` are skipped for metrics but reported in ``down``).
+    Returns ``{"families", "aggregated", "exposition", "down"}`` where
+    ``exposition`` is the merged *relabeled* text document (every
+    instance's series, distinguishable) and ``aggregated`` the
+    cross-instance rollup.
+    """
+    merged: Dict[str, dict] = {}
+    down: List[str] = []
+    for row in scrapes:
+        if not row.get("ok", True) or "exposition" not in row:
+            down.append(row.get("instance", "?"))
+            continue
+        families = relabel(metrics.parse_exposition(row["exposition"]),
+                           str(row.get("instance", "?")),
+                           str(row.get("role", "?")))
+        for name, family in families.items():
+            existing = merged.get(name)
+            if existing is None:
+                merged[name] = {"type": family["type"],
+                                "help": family["help"],
+                                "samples": list(family["samples"])}
+            else:
+                if not existing.get("type"):
+                    existing["type"] = family["type"]
+                existing["samples"].extend(family["samples"])
+    return {
+        "families": merged,
+        "aggregated": aggregate(merged),
+        "exposition": metrics.render_exposition(merged),
+        "down": down,
+    }
+
+
+# ----------------------------------------------------------------------
+# per-instance summaries (the --cluster table / cluster_metrics op)
+# ----------------------------------------------------------------------
+def instance_summary(stats: dict) -> dict:
+    """The glanceable row for one server's ``stats`` report."""
+    health = stats.get("health", {}) or {}
+    replication = stats.get("replication", {}) or {}
+    alerts = stats.get("alerts", {}) or {}
+    audit = stats.get("audit") or {}
+    role = replication.get("role", "standalone")
+    lag_records: Optional[float] = None
+    lag_seconds: Optional[float] = None
+    if role == "replica":
+        tail = replication.get("tail", {}) or {}
+        lag_records = tail.get("lag_records")
+        lag_seconds = tail.get("lag_seconds")
+    burns = {}
+    for name, objective in (alerts.get("objectives") or {}).items():
+        burn = (objective.get("burns") or {}).get("fast_short")
+        if burn is not None:
+            burns[name] = burn
+    summary = {
+        "role": role,
+        "health": health.get("status", "unknown"),
+        "reasons": list(health.get("reasons", ())),
+        "requests_served": (stats.get("server") or {}).get(
+            "requests_served"),
+        "lag_records": lag_records,
+        "lag_seconds": lag_seconds,
+        "burn_rates": burns,
+        "firing": list(alerts.get("firing", ())),
+        "audit_match_rate": audit.get("match_rate"),
+        "audit_sampling": audit.get("sampling"),
+    }
+    if role == "primary":
+        summary["followers"] = len(replication.get("followers", ()))
+    return summary
+
+
+def cluster_table(rows: Sequence[dict]) -> str:
+    """Render instance rows as the ``repro stats --cluster`` table.
+
+    Each row: ``{"instance", "ok", "error"?, "summary"?}``.
+    """
+    header = ["instance", "role", "health", "lag", "burn(fast)",
+              "audit", "alerts"]
+    table: List[List[str]] = [header]
+    for row in rows:
+        instance = str(row.get("instance", "?"))
+        if not row.get("ok", True):
+            table.append([instance, "-", "down",
+                          "-", "-", "-", row.get("error", "unreachable")])
+            continue
+        summary = row.get("summary", {}) or {}
+        lag = summary.get("lag_records")
+        lag_text = "-" if lag is None else str(int(lag))
+        burns = summary.get("burn_rates") or {}
+        burn_text = "-"
+        if burns:
+            worst = max(burns, key=lambda name: burns[name])
+            burn_text = f"{burns[worst]:.2f}({worst})"
+        match_rate = summary.get("audit_match_rate")
+        audit_text = "-" if match_rate is None else f"{match_rate:.4f}"
+        firing = summary.get("firing") or []
+        table.append([
+            instance,
+            str(summary.get("role", "?")),
+            str(summary.get("health", "?")),
+            lag_text,
+            burn_text,
+            audit_text,
+            ",".join(firing) if firing else "none",
+        ])
+    widths = [max(len(line[column]) for line in table)
+              for column in range(len(header))]
+    lines = ["  ".join(cell.ljust(width)
+                       for cell, width in zip(line, widths)).rstrip()
+             for line in table]
+    return "\n".join(lines)

@@ -1,0 +1,321 @@
+"""Flight recorder: a forensic bundle the moment something goes wrong.
+
+Metrics answer "how is the fleet doing"; a flight bundle answers "what
+exactly happened around *this* incident".  The recorder keeps bounded
+in-memory rings of recent structured events (fed by the
+:mod:`repro.obs.log` sink hook) and periodic metric snapshots; when a
+trigger fires -- audit divergence, an SLO alert entering ``firing``,
+scheduler overload, an unhandled server error -- it atomically dumps a
+self-contained NDJSON bundle to a bounded on-disk spool:
+
+- one JSON object per line, each tagged with a ``kind`` (``header``,
+  ``context``, ``detail``, ``metrics``, ``metrics_snapshot``,
+  ``event``, ``trace``);
+- written with the WAL's durability idiom (temp file + fsync + rename
+  + directory fsync), so a bundle either exists completely or not at
+  all;
+- the spool keeps at most ``max_bundles`` files, deleting the oldest,
+  and triggers are rate-limited per reason so an overload storm dumps
+  one bundle, not a thousand.
+
+``repro flight list|show|diff`` reads bundles back through
+:func:`list_bundles` / :func:`read_bundle`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.obs import log as obs_log
+from repro.obs import metrics
+
+logger = obs_log.get_logger("obs.flight")
+
+BUNDLE_VERSION = 1
+BUNDLE_SUFFIX = ".ndjson"
+
+#: Trigger reasons wired through the service stack (the trigger
+#: matrix in docs/OBSERVABILITY.md).
+REASONS = ("audit_divergence", "slo_alert", "scheduler_overload",
+           "server_error", "manual")
+
+_REASON_SAFE = re.compile(r"[^a-z0-9_]+")
+
+
+def _json_default(value):
+    try:
+        return dict(value)
+    except Exception:
+        return str(value)
+
+
+class FlightRecorder:
+    """Bounded incident rings + an atomic NDJSON bundle dumper.
+
+    ``spool_dir=None`` keeps the rings (and trigger accounting) but
+    writes nothing -- the in-memory-only mode tests and embedded use
+    default to.  ``context_provider`` is a callable returning a dict of
+    server context (config, WAL/replication watermarks) captured at
+    dump time; ``trace_lookup`` resolves a trace id to its merged trace
+    dict so a divergence bundle carries the originating trace.
+    """
+
+    def __init__(self, spool_dir=None, *, instance: str = "",
+                 max_bundles: int = 16, event_capacity: int = 256,
+                 snapshot_capacity: int = 8,
+                 snapshot_interval: float = 10.0,
+                 min_interval: float = 5.0,
+                 context_provider: Optional[Callable[[], dict]] = None,
+                 trace_lookup: Optional[Callable[[str], Optional[dict]]]
+                 = None,
+                 registry: Optional[metrics.MetricsRegistry] = None,
+                 time_source: Callable[[], float] = time.time):
+        self.spool_dir = Path(spool_dir) if spool_dir is not None else None
+        self.instance = instance
+        self.max_bundles = int(max_bundles)
+        self.snapshot_interval = float(snapshot_interval)
+        self.min_interval = float(min_interval)
+        self.context_provider = context_provider
+        self.trace_lookup = trace_lookup
+        self.registry = registry if registry is not None else metrics.REGISTRY
+        self._now = time_source
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=int(event_capacity))
+        self._snapshots: deque = deque(maxlen=int(snapshot_capacity))
+        self._last_trigger: Dict[str, float] = {}
+        self._last_snapshot = 0.0
+        self._seq = 0
+        self.stats_counters = {"triggered": 0, "written": 0,
+                               "suppressed": 0, "errors": 0}
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # feeds
+    # ------------------------------------------------------------------
+    def attach(self) -> "FlightRecorder":
+        """Subscribe the event ring to every structured log event."""
+        obs_log.add_sink(self._on_event)
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        obs_log.remove_sink(self._on_event)
+        self._attached = False
+
+    def _on_event(self, event: str, fields: Dict[str, object]) -> None:
+        with self._lock:
+            self._events.append({"ts": self._now(), "event": event,
+                                 "fields": fields})
+
+    def record_event(self, event: str, **fields) -> None:
+        """Append directly to the ring (bypassing the log pipeline)."""
+        self._on_event(event, fields)
+
+    def snapshot_metrics(self, force: bool = False) -> bool:
+        """Capture one exposition snapshot into the ring (rate-limited
+        to one per ``snapshot_interval`` unless ``force``)."""
+        now = self._now()
+        with self._lock:
+            if not force and now - self._last_snapshot < \
+                    self.snapshot_interval:
+                return False
+            self._last_snapshot = now
+        exposition = self.registry.exposition()
+        with self._lock:
+            self._snapshots.append({"ts": now, "exposition": exposition})
+        return True
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def trigger(self, reason: str, detail: Optional[dict] = None,
+                trace_id: Optional[str] = None,
+                force: bool = False) -> Optional[str]:
+        """Dump a bundle for ``reason``; returns its path (or ``None``
+        when spooling is off or the reason is inside its rate window).
+        """
+        now = self._now()
+        with self._lock:
+            self.stats_counters["triggered"] += 1
+            last = self._last_trigger.get(reason)
+            if not force and last is not None and \
+                    now - last < self.min_interval:
+                self.stats_counters["suppressed"] += 1
+                suppressed = True
+            else:
+                self._last_trigger[reason] = now
+                self._seq += 1
+                seq = self._seq
+                suppressed = False
+        if self.registry.enabled:
+            self.registry.counter(
+                "repro_flight_triggers_total",
+                "Flight recorder triggers, by reason.", reason=reason,
+            ).inc()
+        if suppressed:
+            return None
+        self.record_event("flight.triggered", reason=reason,
+                          trace_id=trace_id)
+        if self.spool_dir is None:
+            return None
+        try:
+            path = self._dump(reason, seq, now, detail, trace_id)
+        except Exception:
+            with self._lock:
+                self.stats_counters["errors"] += 1
+            logger.exception("flight bundle dump failed")
+            return None
+        with self._lock:
+            self.stats_counters["written"] += 1
+        if self.registry.enabled:
+            self.registry.counter(
+                "repro_flight_bundles_total",
+                "Flight bundles written to the spool, by reason.",
+                reason=reason,
+            ).inc()
+        obs_log.log_event(logger, "flight.bundle", reason=reason,
+                          path=str(path), trace_id=trace_id)
+        return str(path)
+
+    def _dump(self, reason: str, seq: int, now: float,
+              detail: Optional[dict], trace_id: Optional[str]) -> Path:
+        safe_reason = _REASON_SAFE.sub("_", str(reason).lower()) or "unknown"
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        lines: List[dict] = [{
+            "kind": "header", "version": BUNDLE_VERSION,
+            "reason": reason, "ts": now, "seq": seq,
+            "instance": self.instance, "trace_id": trace_id,
+        }]
+        if self.context_provider is not None:
+            try:
+                context = self.context_provider()
+            except Exception as exc:
+                context = {"error": str(exc)}
+            lines.append({"kind": "context", "context": context})
+        if detail is not None:
+            lines.append({"kind": "detail", "detail": detail})
+        lines.append({"kind": "metrics",
+                      "exposition": self.registry.exposition()})
+        with self._lock:
+            snapshots = list(self._snapshots)
+            events = list(self._events)
+        for snapshot in snapshots:
+            lines.append(dict({"kind": "metrics_snapshot"}, **snapshot))
+        for event in events:
+            lines.append(dict({"kind": "event"}, **event))
+        if trace_id and self.trace_lookup is not None:
+            try:
+                trace = self.trace_lookup(trace_id)
+            except Exception:
+                trace = None
+            if trace:
+                lines.append({"kind": "trace", "trace": trace})
+        name = f"flight-{int(now * 1000):015d}-{seq:04d}-{safe_reason}"
+        path = self.spool_dir / (name + BUNDLE_SUFFIX)
+        temp = self.spool_dir / (name + ".tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(json.dumps(line, sort_keys=True,
+                                        default=_json_default) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+        directory = os.open(self.spool_dir, os.O_RDONLY)
+        try:
+            os.fsync(directory)
+        finally:
+            os.close(directory)
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        bundles = sorted(self.spool_dir.glob("flight-*" + BUNDLE_SUFFIX))
+        for stale in bundles[:max(0, len(bundles) - self.max_bundles)]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            out = dict(self.stats_counters)
+            out["events_buffered"] = len(self._events)
+            out["snapshots_buffered"] = len(self._snapshots)
+        out["spool_dir"] = str(self.spool_dir) if self.spool_dir else None
+        if self.spool_dir is not None and self.spool_dir.is_dir():
+            out["bundles"] = len(
+                list(self.spool_dir.glob("flight-*" + BUNDLE_SUFFIX)))
+        else:
+            out["bundles"] = 0
+        return out
+
+    def close(self) -> None:
+        if self._attached:
+            self.detach()
+
+
+# ----------------------------------------------------------------------
+# offline bundle access (the ``repro flight`` CLI)
+# ----------------------------------------------------------------------
+def read_bundle(path) -> List[dict]:
+    """Parse one NDJSON bundle (strict: every line must be JSON, the
+    first line must be a ``header``)."""
+    lines: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}: line {line_number} is not JSON: {exc}"
+                ) from exc
+            if not isinstance(record, dict) or "kind" not in record:
+                raise ValueError(
+                    f"{path}: line {line_number} has no 'kind' tag")
+            lines.append(record)
+    if not lines or lines[0]["kind"] != "header":
+        raise ValueError(f"{path}: missing header line")
+    return lines
+
+
+def list_bundles(spool_dir) -> List[dict]:
+    """Summaries of every bundle in a spool directory, oldest first."""
+    spool = Path(spool_dir)
+    out: List[dict] = []
+    for path in sorted(spool.glob("flight-*" + BUNDLE_SUFFIX)):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                header = json.loads(handle.readline())
+        except (OSError, json.JSONDecodeError):
+            header = {}
+        out.append({
+            "path": str(path),
+            "name": path.name,
+            "reason": header.get("reason"),
+            "ts": header.get("ts"),
+            "instance": header.get("instance"),
+            "trace_id": header.get("trace_id"),
+            "bytes": path.stat().st_size if path.exists() else 0,
+        })
+    return out
+
+
+def bundle_kinds(records: List[dict]) -> Dict[str, int]:
+    """Histogram of line kinds in a parsed bundle (``flight diff``)."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+    return counts

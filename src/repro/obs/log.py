@@ -22,7 +22,8 @@ not on substring matches).
 from __future__ import annotations
 
 import logging
-from typing import Dict, Optional
+import threading
+from typing import Callable, Dict, List, Optional
 
 from repro.obs import metrics
 
@@ -30,6 +31,25 @@ from repro.obs import metrics
 ROOT_LOGGER = "repro"
 
 EVENT_COUNTER = "repro_log_events_total"
+
+#: In-process subscribers fed every structured event as ``(event,
+#: fields)`` -- the flight recorder's ring hangs off this.  Sinks must
+#: never raise into the emitting call site; failures are swallowed.
+_SINKS: List[Callable[[str, Dict[str, object]], None]] = []
+_SINKS_LOCK = threading.Lock()
+
+
+def add_sink(sink: Callable[[str, Dict[str, object]], None]) -> None:
+    """Subscribe ``sink(event, fields)`` to every structured event."""
+    with _SINKS_LOCK:
+        if sink not in _SINKS:
+            _SINKS.append(sink)
+
+
+def remove_sink(sink: Callable[[str, Dict[str, object]], None]) -> None:
+    with _SINKS_LOCK:
+        if sink in _SINKS:
+            _SINKS.remove(sink)
 
 _FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
 
@@ -91,6 +111,14 @@ def log_event(logger: logging.Logger, event: str,
             EVENT_COUNTER, "Structured log events emitted, by event name.",
             event=event,
         ).inc()
+    if _SINKS:
+        with _SINKS_LOCK:
+            sinks = list(_SINKS)
+        for sink in sinks:
+            try:
+                sink(event, dict(fields))
+            except Exception:  # pragma: no cover - sinks must not break
+                logger.debug("event sink failed", exc_info=True)
     return message
 
 

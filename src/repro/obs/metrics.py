@@ -181,6 +181,11 @@ class Histogram(_Metric):
         """The estimated ``q``-quantile (``q`` in [0, 1])."""
         if self.count == 0:
             return None
+        if self.min == self.max:
+            # Degenerate distribution (including a single observation):
+            # every quantile IS that value, bitwise -- interpolating
+            # inside the crossing bucket would drift off it.
+            return self.min
         rank = q * self.count
         cumulative = 0
         for index, bucket_count in enumerate(self.counts):
@@ -284,6 +289,64 @@ class MetricsRegistry:
             self._families.clear()
 
     # ------------------------------------------------------------------
+    # aggregate reads (SLO engine samplers)
+    # ------------------------------------------------------------------
+    def _matching_children(self, name: str, match: Optional[dict]):
+        family = self._families.get(name)
+        if family is None:
+            return []
+        wanted = set((str(k), str(v)) for k, v in (match or {}).items())
+        return [child for key, child in family["children"].items()
+                if wanted <= set(key)]
+
+    def family_total(self, name: str, match: Optional[dict] = None) -> float:
+        """Sum of counter/gauge child values (optionally label-filtered)."""
+        with self._lock:
+            return float(sum(child.value
+                             for child in self._matching_children(name, match)
+                             if hasattr(child, "value")))
+
+    def family_max(self, name: str,
+                   match: Optional[dict] = None) -> Optional[float]:
+        """Max child value of a gauge family, or ``None`` when absent."""
+        with self._lock:
+            values = [child.value
+                      for child in self._matching_children(name, match)
+                      if hasattr(child, "value")]
+        return max(values) if values else None
+
+    def histogram_totals(self, name: str,
+                         match: Optional[dict] = None) -> Optional[dict]:
+        """Bucket counts summed across a histogram family's children.
+
+        Returns ``{"count", "sum", "bounds", "counts"}`` (``counts``
+        per-bucket, not cumulative; final slot is the overflow bin) --
+        the latency SLO derives "fraction of requests over the
+        threshold" from the cumulative count at the threshold bound.
+        """
+        with self._lock:
+            children = [child
+                        for child in self._matching_children(name, match)
+                        if isinstance(child, Histogram)]
+            if not children:
+                return None
+            bounds = children[0].bounds
+            counts = [0] * (len(bounds) + 1)
+            total = 0
+            total_sum = 0.0
+            for child in children:
+                if child.bounds != bounds:
+                    raise ValueError(
+                        f"histogram family {name!r} has mixed bucket bounds"
+                    )
+                for index, bucket_count in enumerate(child.counts):
+                    counts[index] += bucket_count
+                total += child.count
+                total_sum += child.sum
+        return {"count": total, "sum": total_sum,
+                "bounds": bounds, "counts": counts}
+
+    # ------------------------------------------------------------------
     # read surfaces
     # ------------------------------------------------------------------
     def exposition(self) -> str:
@@ -350,12 +413,76 @@ def histogram(name: str, help_text: str = "",
     return REGISTRY.histogram(name, help_text, buckets=buckets, **labels)
 
 
+_UNESCAPE = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _parse_sample_line(line: str, line_number: int):
+    """Split one sample line into ``(name, labels_dict, value_text)``.
+
+    The label body is scanned character by character because a label
+    *value* may legally contain ``{``, ``}``, ``,``, ``=`` or escaped
+    quotes -- ``find``/``rfind`` heuristics mis-split those (graph names
+    are user-controlled and flow straight into labels).
+    """
+    brace = line.find("{")
+    space = line.find(" ")
+    if brace < 0 or (0 <= space < brace):
+        sample_name, _, value_text = line.partition(" ")
+        return sample_name, {}, value_text.strip()
+    sample_name = line[:brace]
+    labels: Dict[str, str] = {}
+    index = brace + 1
+    length = len(line)
+    while True:
+        while index < length and line[index] in ", ":
+            index += 1
+        if index < length and line[index] == "}":
+            index += 1
+            break
+        equals = line.find("=", index)
+        if equals < 0:
+            raise ValueError(f"line {line_number}: malformed label pair")
+        key = line[index:equals].strip()
+        index = equals + 1
+        if index >= length or line[index] != '"':
+            raise ValueError(f"line {line_number}: unquoted label value")
+        index += 1
+        chars: List[str] = []
+        closed = False
+        while index < length:
+            char = line[index]
+            if char == "\\":
+                if index + 1 >= length:
+                    raise ValueError(
+                        f"line {line_number}: dangling escape in label"
+                    )
+                chars.append(_UNESCAPE.get(line[index + 1], line[index + 1]))
+                index += 2
+                continue
+            if char == '"':
+                closed = True
+                index += 1
+                break
+            chars.append(char)
+            index += 1
+        if not closed:
+            raise ValueError(f"line {line_number}: unterminated label value")
+        if not key:
+            raise ValueError(f"line {line_number}: empty label name")
+        labels[key] = "".join(chars)
+    return sample_name, labels, line[index:].strip()
+
+
 def parse_exposition(text: str) -> Dict[str, dict]:
     """Parse the text exposition back into ``{family: {type, samples}}``.
 
     Deliberately strict -- the CI scrape smoke and the client's pretty
     printer both run every scraped line through it, so a malformed line
-    fails loudly instead of being skipped.
+    fails loudly instead of being skipped.  Each sample is
+    ``(sample_name, labels, value)`` where ``labels`` is a dict with
+    escape sequences decoded, so ``parse_exposition`` is a true inverse
+    of :meth:`MetricsRegistry.exposition` (round-trip safe for hostile
+    label values -- see :func:`render_exposition`).
     """
     families: Dict[str, dict] = {}
     current: Optional[str] = None
@@ -381,17 +508,8 @@ def parse_exposition(text: str) -> Dict[str, dict]:
             continue
         if line.startswith("#"):
             continue
-        brace = line.find("{")
-        if brace >= 0:
-            close = line.rfind("}")
-            if close < brace:
-                raise ValueError(f"line {line_number}: unbalanced braces")
-            sample_name = line[:brace]
-            labels_body = line[brace + 1:close]
-            value_text = line[close + 1:].strip()
-        else:
-            sample_name, _, value_text = line.partition(" ")
-            labels_body = ""
+        sample_name, labels, value_text = _parse_sample_line(line,
+                                                             line_number)
         if not sample_name or not value_text:
             raise ValueError(f"line {line_number}: malformed sample")
         value = math.inf if value_text == "+Inf" else float(value_text)
@@ -400,6 +518,26 @@ def parse_exposition(text: str) -> Dict[str, dict]:
         families.setdefault(family, {"type": None, "help": "",
                                      "samples": []})
         families[family]["samples"].append(
-            (sample_name, labels_body, value)
+            (sample_name, labels, value)
         )
     return families
+
+
+def render_exposition(families: Dict[str, dict]) -> str:
+    """Render ``{family: {type, help, samples}}`` back into text format.
+
+    The inverse of :func:`parse_exposition` (labels re-escaped), used by
+    the federation layer to serve a merged, re-labeled scrape of the
+    whole replica fleet as one exposition document.
+    """
+    lines: List[str] = []
+    for name in sorted(families):
+        family = families[name]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        if family.get("type"):
+            lines.append(f"# TYPE {name} {family['type']}")
+        for sample_name, labels, value in family.get("samples", ()):
+            body = _format_labels(tuple(sorted(labels.items())))
+            lines.append(f"{sample_name}{body} {_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

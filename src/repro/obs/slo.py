@@ -1,0 +1,346 @@
+"""SLO engine: declarative objectives + multi-window burn-rate alerts.
+
+Raw metrics say what the service *did*; an SLO says whether that was
+*acceptable*.  This module evaluates a small set of declarative
+objectives against the live :class:`~repro.obs.metrics.MetricsRegistry`
+and runs Google-SRE-style **multi-window, multi-burn-rate** alerting:
+
+- a *burn rate* of 1.0 means the error budget is being spent exactly
+  as fast as the objective allows; 14.4 means the whole 30-day budget
+  would be gone in ~2 days;
+- the **fast** rule pages on short spikes: burn > 14.4 over *both* a
+  5m and a 1h window (the second window de-flaps the first);
+- the **slow** rule catches smoulder: burn > 1.0 over both 6h and 3d.
+
+Alert lifecycle is ``inactive -> pending -> firing -> resolved``
+(pending requires the condition to hold for two consecutive
+evaluations before paging), surfaced as structured ``slo.alert``
+events, a ``repro_slo_burn_rate{slo=...}`` gauge family, and the
+``alerts`` section of the ``stats`` op.  ``window_scale`` shrinks
+every window uniformly so tests and chaos drills exercise the exact
+production state machine in milliseconds.
+
+Three objective kinds:
+
+``ratio``
+    bad-events / total-events from cumulative counter families
+    (availability, audit match-rate).  Burn = (bad rate over window) /
+    (1 - objective).
+``latency``
+    fraction of observations above a threshold, from a histogram
+    family's cumulative buckets.  Burn = (slow fraction) /
+    (1 - objective).
+``bound``
+    a gauge that must stay at or below a bound (replication lag).
+    Burn = (windowed average) / bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import log as obs_log
+from repro.obs import metrics
+
+logger = obs_log.get_logger("obs.slo")
+
+BURN_GAUGE = "repro_slo_burn_rate"
+
+#: The Google SRE workbook's recommended page-worthy burn-rate rules
+#: (for a 30-day error budget): fast = 14.4x over 5m AND 1h,
+#: slow = 1.0x over 6h AND 3d.
+FAST_WINDOWS: Tuple[float, float] = (300.0, 3600.0)
+SLOW_WINDOWS: Tuple[float, float] = (21600.0, 259200.0)
+FAST_BURN = 14.4
+SLOW_BURN = 1.0
+
+STATES = ("inactive", "pending", "firing")
+
+
+class Objective:
+    """One declarative objective (see module docstring for kinds)."""
+
+    def __init__(self, name: str, kind: str, *, description: str = "",
+                 objective: Optional[float] = None,
+                 bound: Optional[float] = None,
+                 bad: Optional[Tuple[str, Optional[dict]]] = None,
+                 totals: Sequence[Tuple[str, Optional[dict]]] = (),
+                 metric: str = "", threshold: Optional[float] = None,
+                 fast_burn: float = FAST_BURN,
+                 slow_burn: float = SLOW_BURN,
+                 fast_windows: Tuple[float, float] = FAST_WINDOWS,
+                 slow_windows: Tuple[float, float] = SLOW_WINDOWS):
+        if kind not in ("ratio", "latency", "bound"):
+            raise ValueError(f"unknown SLO kind {kind!r}")
+        if kind in ("ratio", "latency") and objective is None:
+            raise ValueError(f"SLO {name!r}: kind {kind!r} needs objective=")
+        if kind == "bound" and not bound:
+            raise ValueError(f"SLO {name!r}: kind 'bound' needs bound=")
+        self.name = name
+        self.kind = kind
+        self.description = description
+        self.objective = objective
+        self.bound = bound
+        self.bad = bad
+        self.totals = tuple(totals)
+        self.metric = metric
+        self.threshold = threshold
+        self.fast_burn = float(fast_burn)
+        self.slow_burn = float(slow_burn)
+        self.fast_windows = tuple(fast_windows)
+        self.slow_windows = tuple(slow_windows)
+
+    def describe(self) -> dict:
+        out = {"kind": self.kind, "description": self.description,
+               "fast_burn": self.fast_burn, "slow_burn": self.slow_burn,
+               "fast_windows_s": list(self.fast_windows),
+               "slow_windows_s": list(self.slow_windows)}
+        if self.objective is not None:
+            out["objective"] = self.objective
+        if self.bound is not None:
+            out["bound"] = self.bound
+        if self.threshold is not None:
+            out["threshold_s"] = self.threshold
+        return out
+
+
+def default_objectives(*, lag_bound: float = 64.0,
+                       latency_threshold: float = 0.5) -> List[Objective]:
+    """The stock objective set every server evaluates."""
+    return [
+        Objective(
+            "availability", "ratio", objective=0.999,
+            description="99.9% of requests succeed",
+            bad=("repro_request_errors_total", None),
+            totals=(("repro_requests_total", None),),
+        ),
+        Objective(
+            "latency_p99", "latency", objective=0.99,
+            threshold=latency_threshold,
+            metric="repro_request_seconds",
+            description=f"99% of requests finish under "
+                        f"{latency_threshold * 1000:g}ms",
+        ),
+        Objective(
+            "replication_lag", "bound", bound=lag_bound,
+            metric="repro_replica_lag_records",
+            description=f"replica stays within {lag_bound:g} records "
+                        f"of the primary WAL head",
+            fast_burn=1.0, slow_burn=1.0,
+        ),
+        Objective(
+            "audit_match", "ratio", objective=0.999,
+            description="99.9% of shadow audits reproduce the live "
+                        "scores bitwise",
+            bad=("repro_audit_total", {"result": "diverged"}),
+            totals=(("repro_audit_total", {"result": "match"}),
+                    ("repro_audit_total", {"result": "diverged"})),
+        ),
+    ]
+
+
+class _State:
+    """Mutable per-objective evaluation state."""
+
+    def __init__(self):
+        self.samples: deque = deque()
+        self.state = "inactive"
+        self.since: Optional[float] = None
+        self.burns: Dict[str, float] = {}
+        self.fired_total = 0
+        self.resolved_total = 0
+        self.last_transition: Optional[str] = None
+
+
+class SLOEngine:
+    """Evaluates objectives on a cadence; owns the alert lifecycle."""
+
+    def __init__(self, objectives: Optional[Sequence[Objective]] = None,
+                 *, registry: Optional[metrics.MetricsRegistry] = None,
+                 window_scale: float = 1.0,
+                 time_source: Callable[[], float] = time.time):
+        self.registry = registry if registry is not None else metrics.REGISTRY
+        self.window_scale = float(window_scale)
+        if self.window_scale <= 0:
+            raise ValueError("window_scale must be positive")
+        self.objectives: List[Objective] = list(
+            objectives if objectives is not None else default_objectives())
+        self._states: Dict[str, _State] = {
+            objective.name: _State() for objective in self.objectives}
+        self._now = time_source
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _sample(self, objective: Objective):
+        """One cumulative (bad, total) or instantaneous value read."""
+        registry = self.registry
+        if objective.kind == "ratio":
+            family, match = objective.bad
+            bad = registry.family_total(family, match)
+            total = sum(registry.family_total(name, match)
+                        for name, match in objective.totals)
+            return (bad, total)
+        if objective.kind == "latency":
+            totals = registry.histogram_totals(objective.metric)
+            if totals is None:
+                return (0.0, 0.0)
+            under = 0
+            for bound, count in zip(totals["bounds"], totals["counts"]):
+                if bound <= objective.threshold:
+                    under += count
+            return (float(totals["count"] - under), float(totals["count"]))
+        value = registry.family_max(objective.metric)
+        return value  # bound kind; None when the gauge doesn't exist yet
+
+    def _burn(self, objective: Objective, state: _State,
+              window: float, now: float) -> float:
+        """Burn rate over the trailing ``window`` seconds."""
+        samples = state.samples
+        if len(samples) < 2:
+            return 0.0
+        horizon = now - window
+        if objective.kind == "bound":
+            values = [value for ts, value in samples if ts >= horizon]
+            if len(values) < 2:
+                return 0.0
+            return (sum(values) / len(values)) / float(objective.bound)
+        baseline = None
+        for ts, bad, total in samples:
+            if ts <= horizon:
+                baseline = (bad, total)
+            else:
+                break
+        if baseline is None:
+            baseline = (samples[0][1], samples[0][2])
+        last_bad, last_total = samples[-1][1], samples[-1][2]
+        delta_total = last_total - baseline[1]
+        if delta_total <= 0:
+            return 0.0
+        error_rate = max(0.0, last_bad - baseline[0]) / delta_total
+        budget = 1.0 - float(objective.objective)
+        if budget <= 0:
+            return error_rate and float("inf") or 0.0
+        return error_rate / budget
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, now: Optional[float] = None) -> List[dict]:
+        """One evaluation tick; returns lifecycle transitions."""
+        now = self._now() if now is None else now
+        transitions: List[dict] = []
+        with self._lock:
+            for objective in self.objectives:
+                state = self._states[objective.name]
+                sample = self._sample(objective)
+                if objective.kind == "bound":
+                    if sample is not None:
+                        state.samples.append((now, float(sample)))
+                else:
+                    state.samples.append((now, sample[0], sample[1]))
+                retention = max(objective.slow_windows) * \
+                    self.window_scale * 1.05
+                while state.samples and \
+                        state.samples[0][0] < now - retention:
+                    state.samples.popleft()
+                scale = self.window_scale
+                fast_short = self._burn(objective, state,
+                                        objective.fast_windows[0] * scale,
+                                        now)
+                fast_long = self._burn(objective, state,
+                                       objective.fast_windows[1] * scale,
+                                       now)
+                slow_short = self._burn(objective, state,
+                                        objective.slow_windows[0] * scale,
+                                        now)
+                slow_long = self._burn(objective, state,
+                                       objective.slow_windows[1] * scale,
+                                       now)
+                state.burns = {"fast_short": fast_short,
+                               "fast_long": fast_long,
+                               "slow_short": slow_short,
+                               "slow_long": slow_long}
+                condition = (
+                    (fast_short >= objective.fast_burn
+                     and fast_long >= objective.fast_burn)
+                    or (slow_short >= objective.slow_burn
+                        and slow_long >= objective.slow_burn)
+                )
+                transition = self._advance(state, condition, now)
+                if transition is not None:
+                    record = {"slo": objective.name, "ts": now,
+                              "transition": transition,
+                              "state": state.state,
+                              "burn_fast": fast_short,
+                              "burn_slow": slow_short}
+                    transitions.append(record)
+                if self.registry.enabled:
+                    self.registry.gauge(
+                        BURN_GAUGE,
+                        "Fast-window SLO burn rate, by objective.",
+                        slo=objective.name,
+                    ).set(fast_short)
+        for record in transitions:
+            obs_log.log_event(logger, "slo.alert", **record)
+        return transitions
+
+    @staticmethod
+    def _advance(state: _State, condition: bool,
+                 now: float) -> Optional[str]:
+        previous = state.state
+        if previous == "inactive":
+            if condition:
+                state.state = "pending"
+        elif previous == "pending":
+            state.state = "firing" if condition else "inactive"
+        elif previous == "firing":
+            if not condition:
+                state.state = "inactive"
+        if state.state == previous:
+            return None
+        state.since = now
+        if state.state == "firing":
+            state.fired_total += 1
+            transition = "firing"
+        elif previous == "firing":
+            state.resolved_total += 1
+            transition = "resolved"
+        else:
+            transition = state.state
+        state.last_transition = transition
+        return transition
+
+    # ------------------------------------------------------------------
+    # read surfaces
+    # ------------------------------------------------------------------
+    def firing(self) -> List[str]:
+        with self._lock:
+            return [name for name, state in self._states.items()
+                    if state.state == "firing"]
+
+    def report(self) -> dict:
+        """The ``alerts`` section of the ``stats`` op."""
+        with self._lock:
+            objectives = {}
+            for objective in self.objectives:
+                state = self._states[objective.name]
+                objectives[objective.name] = dict(
+                    objective.describe(),
+                    state=state.state,
+                    since=state.since,
+                    burns=dict(state.burns),
+                    fired_total=state.fired_total,
+                    resolved_total=state.resolved_total,
+                    last_transition=state.last_transition,
+                )
+            return {
+                "window_scale": self.window_scale,
+                "objectives": objectives,
+                "firing": [name for name, state in self._states.items()
+                           if state.state == "firing"],
+            }

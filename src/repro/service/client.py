@@ -236,6 +236,16 @@ class ServiceClient:
         """The ``metrics`` op: Prometheus text exposition + enabled flag."""
         return self.request("metrics")
 
+    def cluster_metrics(self, replicas: Optional[Sequence[str]] = None
+                        ) -> dict:
+        """The ``cluster_metrics`` op: the primary scrapes itself and
+        its advertised followers (plus any extra ``replicas``
+        addresses) and returns the merged fleet view."""
+        return self.request(
+            "cluster_metrics",
+            replicas=list(replicas) if replicas else None,
+        )
+
     def trace_query(self, trace_id: Optional[str] = None,
                     slow: bool = False, limit: int = 32) -> dict:
         """One merged trace by id (defaults to ``last_trace_id``), or
@@ -548,6 +558,13 @@ class AsyncServiceClient:
     async def metrics(self) -> dict:
         return await self.request("metrics")
 
+    async def cluster_metrics(self, replicas: Optional[Sequence[str]]
+                              = None) -> dict:
+        return await self.request(
+            "cluster_metrics",
+            replicas=list(replicas) if replicas else None,
+        )
+
     async def trace_query(self, trace_id: Optional[str] = None,
                           slow: bool = False, limit: int = 32) -> dict:
         if trace_id is None and not slow:
@@ -827,6 +844,37 @@ class ReplicaSetClient:
 
     async def metrics(self) -> dict:
         return await self.primary.metrics()
+
+    # -- fleet scraping ------------------------------------------------
+    async def scrape_all(self, include_stats: bool = True) -> List[dict]:
+        """One scrape row per endpoint (primary first, then replicas).
+
+        Each row carries ``instance`` / ``role`` / ``ok`` plus the raw
+        Prometheus ``exposition`` and (optionally) the full ``stats``
+        report; an unreachable endpoint yields ``ok: false`` with the
+        error instead of failing the sweep.  Feed the rows to
+        :func:`repro.obs.federate.merge_scrapes` for the merged fleet
+        view -- ``repro stats --cluster`` does.
+        """
+        endpoints = [(self.primary_address, "primary", self.primary)]
+        endpoints.extend(
+            (entry["address"], "replica", entry["client"])
+            for entry in self._replicas
+        )
+        rows: List[dict] = []
+        for address, role, client in endpoints:
+            row: dict = {"instance": address, "role": role}
+            try:
+                row["exposition"] = \
+                    (await client.metrics()).get("exposition", "")
+                if include_stats:
+                    row["stats"] = await client.stats_report()
+                row["ok"] = True
+            except ServiceError as exc:
+                row["ok"] = False
+                row["error"] = str(exc) or type(exc).__name__
+            rows.append(row)
+        return rows
 
     # -- traces --------------------------------------------------------
     async def fetch_trace(self, trace_id: Optional[str] = None

@@ -14,10 +14,16 @@ Wire shape of the ``replicate`` op (one per dedicated connection)::
 
     -> {"id": 1, "op": "replicate", "after": 41}
     <- {"id": 1, "ok": true, "result": {"stream": true, "head": 45}}
-    <- <crc32> {"kind":"mutate","graph":"g","ops":[...],"seq":42}
-    <- <crc32> {"kind":"mutate","graph":"g","ops":[...],"seq":43}
+    <- <crc32> {"kind":"mutate","graph":"g","ops":[...],"seq":42,"head":45}
+    <- <crc32> {"kind":"mutate","graph":"g","ops":[...],"seq":43,"head":45}
     <- <crc32> {"kind":"heartbeat","head":45,"ts":...}
     ...
+
+Every shipped record is stamped with the primary's WAL head *at ship
+time*: heartbeats only flow on an idle stream, so while a follower
+drains a backlog under live write load the per-record stamp is the only
+signal that keeps ``repro_replica_lag_records`` honest about how far
+behind the apply loop actually is.
 
 After the single header response line the connection becomes a one-way
 stream of CRC-framed records -- the exact framing of WAL lines on disk,
@@ -193,17 +199,32 @@ class ReplicationHub:
             queue.put_nowait(record)
 
     # -- subscriptions -------------------------------------------------
-    def subscribe(self, peer: str) -> Tuple[int, asyncio.Queue]:
+    def subscribe(self, peer: str,
+                  advertise: Optional[str] = None
+                  ) -> Tuple[int, asyncio.Queue]:
         self._next_token += 1
         token = self._next_token
         self._queues[token] = asyncio.Queue()
         self.followers[token] = {
             "peer": peer,
+            #: The follower's *served* address (its ephemeral stream
+            #: port is useless for scraping) -- what ``cluster_metrics``
+            #: dials.
+            "advertise": advertise,
             "since": time.time(),
             "sent_seq": 0,
             "records": 0,
         }
         return token, self._queues[token]
+
+    def advertised(self) -> List[str]:
+        """Scrapeable addresses of the live followers (dedup, stable)."""
+        out: List[str] = []
+        for entry in self.followers.values():
+            address = entry.get("advertise")
+            if address and address not in out:
+                out.append(address)
+        return out
 
     def unsubscribe(self, token: Optional[int]) -> None:
         if token is not None:
@@ -272,7 +293,8 @@ class ReplicationHub:
             else []
         if "crash-mid-ship" in active:
             wal.fault.crash()
-        line = encode_frame(dict(record, ts=time.time()))
+        line = encode_frame(dict(record, ts=time.time(),
+                                 head=wal.last_seq))
         async with write_lock:
             if "torn-ship" in active:
                 writer.write(line[:max(1, len(line) // 2)])
@@ -480,9 +502,11 @@ class ReplicationTail:
         try:
             if self._need_bootstrap:
                 await self._bootstrap(reader, writer)
+            advertise = f"{self.server.host}:{self.server.port}"
             try:
                 header = await self._request(
-                    reader, writer, "replicate", after=self.applied_seq
+                    reader, writer, "replicate", after=self.applied_seq,
+                    advertise=advertise,
                 )
             except WalCompactedError:
                 # The suffix we need was folded into snapshots while we
@@ -491,7 +515,8 @@ class ReplicationTail:
                 self._need_bootstrap = True
                 await self._bootstrap(reader, writer)
                 header = await self._request(
-                    reader, writer, "replicate", after=self.applied_seq
+                    reader, writer, "replicate", after=self.applied_seq,
+                    advertise=advertise,
                 )
             self._observe_head(int(header["result"]["head"]))
             self.connected = True
@@ -556,7 +581,10 @@ class ReplicationTail:
             await loop.run_in_executor(None, _apply)
         self.applied_seq = max(self.applied_seq, seq)
         self.applied_records += 1
-        self._observe_head(seq)
+        # Prefer the ship-time head stamp: during a backlog drain the
+        # record's own seq trails the primary's head by the whole
+        # backlog, and no heartbeats flow on a busy stream.
+        self._observe_head(int(frame.get("head", seq)))
 
     def _observe_head(self, head: int) -> None:
         self.head_seq = max(self.head_seq or 0, head)

@@ -72,6 +72,10 @@ class MicroBatchScheduler:
         self._buckets: Dict[tuple, dict] = {}
         self._graph_locks: Dict[str, asyncio.Lock] = {}
         self._pending = 0
+        #: Optional callback invoked (with the pending count) whenever
+        #: admission control rejects a request -- the server points it
+        #: at the flight recorder.  Must never raise into submit().
+        self.on_overload = None
         self.stats = {
             "requests": 0,
             "rejected": 0,
@@ -153,6 +157,11 @@ class MicroBatchScheduler:
         if self._pending >= self.max_pending:
             self.stats["rejected"] += 1
             self._m_rejected.inc()
+            if self.on_overload is not None:
+                try:
+                    self.on_overload(self._pending)
+                except Exception:  # pragma: no cover - observer only
+                    pass
             raise ServiceOverloadedError(
                 f"{self._pending} requests pending "
                 f"(max_pending={self.max_pending}); retry later"

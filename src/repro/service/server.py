@@ -36,7 +36,10 @@ import warnings
 from typing import List, Optional
 
 from repro.obs import log as obs_log
-from repro.obs import metrics, profiling, tracing
+from repro.obs import federate, metrics, profiling, tracing
+from repro.obs.audit import ShadowAuditor
+from repro.obs.flight import FlightRecorder
+from repro.obs.slo import SLOEngine, default_objectives
 
 logger = obs_log.get_logger("service")
 
@@ -54,6 +57,7 @@ from repro.exceptions import (
 from repro.service.replication import ReplicationHub, ReplicationTail
 from repro.service.scheduler import BATCHED_OPS, MicroBatchScheduler
 from repro.service.store import GraphStore
+from repro.service.wal import FaultInjector
 from repro.simulation.base import Variant
 
 
@@ -104,6 +108,13 @@ class FSimServer:
         compact_interval: float = 1.0,
         replicate_from: Optional[str] = None,
         slow_query_ms: Optional[float] = None,
+        audit_sampling: float = 0.0,
+        audit_capacity: int = 64,
+        flight_dir: Optional[str] = None,
+        slo_interval: float = 1.0,
+        slo_window_scale: float = 1.0,
+        lag_slo_records: float = 64.0,
+        slo_objectives=None,
     ):
         #: Callback run during :meth:`stop` after draining, *before*
         #: the store is closed -- the CLI writes shutdown snapshots
@@ -157,6 +168,37 @@ class FSimServer:
                 )
             self.tail = ReplicationTail(self, replicate_from)
             self.store.replica_primary = replicate_from
+        # -- second-story observability ------------------------------
+        #: Forensic bundle spool.  Always constructed (ring buffers are
+        #: cheap); bundles only reach disk when ``flight_dir`` is set.
+        self.flight = FlightRecorder(
+            flight_dir,
+            context_provider=self._flight_context,
+            trace_lookup=self.recorder.get,
+        )
+        self.slo_interval = max(float(slo_interval), 0.01)
+        self.slo = SLOEngine(
+            slo_objectives
+            or default_objectives(lag_bound=float(lag_slo_records)),
+            window_scale=slo_window_scale,
+        )
+        self._slo_task: Optional[asyncio.Task] = None
+        #: Shadow auditor: built only when sampling is on; the store
+        #: owns its lifetime once attached (``store.close`` joins the
+        #: audit thread).
+        self.auditor: Optional[ShadowAuditor] = None
+        if float(audit_sampling) > 0.0:
+            self.auditor = ShadowAuditor(
+                self.store,
+                float(audit_sampling),
+                capacity=int(audit_capacity),
+                flight=self.flight,
+                fault=FaultInjector.from_env(),
+            )
+            self.store.auditor = self.auditor
+        # Admission-control rejections are exactly the moments worth a
+        # forensic bundle; rate-limited inside the recorder.
+        self.scheduler.on_overload = self._on_overload
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -173,6 +215,39 @@ class FSimServer:
             self.replication.attach(asyncio.get_running_loop())
         if self.tail is not None:
             self._tail_task = asyncio.ensure_future(self.tail.run())
+        self.flight.instance = f"{self.host}:{self.port}"
+        self.flight.attach()
+        self._slo_task = asyncio.ensure_future(self._slo_loop())
+        if self.auditor is not None:
+            self.auditor.start()
+
+    async def _slo_loop(self) -> None:
+        """Periodic SLO evaluation + metrics ring snapshots.
+
+        Burn-rate math happens off the request path on purpose: an
+        evaluation walks every objective's sample windows, and doing
+        that per ``stats`` call would make scraping the service change
+        its own alert arithmetic.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.slo_interval)
+            try:
+                transitions = await loop.run_in_executor(
+                    None, self.slo.evaluate
+                )
+                self.flight.snapshot_metrics()
+                for transition in transitions:
+                    if transition.get("transition") != "firing":
+                        continue
+                    await loop.run_in_executor(
+                        None, self.flight.trigger, "slo_alert",
+                        {"alert": dict(transition)},
+                    )
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # pragma: no cover - observer only
+                logger.exception("SLO evaluation failed; will retry")
 
     async def _compact_loop(self) -> None:
         """Periodic WAL compaction: snapshot every graph, rotate the log.
@@ -215,6 +290,13 @@ class FSimServer:
             await self.wait_stopped()
             return
         self._stopping = True
+        if self._slo_task is not None:
+            self._slo_task.cancel()
+            try:
+                await self._slo_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._slo_task = None
         if self._tail_task is not None:
             self.tail.stop()
             self._tail_task.cancel()
@@ -267,7 +349,8 @@ class FSimServer:
                 )
         finally:
             self.replication.detach()
-            self.store.close()
+            self.store.close()  # joins the audit thread too
+            self.flight.close()
             if self._stopped_event is not None:
                 self._stopped_event.set()
 
@@ -352,6 +435,13 @@ class FSimServer:
         except Exception as exc:  # pragma: no cover - defensive
             response = {"id": request_id, "ok": False,
                         "error": f"internal error: {exc!r}"}
+            # An unhandled exception escaping dispatch is exactly the
+            # state worth a forensic bundle; never let the dump fail
+            # the response.
+            asyncio.get_running_loop().run_in_executor(
+                None, self.flight.trigger, "server_error",
+                {"op": str(op), "error": repr(exc)},
+            )
         duration = time.perf_counter() - start
         if op is not None and metrics.REGISTRY.enabled:
             metrics.counter(
@@ -363,6 +453,12 @@ class FSimServer:
                 "Server-side request latency (parse to response built).",
                 op=str(op),
             ).observe(duration)
+            if not response.get("ok"):
+                metrics.counter(
+                    "repro_request_errors_total",
+                    "Requests answered ok=false, by op "
+                    "(availability SLO numerator).", op=str(op),
+                ).inc()
         if trace is not None:
             trace.add_span("server.dispatch", start_wall, duration,
                            op=str(op))
@@ -396,25 +492,9 @@ class FSimServer:
         if op == "trace":
             return self._trace_query(request)
         if op == "stats":
-            stats = self.store.stats()
-            stats["scheduler"] = dict(self.scheduler.stats)
-            stats["server"] = {
-                "connections": self.connections,
-                "requests_served": self.requests_served,
-                "window": self.scheduler.window,
-                "max_batch": self.scheduler.max_batch,
-                "max_pending": self.scheduler.max_pending,
-            }
-            if self.tail is not None:
-                stats["replication"] = {"role": "replica",
-                                        "tail": self.tail.stats()}
-            elif self.store.wal is not None:
-                stats["replication"] = dict(self.replication.stats(),
-                                            role="primary")
-            stats["metrics"] = metrics.REGISTRY.report()
-            stats["tracing"] = self.recorder.stats()
-            stats["health"] = self._health()
-            return stats
+            return self._stats_report()
+        if op == "cluster_metrics":
+            return await self._cluster_metrics(request)
         if op == "shutdown":
             asyncio.get_running_loop().call_soon(
                 asyncio.ensure_future, self._stop_soon()
@@ -446,6 +526,130 @@ class FSimServer:
                                                   trace=trace)
             return self._wire(op, request, outcome)
         raise ServiceError(f"unknown op {op!r}")
+
+    def _role(self) -> str:
+        if self.tail is not None:
+            return "replica"
+        if self.store.wal is not None:
+            return "primary"
+        return "standalone"
+
+    def _stats_report(self) -> dict:
+        """The full ``stats`` payload (also the federation row source)."""
+        stats = self.store.stats()  # includes "audit" when sampling is on
+        stats["scheduler"] = dict(self.scheduler.stats)
+        stats["server"] = {
+            "connections": self.connections,
+            "requests_served": self.requests_served,
+            "window": self.scheduler.window,
+            "max_batch": self.scheduler.max_batch,
+            "max_pending": self.scheduler.max_pending,
+        }
+        if self.tail is not None:
+            stats["replication"] = {"role": "replica",
+                                    "tail": self.tail.stats()}
+        elif self.store.wal is not None:
+            stats["replication"] = dict(self.replication.stats(),
+                                        role="primary")
+        stats["metrics"] = metrics.REGISTRY.report()
+        stats["tracing"] = self.recorder.stats()
+        stats["alerts"] = self.slo.report()
+        stats["flight"] = self.flight.stats()
+        stats["health"] = self._health()
+        return stats
+
+    def _flight_context(self) -> dict:
+        """Point-in-time service context stamped into flight bundles."""
+        context: dict = {
+            "instance": f"{self.host}:{self.port}",
+            "role": self._role(),
+            "config": str(self.store.default_config),
+            "scheduler": dict(self.scheduler.stats),
+            "requests_served": self.requests_served,
+        }
+        store = self.store
+        with store._lock:
+            context["graphs"] = {
+                name: {"version": registered.graph.version,
+                       "wal_seq": registered.wal_seq}
+                for name, registered in store._graphs.items()
+            }
+        if store.wal is not None:
+            context["wal_last_seq"] = store.wal.last_seq
+        if self.tail is not None:
+            context["replication"] = self.tail.stats()
+        elif store.wal is not None:
+            context["replication"] = self.replication.stats()
+        return context
+
+    def _on_overload(self, pending: int) -> None:
+        """Scheduler admission-control hook (worker/event-loop threads)."""
+        self.flight.trigger(
+            "scheduler_overload",
+            detail={"pending": int(pending),
+                    "max_pending": self.scheduler.max_pending},
+        )
+
+    async def _cluster_metrics(self, request: dict) -> dict:
+        """The ``cluster_metrics`` op: one merged fleet view.
+
+        The primary scrapes itself inline and each advertised follower
+        over a short-lived blocking client on the executor, then merges
+        the expositions through :mod:`repro.obs.federate`.  Followers
+        that cannot be reached come back as ``down`` rows instead of
+        failing the whole view.
+        """
+        instance = f"{self.host}:{self.port}"
+        rows: List[dict] = [{
+            "instance": instance,
+            "role": self._role(),
+            "ok": True,
+            "exposition": metrics.REGISTRY.exposition(),
+            "summary": federate.instance_summary(self._stats_report()),
+        }]
+        targets = [str(address) for address in request.get("replicas", [])]
+        for address in self.replication.advertised():
+            if address not in targets:
+                targets.append(address)
+        loop = asyncio.get_running_loop()
+        scraped = await asyncio.gather(*[
+            loop.run_in_executor(None, self._scrape_instance, address)
+            for address in targets
+            if address != instance
+        ])
+        rows.extend(scraped)
+        merged = federate.merge_scrapes(rows)
+        return {
+            "instances": [
+                {key: value for key, value in row.items()
+                 if key != "exposition"}
+                for row in rows
+            ],
+            "exposition": merged["exposition"],
+            "down": merged["down"],
+        }
+
+    def _scrape_instance(self, address: str) -> dict:
+        """Blocking scrape of one peer (metrics + stats summary)."""
+        from repro.service.client import ServiceClient
+
+        row: dict = {"instance": address, "role": "replica"}
+        host, _, port = address.rpartition(":")
+        try:
+            client = ServiceClient(host=host or "127.0.0.1",
+                                   port=int(port), timeout=5.0)
+            try:
+                row["exposition"] = client.metrics().get("exposition", "")
+                summary = federate.instance_summary(client.stats())
+                row["summary"] = summary
+                row["role"] = summary.get("role", "replica")
+                row["ok"] = True
+            finally:
+                client.close()
+        except Exception as exc:
+            row["ok"] = False
+            row["error"] = str(exc) or type(exc).__name__
+        return row
 
     def _trace_query(self, request: dict) -> dict:
         """The ``trace`` op: one merged trace by id, or the slow /
@@ -625,7 +829,11 @@ class FSimServer:
             after = int(request.get("after", 0))
             # Subscribe FIRST, read the durable backlog second, dedup
             # the overlap by seq: no record can fall between the two.
-            token, queue = self.replication.subscribe(str(peer))
+            advertise = request.get("advertise")
+            token, queue = self.replication.subscribe(
+                str(peer),
+                advertise=str(advertise) if advertise else None,
+            )
             backlog = await loop.run_in_executor(
                 None, self.replication.backlog, after
             )
@@ -726,6 +934,8 @@ class FSimServer:
             if not self.tail.connected:
                 reasons.append("replication stream disconnected")
             lag_records, lag_seconds = self.tail.lag()
+        for name in self.slo.firing():
+            reasons.append(f"SLO alert firing: {name}")
         if self._stopping:
             status = "draining"
         elif reasons:

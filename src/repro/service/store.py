@@ -296,6 +296,10 @@ class GraphStore:
         #: rid -> outcome of the mutation that carried it (bounded).
         self._applied_rids: "OrderedDict[str, dict]" = OrderedDict()
         self.deduped_mutations = 0
+        #: Optional :class:`~repro.obs.audit.ShadowAuditor` sampling
+        #: read results for reference re-execution.  ``None`` (audit
+        #: off) short-circuits every tap to one attribute check.
+        self.auditor = None
         #: Set to the primary's ``host:port`` on a read replica: every
         #: direct write (register/unregister/mutate) outside the
         #: replication apply path raises
@@ -434,22 +438,26 @@ class GraphStore:
         graph versions; maintained incrementally when a session fits)."""
         config = self.resolve_config(name1, params)
         pair = self.pair(name1, name2, config)
-        key = ("fsim", pair.versions())
+        versions = pair.versions()
+        key = ("fsim", versions)
         with tracing.span("store.fsim", graph1=name1, graph2=name2):
-            cached = pair.results.get(key)
-            if cached is not None:
-                return cached
-            try:
-                with profiling.profiled(pair.profile):
-                    if pair.session is not None:
-                        pair.sync_session()
-                        result = pair.session.compute()
-                    else:
-                        result = fsim_matrix(pair.reg1.graph,
-                                             pair.reg2.graph, config=config)
-            except ReproError as exc:
-                raise ServiceError(str(exc)) from exc
-        pair.results.put(key, result)
+            result = pair.results.get(key)
+            if result is None:
+                try:
+                    with profiling.profiled(pair.profile):
+                        if pair.session is not None:
+                            pair.sync_session()
+                            result = pair.session.compute()
+                        else:
+                            result = fsim_matrix(pair.reg1.graph,
+                                                 pair.reg2.graph,
+                                                 config=config)
+                except ReproError as exc:
+                    raise ServiceError(str(exc)) from exc
+                pair.results.put(key, result)
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.observe_fsim(pair, versions, result)
         return result
 
     def topk(self, name1: str, name2: str, queries: Sequence[Node], k: int,
@@ -482,7 +490,11 @@ class GraphStore:
                 pair.results.put(
                     ("topk", int(k), result.query, versions), result
                 )
-        return [results[query] for query in queries]
+        ordered = [results[query] for query in queries]
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.observe_topk(pair, versions, int(k), queries, ordered)
+        return ordered
 
     def matrix(self, names1: Sequence[str], name2: str,
                params: Optional[dict] = None) -> List[FSimResult]:
@@ -524,6 +536,11 @@ class GraphStore:
                 pair = pairs[position]
                 pair.results.put(("fsim", pair.versions()), result)
                 outputs[position] = result
+        auditor = self.auditor
+        if auditor is not None:
+            auditor.observe_matrix(
+                pairs, [pair.versions() for pair in pairs], outputs
+            )
         return outputs
 
     def mutate(self, name: str, ops: Sequence[DeltaOp],
@@ -699,6 +716,8 @@ class GraphStore:
         }
         if self.replica_primary is not None:
             report["replica_primary"] = self.replica_primary
+        if self.auditor is not None:
+            report["audit"] = self.auditor.stats()
         if self.wal is not None:
             report["wal"] = dict(
                 self.wal.stats(),
@@ -709,6 +728,9 @@ class GraphStore:
         return report
 
     def close(self) -> None:
+        if self.auditor is not None:
+            self.auditor.close()
+            self.auditor = None
         with self._lock:
             for state in self._pairs.values():
                 state.close()

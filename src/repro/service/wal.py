@@ -118,7 +118,15 @@ APPLY_FAULTS = (
                         # reconnect-and-resume from the watermark)
 )
 
-KNOWN_FAULTS = APPEND_FAULTS + ROTATE_FAULTS + SHIP_FAULTS + APPLY_FAULTS
+#: Shadow-audit faults, triggering on the Nth executed audit.
+AUDIT_FAULTS = (
+    "corrupt-scores",   # perturb the live score fingerprint input --
+                        # simulates a corrupted score slab, must surface
+                        # as repro_audit_total{result="diverged"}
+)
+
+KNOWN_FAULTS = (APPEND_FAULTS + ROTATE_FAULTS + SHIP_FAULTS
+                + APPLY_FAULTS + AUDIT_FAULTS)
 
 
 class FaultInjector:
@@ -155,6 +163,7 @@ class FaultInjector:
         self.rotations = 0
         self.ships = 0
         self.applies = 0
+        self.audits = 0
         self.tripped: List[str] = []
 
     @classmethod
@@ -190,6 +199,11 @@ class FaultInjector:
         """Advance the applied-record counter (follower stream side)."""
         self.applies += 1
         return self._active(self.applies, APPLY_FAULTS)
+
+    def on_audit(self) -> List[str]:
+        """Advance the executed-audit counter (shadow auditor)."""
+        self.audits += 1
+        return self._active(self.audits, AUDIT_FAULTS)
 
     @staticmethod
     def corrupt(line: bytes) -> bytes:

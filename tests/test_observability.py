@@ -23,6 +23,8 @@ import threading
 import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import FSimConfig
 from repro.exceptions import ServiceError, ServiceOverloadedError
@@ -133,11 +135,19 @@ class TestMetricsPrimitives:
         assert 0.025 <= snap["p50"] <= 0.1
 
     def test_histogram_single_observation_clamps_to_it(self):
+        # A degenerate (single-point) distribution has every quantile
+        # equal to that point *bitwise* -- interpolating inside the
+        # crossing bucket would drift off it.
         registry = MetricsRegistry(enabled=True)
         hist = registry.histogram("h")
         hist.observe(0.0123)
         snap = hist.snapshot()
-        assert snap["p50"] == snap["p99"] == 0.0123
+        assert snap["p50"] == snap["p95"] == snap["p99"] == 0.0123
+        # repeated identical observations stay exact too
+        hist.observe(0.0123)
+        hist.observe(0.0123)
+        snap = hist.snapshot()
+        assert snap["p50"] == snap["p95"] == snap["p99"] == 0.0123
 
     def test_count_buckets_for_batch_sizes(self):
         registry = MetricsRegistry(enabled=True)
@@ -189,6 +199,168 @@ class TestMetricsPrimitives:
         assert report["c"]["type"] == "counter"
         assert report["c"]["series"] == [{"labels": {"op": "a"},
                                           "value": 2}]
+
+    def test_family_aggregates(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("t_total", op="a").inc(2)
+        registry.counter("t_total", op="b").inc(5)
+        assert registry.family_total("t_total") == 7
+        assert registry.family_total("t_total", match={"op": "a"}) == 2
+        assert registry.family_total("missing") == 0.0
+        registry.gauge("g", shard="0").set(3)
+        registry.gauge("g", shard="1").set(9)
+        assert registry.family_max("g") == 9
+        hist_a = registry.histogram("h_seconds", op="a")
+        hist_b = registry.histogram("h_seconds", op="b")
+        hist_a.observe(0.002)
+        hist_b.observe(0.002)
+        hist_b.observe(5.0)
+        totals = registry.histogram_totals("h_seconds")
+        assert totals["count"] == 3
+        assert totals["sum"] == pytest.approx(5.004)
+        assert len(totals["counts"]) == len(totals["bounds"]) + 1
+
+
+# ----------------------------------------------------------------------
+# exposition escaping (label values are arbitrary strings)
+# ----------------------------------------------------------------------
+class TestExpositionEscaping:
+    HOSTILE = [
+        'back\\slash',
+        'quo"te',
+        'new\nline',
+        'all\\three" \n at once',
+        '{brace,comma=eq}',
+        'trailing\\',
+        '',
+    ]
+
+    def test_hostile_label_values_round_trip(self):
+        registry = MetricsRegistry(enabled=True)
+        for index, value in enumerate(self.HOSTILE):
+            registry.counter("hostile_total", "Hostile.",
+                             key=value).inc(index + 1)
+        families = parse_exposition(registry.exposition())
+        seen = {labels["key"]: value for _, labels, value
+                in families["hostile_total"]["samples"]}
+        assert seen == {value: float(index + 1)
+                        for index, value in enumerate(self.HOSTILE)}
+
+    def test_render_is_the_parse_inverse(self):
+        from repro.obs.metrics import render_exposition
+
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("x_total", "Help with \"quotes\" and \\.",
+                         k='v"w\\y\nz').inc(3)
+        registry.gauge("g", "G.").set(2)
+        first = parse_exposition(registry.exposition())
+        second = parse_exposition(render_exposition(first))
+        assert first == second
+
+    @pytest.mark.parametrize("bad_line", [
+        'oops{k="unterminated} 1',
+        'oops{k="v" 1',
+        'oops{k=v} 1',
+        'oops{k="v"',
+    ])
+    def test_malformed_sample_lines_fail_loudly(self, bad_line):
+        text = f"# TYPE oops counter\n{bad_line}\n"
+        with pytest.raises(ValueError):
+            parse_exposition(text)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        labels=st.dictionaries(
+            keys=st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True),
+            values=st.text(
+                alphabet=st.characters(
+                    codec="ascii", min_codepoint=32, max_codepoint=126,
+                ) | st.sampled_from(["\n", "\\", '"']),
+                max_size=24,
+            ),
+            min_size=1, max_size=4,
+        ),
+        value=st.floats(allow_nan=False, allow_infinity=False,
+                        width=32),
+    )
+    def test_label_round_trip_property(self, labels, value):
+        registry = MetricsRegistry(enabled=True)
+        registry.gauge("prop_gauge", "Property.", **labels).set(value)
+        families = parse_exposition(registry.exposition())
+        samples = families["prop_gauge"]["samples"]
+        assert len(samples) == 1
+        name, parsed_labels, parsed_value = samples[0]
+        assert name == "prop_gauge"
+        assert parsed_labels == labels
+        assert parsed_value == float(value)
+
+
+# ----------------------------------------------------------------------
+# concurrent scrape vs mutate
+# ----------------------------------------------------------------------
+class TestScrapeVsMutate:
+    def test_scrapes_parse_and_counters_stay_monotone(self,
+                                                      fresh_registry):
+        """Hammer the ``metrics`` op while mutations stream.
+
+        Every scrape must be a parseable exposition document, and the
+        counters visible across consecutive scrapes must be monotone
+        (a scrape mid-mutation never observes a counter going back)."""
+        store = GraphStore(default_config=numpy_config())
+        graph = make_graph()
+        store.register("g", graph)
+        nodes = list(graph.nodes())
+        with ServerThread(store, window=0.001) as harness:
+            stop = threading.Event()
+            failures = []
+
+            def mutate_loop():
+                client = ServiceClient(port=harness.port)
+                try:
+                    index = 0
+                    while not stop.is_set():
+                        index += 1
+                        client.mutate("g", [
+                            ("add_node", f"scrape-{index}", "A"),
+                            ("add_edge", f"scrape-{index}", nodes[0]),
+                        ])
+                        client.fsim("g")
+                except Exception as exc:  # pragma: no cover
+                    failures.append(exc)
+                finally:
+                    client.close()
+
+            writer = threading.Thread(target=mutate_loop, daemon=True)
+            writer.start()
+            client = ServiceClient(port=harness.port)
+            try:
+                previous = {}
+                parsed_scrapes = 0
+                deadline = time.time() + 4.0
+                while time.time() < deadline and parsed_scrapes < 40:
+                    families = parse_exposition(
+                        client.metrics()["exposition"]
+                    )
+                    parsed_scrapes += 1
+                    current = {}
+                    for name, family in families.items():
+                        if family.get("type") != "counter":
+                            continue
+                        for sample, labels, value in family["samples"]:
+                            key = (sample,
+                                   tuple(sorted(labels.items())))
+                            current[key] = value
+                    for key, value in current.items():
+                        assert value >= previous.get(key, 0.0), (
+                            f"counter went backwards: {key}"
+                        )
+                    previous = current
+            finally:
+                stop.set()
+                writer.join(timeout=30)
+                client.close()
+            assert not failures
+            assert parsed_scrapes >= 10
 
 
 # ----------------------------------------------------------------------
